@@ -1,0 +1,66 @@
+"""Figure 2 — sample data for the Players API (JSON) and Teams API (XML).
+
+Paper artifact: the Messi record served in JSON and the FC Barcelona
+record served in XML — the sources "differ in terms of schema and
+format".  We regenerate both payloads from the mock REST server and pin
+every printed value; the benchmark times one request/decode round.
+"""
+
+import json
+
+from benchmarks.conftest import emit
+from repro.sources.formats import decode_json, decode_xml
+
+
+def test_fig2_players_json_payload(benchmark, anchors_scenario):
+    server = anchors_scenario.server
+
+    def fetch():
+        return decode_json(server.get("/v1/players").body)
+
+    records = benchmark(fetch)
+    messi = next(r for r in records if r["id"] == 6176)
+    emit(
+        "Figure 2 (left) — Players API JSON record",
+        json.dumps(
+            {
+                "id": messi["id"],
+                "name": messi["name"],
+                "height": messi["height"],
+                "weight": messi["weight"],
+                "rating": messi["rating"],
+                "preferred_foot": messi["preferred_foot"],
+                "team_id": messi["team_id"],
+            },
+            indent=1,
+        ),
+    )
+    # The exact Figure 2 values.
+    assert messi["name"] == "Lionel Messi"
+    assert messi["height"] == 170.18
+    assert messi["weight"] == 159
+    assert messi["rating"] == 94
+    assert messi["preferred_foot"] == "left"
+    assert messi["team_id"] == 25
+
+
+def test_fig2_teams_xml_payload(benchmark, anchors_scenario):
+    server = anchors_scenario.server
+
+    def fetch():
+        return server.get("/v1/teams").body
+
+    body = benchmark(fetch)
+    records = decode_xml(body)
+    barca = next(r for r in records if r["id"] == "25")
+    emit(
+        "Figure 2 (right) — Teams API XML record",
+        "<team>\n"
+        f"  <id>{barca['id']}</id>\n"
+        f"  <name>{barca['name']}</name>\n"
+        f"  <shortName>{barca['shortName']}</shortName>\n"
+        "</team>",
+    )
+    assert barca["name"] == "FC Barcelona"
+    assert barca["shortName"] == "FCB"
+    assert "<team>" in body and "<id>25</id>" in body

@@ -1,0 +1,51 @@
+"""Figure 4 — high-level overview of the approach (full-stack smoke).
+
+Paper artifact: the architecture diagram — global graph on top, LAV
+mappings in the middle, source graph and wrappers below, sources at the
+bottom.  We regenerate it as a live system inventory (every layer
+populated and consistent) and benchmark a complete cold build of the
+stack.
+"""
+
+from benchmarks.conftest import emit
+from repro.scenarios.football import FootballScenario
+
+
+def test_fig4_full_stack_assembly(benchmark):
+    scenario = benchmark(lambda: FootballScenario.build(anchors_only=True))
+    mdm = scenario.mdm
+    summary = mdm.summary()
+    lines = [
+        "global graph   : "
+        f"{summary['concepts']} concepts, {summary['features']} features",
+        "LAV mappings   : "
+        f"{summary['mappings']} named graphs + sameAs links",
+        "source graph   : "
+        f"{summary['sources']} data sources, {summary['wrappers']} wrappers",
+        "sources        : "
+        f"{len(scenario.server.endpoints())} REST endpoints "
+        f"({', '.join(sorted(set(e.payload_format for e in scenario.server.endpoints())))})",
+        "metadata store : "
+        f"{summary['releases']} releases logged",
+    ]
+    emit("Figure 4 — high-level overview (live inventory)", "\n".join(lines))
+    assert summary["concepts"] == 4
+    assert summary["sources"] == 4
+    assert summary["wrappers"] == summary["mappings"] == 6
+    assert mdm.validate() == []
+    # Each layer reaches the next: every mapped wrapper has a runtime
+    # object, every runtime wrapper can fetch.
+    for name, wrapper in mdm.wrappers.items():
+        assert wrapper.fetch_relation().schema.names == wrapper.attributes
+
+
+def test_fig4_service_layer_round(benchmark, anchors_scenario):
+    from repro.service.api import MdmService
+
+    service = MdmService(anchors_scenario.mdm)
+
+    def round_trip():
+        return service.request("GET", "/summary")
+
+    response = benchmark(round_trip)
+    assert response.ok and response.body["concepts"] == 4

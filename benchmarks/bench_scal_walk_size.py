@@ -1,0 +1,41 @@
+"""Ablation B — rewriting cost vs walk size (number of concepts).
+
+Chain-shaped walks over 1–12 concepts: the rewriting must expand
+identifiers for every concept, find per-concept covers and join them
+along the chain.  Execution is also timed, and the result is checked
+against the relational ground truth at every size.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.scenarios.synthetic import SYN, chain_ground_truth, chain_mdm
+
+
+@pytest.mark.parametrize("n_concepts", [1, 2, 4, 8, 12])
+def test_rewriting_scales_with_walk_size(benchmark, n_concepts):
+    mdm, concepts, ground, links = chain_mdm(n_concepts, rows_per_concept=20)
+    nodes = list(concepts) + [SYN[f"val{i}"] for i in range(n_concepts)]
+    walk = mdm.walk_from_nodes(nodes)
+
+    result = benchmark(lambda: mdm.rewriter.rewrite(walk))
+
+    assert result.ucq_size == 1  # one wrapper per concept → single CQ
+    assert len(result.projection) == n_concepts
+    emit(
+        f"Ablation B — walk over {n_concepts} concepts",
+        f"plan depth: {result.plan.depth()}; scans: {len(result.plan.scans())}",
+    )
+
+
+@pytest.mark.parametrize("n_concepts", [2, 6, 10])
+def test_execution_matches_ground_truth_at_scale(benchmark, n_concepts):
+    mdm, concepts, ground, links = chain_mdm(n_concepts, rows_per_concept=30)
+    nodes = list(concepts) + [SYN[f"val{i}"] for i in range(n_concepts)]
+    walk = mdm.walk_from_nodes(nodes)
+
+    outcome = benchmark(lambda: mdm.execute(walk))
+
+    assert set(outcome.relation.rows) == chain_ground_truth(
+        ground, links, n_concepts
+    )

@@ -1,0 +1,45 @@
+"""Table 1 — sample output for the exemplary query.
+
+Paper artifact::
+
+    ex:teamName        ex:playerName
+    FC Barcelona       Lionel Messi
+    Bayern Munich      Robert Lewandowski
+    Manchester United  Zlatan Ibrahimovic
+
+We execute the Figure 8 OMQ end-to-end (wrapper fetch over the mock REST
+APIs → temp relations → UCQ plan) and pin exactly those three pairs; the
+benchmark times the complete execution path.
+"""
+
+from benchmarks.conftest import emit
+
+
+def test_table1_exemplary_query_output(benchmark, anchors_scenario):
+    mdm = anchors_scenario.mdm
+    walk = anchors_scenario.walk_player_team_names()
+
+    outcome = benchmark(lambda: mdm.execute(walk))
+
+    emit("Table 1 — sample output for the exemplary query", outcome.to_table())
+
+    rows = set(outcome.relation.rows)
+    # The paper's three sample rows, exactly.
+    assert ("Lionel Messi", "FC Barcelona") in rows
+    assert ("Robert Lewandowski", "Bayern Munich") in rows
+    assert ("Zlatan Ibrahimovic", "Manchester United") in rows
+    # Set semantics: no duplicates.
+    assert len(outcome.relation.rows) == len(rows)
+
+
+def test_table1_at_generated_scale(benchmark, generated_scenario):
+    mdm = generated_scenario.mdm
+    walk = generated_scenario.walk_player_team_names()
+
+    outcome = benchmark(lambda: mdm.execute(walk))
+
+    truth = {
+        (p.name, generated_scenario.data.team_by_id(p.team_id).name)
+        for p in generated_scenario.data.players
+    }
+    assert set(outcome.relation.rows) == truth

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one artifact of the paper (a figure,
+the table, or a demo scenario) and times a representative operation with
+pytest-benchmark.  Artifacts are printed with ``-s`` so the harness output
+can be diffed against the paper; assertions pin the structural facts
+(concept/feature counts, mapping intersections, result rows).
+"""
+
+import pytest
+
+from repro.scenarios.football import FootballScenario
+
+
+@pytest.fixture(scope="session")
+def anchors_scenario():
+    """The motivational use case restricted to the paper's exact entities."""
+    return FootballScenario.build(anchors_only=True)
+
+
+@pytest.fixture(scope="session")
+def generated_scenario():
+    """The motivational use case at generated scale (seeded)."""
+    return FootballScenario.build(seed=2018)
+
+
+def emit(title: str, body: str) -> None:
+    """Print one artifact block (visible with ``pytest -s``)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Governance of evolution: the demo's third scenario, with a GAV foil.
+
+The Players API ships a breaking v2 (``name`` renamed, physique fields
+nested, ids stringified).  Under MDM's LAV mappings the previously
+defined OMQ keeps working — the rewriting unions both schema versions.
+Under a GAV system the same release crashes the query, and fixing it
+requires hand-migrating every definition that touches the source.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro.core.errors import GavUnfoldingError
+from repro.scenarios import FootballScenario
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Governance of evolution — LAV (MDM) vs GAV (baseline)")
+    print("=" * 72)
+
+    scenario = FootballScenario.build(anchors_only=True)
+    mdm = scenario.mdm
+    walk = scenario.walk_player_team_names()
+    gav = scenario.build_gav()
+
+    print("\n[1] before the release, both systems answer the query:")
+    lav_before = mdm.execute(walk)
+    gav_before = gav.execute(walk)
+    print(f"    LAV: {len(lav_before.relation)} rows "
+          f"({lav_before.rewrite.ucq_size} CQ)")
+    print(f"    GAV: {len(gav_before)} rows (single unfolding)")
+
+    print("\n[2] the provider ships Players API v2 with breaking changes:")
+    for change in scenario.V2_CHANGES:
+        print(f"    - {change.describe()}")
+    scenario.release_players_v2(retire_v1=True)
+    release = mdm.governance.latest("players")
+    assert release is not None
+    print(f"    governance log: release #{release.sequence} "
+          f"({release.kind}, wrapper {release.wrapper_name})")
+
+    print("\n[3] the steward accommodates the release in MDM:")
+    print("    attribute reuse meant the mapping suggestion was complete —")
+    print("    no manual sameAs links were needed.")
+
+    print("\n[4] re-running the SAME query:")
+    lav_after = mdm.execute(walk, on_wrapper_error="skip")
+    print(f"    LAV: {len(lav_after.relation)} rows via "
+          f"{lav_after.rewrite.ucq_size} CQs "
+          f"(skipped retired wrappers: {list(lav_after.skipped_wrappers)})")
+    print("    rewritten algebra now unions the schema versions:")
+    print("      " + lav_after.rewrite.pretty())
+    try:
+        gav.execute(walk)
+        print("    GAV: unexpectedly survived?!")
+    except GavUnfoldingError as exc:
+        print(f"    GAV: CRASHED — {exc}")
+
+    print("\n[5] repairing GAV by hand:")
+    cost = gav.migration_cost("w1")
+    print(f"    definitions referencing the broken wrapper: {cost}")
+    translation = {a: a for a in ("id", "pName", "height", "weight",
+                                  "score", "foot", "teamId")}
+    rewritten = gav.migrate_wrapper(
+        "w1", scenario.mdm.wrappers["w1v2"], translation
+    )
+    print(f"    hand-migrated definitions: {rewritten}")
+    repaired = gav.execute(walk)
+    print(f"    GAV after manual repair: {len(repaired)} rows")
+
+    print("\n[6] results stay identical across the evolution:")
+    assert set(lav_after.relation.rows) == set(lav_before.relation.rows)
+    print(lav_after.to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Steward onboarding: integrating a brand-new source semi-automatically.
+
+A new Stadiums API appears. The steward: (1) points MDM at the endpoint —
+the wrapper signature is inferred from a sample; (2) reviews the ranked
+sameAs suggestions MDM derives from name similarity; (3) confirms them
+into a LAV mapping; (4) immediately queries across the new source. Then
+the API ships a v2 with a renamed field, and the signature diff
+pinpoints the rename before anything breaks.
+
+Run:  python examples/steward_onboarding.py
+"""
+
+from repro.rdf.namespaces import EX
+from repro.scenarios import FootballScenario
+from repro.scenarios.football import RELATIONS, TEAM
+from repro.sources.evolution import EndpointVersion, RenameField, release_version
+
+
+def main() -> None:
+    scenario = FootballScenario.build(anchors_only=True)
+    mdm = scenario.mdm
+
+    print("=" * 72)
+    print("Steward onboarding — a new Stadiums API joins the ecosystem")
+    print("=" * 72)
+
+    stadium_rows = [
+        {"id": 101, "stadium_name": "Camp Nou", "capacity": 99354, "team_id": 25},
+        {"id": 102, "stadium_name": "Allianz Arena", "capacity": 75000, "team_id": 26},
+        {"id": 103, "stadium_name": "Old Trafford", "capacity": 74310, "team_id": 27},
+    ]
+    stadiums_v1 = EndpointVersion("stadiums", 1, "json", lambda: stadium_rows)
+    release_version(scenario.server, stadiums_v1)
+
+    print("\n[1] extend the global graph with the Stadium concept:")
+    STADIUM = EX.Stadium
+    mdm.add_concept(STADIUM, "Stadium")
+    mdm.add_identifier(EX.stadiumId, STADIUM)
+    mdm.add_feature(EX.stadiumName, STADIUM)
+    mdm.add_feature(EX.capacity, STADIUM)
+    mdm.relate(TEAM, EX.playsAt, STADIUM)
+    print("    Stadium(stadiumId, stadiumName, capacity); Team --playsAt--> Stadium")
+
+    print("\n[2] bootstrap the wrapper — signature inferred from a sample:\n")
+    mdm.register_source("stadiums", "Stadiums API")
+    registration, profile = mdm.bootstrap_wrapper(
+        "stadiums", "wStad", scenario.server, "/v1/stadiums"
+    )
+    print("    " + profile.describe().replace("\n", "\n    "))
+    print(f"\n    registered: {registration.signature}")
+
+    print("\n[3] MDM suggests sameAs links by name similarity:\n")
+    suggestions = mdm.suggest_links_for("wStad", concepts=[STADIUM, TEAM])
+    confirmed = {}
+    for suggestion in suggestions:
+        ranked = ", ".join(
+            f"{feature.local_name()} ({score:.2f})"
+            for feature, score in suggestion.candidates
+        )
+        print(f"    {suggestion.attribute_name:>13}: {ranked or '(no candidate)'}")
+        if suggestion.best is not None:
+            confirmed[suggestion.attribute_name] = suggestion.best
+    # The steward reviews: "id" means the stadium's own id here.
+    confirmed["id"] = EX.stadiumId
+
+    print("\n[4] the steward confirms, and the LAV mapping is defined:")
+    view = mdm.define_mapping(
+        "wStad",
+        confirmed,
+        edges=[(TEAM, EX.playsAt, STADIUM)],
+    )
+    print(f"    named graph covers {sorted(c.local_name() for c in view.concepts)}")
+
+    print("\n[5] cross-source query: players with their stadium capacity\n")
+    walk = mdm.walk_from_nodes(
+        [EX.Player, EX.playerName, TEAM, STADIUM, EX.stadiumName, EX.capacity]
+    )
+    outcome = mdm.execute(walk)
+    print(outcome.to_table())
+
+    print("\n[6] v2 renames stadium_name -> arena; the diff catches it:\n")
+    stadiums_v2 = stadiums_v1.successor([RenameField("stadium_name", "arena")])
+    release_version(scenario.server, stadiums_v2)
+    registration2, _ = mdm.bootstrap_wrapper(
+        "stadiums", "wStad2", scenario.server, "/v2/stadiums"
+    )
+    diff = mdm.diff_wrapper_versions("wStad", "wStad2")
+    for line in diff.describe():
+        print(f"    {line}")
+    print(f"    breaking: {diff.is_breaking}")
+    print(f"    attributes reused from v1: {list(registration2.reused_attributes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of "MDM: Governing Evolution in Big Data
+Ecosystems" (Nadal et al., EDBT 2018).
+
+The package implements the complete MDM stack in pure Python:
+
+- :mod:`repro.rdf` — RDF substrate (terms, indexed graphs, named-graph
+  datasets, Turtle/TriG/N-Triples codecs, RDFS closure);
+- :mod:`repro.sparql` — a SPARQL subset engine;
+- :mod:`repro.relational` — relational algebra + federated executor;
+- :mod:`repro.docstore` — an embedded document store for system metadata;
+- :mod:`repro.sources` — simulated REST APIs, payload formats, schema
+  evolution and the wrapper framework;
+- :mod:`repro.core` — the paper's contribution: the BDI ontology (global
+  and source graphs), LAV mappings as named graphs, the three-phase LAV
+  query rewriting, release governance, and a GAV baseline;
+- :mod:`repro.scenarios` — the motivational football use case and the
+  SUPERSEDE-style scenario, fully wired;
+- :mod:`repro.service` — a REST-style service layer over the facade.
+
+Quickstart::
+
+    from repro.scenarios import FootballScenario
+
+    scenario = FootballScenario.build()
+    walk = scenario.walk_player_team_names()
+    outcome = scenario.mdm.execute(walk)
+    print(outcome.rewrite.sparql)         # the generated SPARQL
+    print(outcome.rewrite.pretty())       # the relational algebra (Fig. 8)
+    print(outcome.to_table())             # the result table (Table 1)
+"""
+
+from .core.mdm import MDM
+
+__version__ = "1.0.0"
+
+__all__ = ["MDM", "__version__"]

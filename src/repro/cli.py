@@ -1,0 +1,315 @@
+"""Command-line interface for the MDM reproduction.
+
+Usage (``python -m repro <command>``):
+
+``demo``
+    run the motivational use case end-to-end and print every artifact
+    (walk, SPARQL, algebra, result table);
+``query``
+    pose an OMQ against a built-in scenario, either as node IRIs
+    (``--nodes``) or as SPARQL text (``--sparql`` / ``--sparql-file``);
+``summary`` / ``validate`` / ``impact``
+    introspection over a scenario or a saved snapshot directory;
+``snapshot``
+    build a scenario and persist it (TriG + JSONL) to a directory;
+``evolve``
+    run the governance demo: ship the breaking Players API v2 and show
+    the before/after algebra.
+
+Snapshot-based commands (``--store DIR``) work without runtime wrappers;
+query execution needs live wrappers and therefore runs against the
+built-in scenarios (``--scenario football|supersede``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.mdm import MDM
+from .core.sparql_frontend import walk_from_sparql
+from .rdf.terms import IRI
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_scenario(name: str):
+    if name == "football":
+        from .scenarios.football import FootballScenario
+
+        return FootballScenario.build(anchors_only=True)
+    if name == "football-large":
+        from .scenarios.football import FootballScenario
+
+        return FootballScenario.build(seed=2018)
+    if name == "supersede":
+        from .scenarios.supersede import SupersedeScenario
+
+        return SupersedeScenario.build()
+    raise SystemExit(f"unknown scenario {name!r}; use football | football-large | supersede")
+
+
+def _mdm_for(args) -> MDM:
+    if getattr(args, "store", None):
+        from .service.persistence import load_mdm
+
+        return load_mdm(args.store)
+    return _load_scenario(args.scenario).mdm
+
+
+def cmd_demo(args) -> int:
+    from .scenarios.football import FootballScenario
+
+    scenario = FootballScenario.build(anchors_only=True)
+    mdm = scenario.mdm
+    walk = scenario.walk_player_team_names()
+    outcome = mdm.execute(walk)
+    print("walk:", walk.describe(mdm.global_graph))
+    print("\nSPARQL:\n" + outcome.rewrite.sparql)
+    print("\nrelational algebra:\n" + outcome.rewrite.pretty())
+    print("\n" + outcome.rewrite.explain())
+    print("\nresult:\n" + outcome.to_table())
+    return 0
+
+
+def cmd_query(args) -> int:
+    scenario = _load_scenario(args.scenario)
+    mdm = scenario.mdm
+    if args.sparql or args.sparql_file:
+        text = args.sparql or open(args.sparql_file).read()
+        walk = walk_from_sparql(mdm.global_graph, text)
+    elif args.nodes:
+        walk = mdm.walk_from_nodes([IRI(n) for n in args.nodes])
+    else:
+        raise SystemExit("query needs --nodes or --sparql/--sparql-file")
+    outcome = mdm.execute(walk, on_wrapper_error="skip")
+    if args.explain:
+        print(outcome.rewrite.explain())
+        print("\nalgebra: " + outcome.rewrite.pretty())
+        print()
+    print(outcome.to_table())
+    if outcome.skipped_wrappers:
+        print(f"\n(skipped failing wrappers: {', '.join(outcome.skipped_wrappers)})",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_summary(args) -> int:
+    mdm = _mdm_for(args)
+    for key, value in mdm.summary().items():
+        print(f"{key:>9}: {value}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    mdm = _mdm_for(args)
+    issues = mdm.validate()
+    if not issues:
+        print("OK: no structural issues")
+        return 0
+    for issue in issues:
+        print(f"ISSUE: {issue}")
+    return 1
+
+
+def cmd_impact(args) -> int:
+    mdm = _mdm_for(args)
+    report = mdm.impact_of_source(args.source)
+    print(f"source   : {report['source']}")
+    print(f"wrappers : {', '.join(report['wrappers'])}")
+    print(f"affected queries : {report['affected_queries']}")
+    for walk in report["affected_query_walks"]:
+        print(f"  - {walk}")
+    print("features exclusively covered by this source:")
+    for feature in report["exclusively_covered_features"]:
+        print(f"  - {feature}")
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    from .service.persistence import save_mdm
+
+    scenario = _load_scenario(args.scenario)
+    target = save_mdm(scenario.mdm, args.out)
+    print(f"saved {scenario.mdm.summary()['triples']} triples to {target}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    mdm = _mdm_for(args)
+    if args.format == "dot":
+        print(mdm.global_graph.to_dot())
+    elif args.format == "turtle":
+        from .rdf.turtle import serialize_turtle
+
+        print(serialize_turtle(mdm.global_graph.graph))
+    else:
+        gg = mdm.global_graph
+        ns = gg.graph.namespaces
+        for concept in gg.concepts():
+            features = ", ".join(
+                (ns.compact(f) or f.value)
+                + (" [id]" if gg.is_identifier(f) else "")
+                for f in gg.features_of(concept)
+            )
+            print(f"{ns.compact(concept) or concept.value}: {features}")
+        for relation in gg.relations():
+            print(
+                f"{ns.compact(relation.subject)} --"
+                f"{ns.compact(relation.predicate)}--> "
+                f"{ns.compact(relation.object)}"
+            )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .core.reporting import governance_report, render_report
+
+    mdm = _mdm_for(args)
+    report = governance_report(mdm, execute_queries=args.execute)
+    print(render_report(report))
+    return 0 if not report["issues"] and not report["saved_queries"]["broken"] else 1
+
+
+def cmd_save_query(args) -> int:
+    from .service.persistence import load_mdm, save_mdm
+
+    mdm = load_mdm(args.store)
+    walk = mdm.walk_from_nodes([IRI(n) for n in args.nodes])
+    mdm.saved_queries.save(args.name, walk, args.description or "")
+    save_mdm(mdm, args.store)
+    print(f"saved query {args.name!r} "
+          f"({walk.describe(mdm.global_graph)}) to {args.store}")
+    return 0
+
+
+def cmd_revalidate(args) -> int:
+    mdm = _mdm_for(args)
+    report = mdm.saved_queries.revalidate(execute=args.execute)
+    if not report:
+        print("no saved queries registered")
+        return 0
+    broken = 0
+    for entry in report:
+        if entry.ok:
+            rows = f", {entry.rows} rows" if entry.rows is not None else ""
+            print(f"OK     {entry.name} (UCQ size {entry.ucq_size}{rows})")
+        else:
+            broken += 1
+            print(f"BROKEN {entry.name}: {entry.error}")
+    print(f"\n{len(report) - broken}/{len(report)} healthy")
+    return 1 if broken else 0
+
+
+def cmd_evolve(args) -> int:
+    from .scenarios.football import FootballScenario
+
+    scenario = FootballScenario.build(anchors_only=True)
+    walk = scenario.walk_player_team_names()
+    before = scenario.mdm.execute(walk)
+    print("before release:", before.rewrite.pretty())
+    scenario.release_players_v2(retire_v1=args.retire_v1)
+    after = scenario.mdm.execute(walk, on_wrapper_error="skip")
+    print("after release :", after.rewrite.pretty())
+    print(f"\nUCQ grew {before.rewrite.ucq_size} -> {after.rewrite.ucq_size}; "
+          f"rows identical: {set(after.relation.rows) == set(before.relation.rows)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MDM reproduction: ontology-based integration under schema evolution",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_demo = sub.add_parser("demo", help="run the motivational use case")
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_query = sub.add_parser("query", help="pose an OMQ against a scenario")
+    p_query.add_argument("--scenario", default="football")
+    p_query.add_argument("--nodes", nargs="*", help="global-graph node IRIs")
+    p_query.add_argument("--sparql", help="inline SPARQL text")
+    p_query.add_argument("--sparql-file", help="file with SPARQL text")
+    p_query.add_argument("--explain", action="store_true")
+    p_query.set_defaults(func=cmd_query)
+
+    for name, func in (
+        ("summary", cmd_summary),
+        ("validate", cmd_validate),
+    ):
+        p = sub.add_parser(name, help=f"{name} of a scenario or snapshot")
+        p.add_argument("--scenario", default="football")
+        p.add_argument("--store", help="snapshot directory (overrides --scenario)")
+        p.set_defaults(func=func)
+
+    p_impact = sub.add_parser("impact", help="release impact analysis for a source")
+    p_impact.add_argument("source")
+    p_impact.add_argument("--scenario", default="football")
+    p_impact.add_argument("--store", help="snapshot directory")
+    p_impact.set_defaults(func=cmd_impact)
+
+    p_snapshot = sub.add_parser("snapshot", help="persist a scenario to a directory")
+    p_snapshot.add_argument("out")
+    p_snapshot.add_argument("--scenario", default="football")
+    p_snapshot.set_defaults(func=cmd_snapshot)
+
+    p_evolve = sub.add_parser("evolve", help="run the governance demo")
+    p_evolve.add_argument("--retire-v1", action="store_true")
+    p_evolve.set_defaults(func=cmd_evolve)
+
+    p_save_query = sub.add_parser(
+        "save-query", help="save a named walk into a snapshot"
+    )
+    p_save_query.add_argument("name")
+    p_save_query.add_argument("--store", required=True)
+    p_save_query.add_argument("--nodes", nargs="+", required=True)
+    p_save_query.add_argument("--description")
+    p_save_query.set_defaults(func=cmd_save_query)
+
+    p_revalidate = sub.add_parser(
+        "revalidate", help="re-check all saved queries (exit 1 if any broke)"
+    )
+    p_revalidate.add_argument("--scenario", default="football")
+    p_revalidate.add_argument("--store", help="snapshot directory")
+    p_revalidate.add_argument(
+        "--execute", action="store_true", help="also execute each query"
+    )
+    p_revalidate.set_defaults(func=cmd_revalidate)
+
+    p_report = sub.add_parser("report", help="full governance report")
+    p_report.add_argument("--scenario", default="football")
+    p_report.add_argument("--store", help="snapshot directory")
+    p_report.add_argument("--execute", action="store_true")
+    p_report.set_defaults(func=cmd_report)
+
+    p_show = sub.add_parser("show", help="print the global graph")
+    p_show.add_argument("--scenario", default="football")
+    p_show.add_argument("--store", help="snapshot directory")
+    p_show.add_argument(
+        "--format", choices=["text", "dot", "turtle"], default="text"
+    )
+    p_show.set_defaults(func=cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""MDM core: the BDI ontology, LAV mappings and query rewriting.
+
+The primary entry point is :class:`repro.core.mdm.MDM`; the building
+blocks (global graph, source graph, mapping store, rewriter, GAV
+baseline) are importable individually for embedding and testing.
+"""
+
+from .errors import (
+    DisconnectedWalkError,
+    GavUnfoldingError,
+    GlobalGraphError,
+    MappingError,
+    MdmError,
+    MissingIdentifierError,
+    NoCoverError,
+    RewritingError,
+    SourceGraphError,
+    WalkError,
+)
+from .gav_baseline import GavEdgeDef, GavFeatureDef, GavSystem
+from .global_graph import GlobalGraph, UmlAssociation, UmlClass, UmlModel
+from .lav import LavMapping, LavMappingStore, MappingView
+from .mdm import MDM, QueryOutcome
+from .registry import QueryRegistry, RevalidationEntry, SavedQuery
+from .reporting import governance_report, render_report
+from .releases import (
+    KIND_EVOLUTION,
+    KIND_NEW_SOURCE,
+    GovernanceLog,
+    MappingSuggestion,
+    Release,
+    suggest_mapping,
+)
+from .rewriting import ConjunctiveQuery, Rewriter, RewriteResult
+from .source_graph import SourceGraph, WrapperRegistration
+from .diffing import SignatureDiff, diff_signatures
+from .matching import LinkSuggestion, name_similarity, suggest_links
+from .sparql_frontend import walk_from_sparql
+from .vocabulary import G, IDENTIFIER, M, S, mdm_namespace_manager
+from .walks import FilterCondition, Walk, concept_variable_names, feature_column_names
+
+__all__ = [
+    "MDM",
+    "QueryOutcome",
+    "GlobalGraph",
+    "UmlModel",
+    "UmlClass",
+    "UmlAssociation",
+    "SourceGraph",
+    "WrapperRegistration",
+    "LavMappingStore",
+    "LavMapping",
+    "MappingView",
+    "Walk",
+    "FilterCondition",
+    "walk_from_sparql",
+    "SignatureDiff",
+    "diff_signatures",
+    "LinkSuggestion",
+    "suggest_links",
+    "name_similarity",
+    "feature_column_names",
+    "concept_variable_names",
+    "Rewriter",
+    "RewriteResult",
+    "ConjunctiveQuery",
+    "GavSystem",
+    "GavFeatureDef",
+    "GavEdgeDef",
+    "GovernanceLog",
+    "QueryRegistry",
+    "governance_report",
+    "render_report",
+    "SavedQuery",
+    "RevalidationEntry",
+    "Release",
+    "MappingSuggestion",
+    "suggest_mapping",
+    "KIND_NEW_SOURCE",
+    "KIND_EVOLUTION",
+    "G",
+    "S",
+    "M",
+    "IDENTIFIER",
+    "mdm_namespace_manager",
+    "MdmError",
+    "GlobalGraphError",
+    "SourceGraphError",
+    "MappingError",
+    "WalkError",
+    "DisconnectedWalkError",
+    "RewritingError",
+    "NoCoverError",
+    "MissingIdentifierError",
+    "GavUnfoldingError",
+]

@@ -1,0 +1,110 @@
+"""Schema-version diffing: explain what changed between wrapper releases.
+
+Given two wrapper signatures (and optionally sample rows), derive the
+:class:`~repro.sources.evolution.SchemaChange`-style story of the
+release: kept attributes, additions, removals, and *probable renames*
+(a removed and an added attribute whose names look alike, or whose sample
+values overlap).  The governance log stores this next to the release so
+"the maintenance of such data analysis processes" has an audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .matching import name_similarity
+
+__all__ = ["SignatureDiff", "diff_signatures"]
+
+
+@dataclass(frozen=True)
+class SignatureDiff:
+    """The delta between two wrapper signatures."""
+
+    kept: Tuple[str, ...]
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    #: Probable (old, new, confidence) rename pairs.
+    renames: Tuple[Tuple[str, str, float], ...]
+
+    @property
+    def is_breaking(self) -> bool:
+        """Whether consumers of the old signature would break."""
+        return bool(self.removed) or bool(self.renames)
+
+    def describe(self) -> List[str]:
+        """Human change lines, ready for a governance log."""
+        lines: List[str] = []
+        for old, new, confidence in self.renames:
+            lines.append(f"rename {old} -> {new} (confidence {confidence:.2f})")
+        for name in self.removed:
+            lines.append(f"remove {name}")
+        for name in self.added:
+            lines.append(f"add {name}")
+        return lines
+
+
+def _value_overlap(
+    old_rows: Sequence[Mapping[str, Any]],
+    new_rows: Sequence[Mapping[str, Any]],
+    old_name: str,
+    new_name: str,
+) -> float:
+    """Jaccard overlap of the two attributes' sample value sets."""
+    old_values = {
+        repr(r[old_name]) for r in old_rows if r.get(old_name) is not None
+    }
+    new_values = {
+        repr(r[new_name]) for r in new_rows if r.get(new_name) is not None
+    }
+    if not old_values or not new_values:
+        return 0.0
+    return len(old_values & new_values) / len(old_values | new_values)
+
+
+def diff_signatures(
+    old_attributes: Sequence[str],
+    new_attributes: Sequence[str],
+    old_rows: Optional[Sequence[Mapping[str, Any]]] = None,
+    new_rows: Optional[Sequence[Mapping[str, Any]]] = None,
+    rename_threshold: float = 0.55,
+) -> SignatureDiff:
+    """Diff two signatures, detecting probable renames.
+
+    Rename scoring combines name similarity with (when sample rows are
+    supplied) the overlap of observed values; pairs above
+    ``rename_threshold`` are greedily matched best-first.
+    """
+    old_set, new_set = set(old_attributes), set(new_attributes)
+    kept = tuple(a for a in old_attributes if a in new_set)
+    removed_pool = [a for a in old_attributes if a not in new_set]
+    added_pool = [a for a in new_attributes if a not in old_set]
+    candidates: List[Tuple[float, str, str]] = []
+    for old_name in removed_pool:
+        for new_name in added_pool:
+            score = name_similarity(old_name, new_name)
+            if old_rows is not None and new_rows is not None:
+                score = max(
+                    score, _value_overlap(old_rows, new_rows, old_name, new_name)
+                )
+            if score >= rename_threshold:
+                candidates.append((score, old_name, new_name))
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+    matched_old: Set[str] = set()
+    matched_new: Set[str] = set()
+    renames: List[Tuple[str, str, float]] = []
+    for score, old_name, new_name in candidates:
+        if old_name in matched_old or new_name in matched_new:
+            continue
+        matched_old.add(old_name)
+        matched_new.add(new_name)
+        renames.append((old_name, new_name, round(score, 4)))
+    added = tuple(a for a in added_pool if a not in matched_new)
+    removed = tuple(a for a in removed_pool if a not in matched_old)
+    return SignatureDiff(
+        kept=kept,
+        added=added,
+        removed=removed,
+        renames=tuple(renames),
+    )

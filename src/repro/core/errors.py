@@ -1,0 +1,79 @@
+"""Exception hierarchy for the MDM core.
+
+Every error raised by :mod:`repro.core` derives from :class:`MdmError`, so
+callers embedding MDM can catch one type.  The rewriting errors are
+deliberately fine-grained: the demo's value proposition is *explaining*
+why a query cannot be answered (no wrapper covers a concept, a concept
+has no identifier, the walk is disconnected), not just failing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MdmError",
+    "GlobalGraphError",
+    "SourceGraphError",
+    "MappingError",
+    "WalkError",
+    "RewritingError",
+    "NoCoverError",
+    "MissingIdentifierError",
+    "DisconnectedWalkError",
+    "GavUnfoldingError",
+]
+
+
+class MdmError(Exception):
+    """Base class of all MDM errors."""
+
+
+class GlobalGraphError(MdmError):
+    """Invalid global-graph construction (e.g. feature in two concepts)."""
+
+
+class SourceGraphError(MdmError):
+    """Invalid source-graph construction or wrapper registration."""
+
+
+class MappingError(MdmError):
+    """An invalid LAV mapping (not a subgraph, missing identifier, ...)."""
+
+
+class WalkError(MdmError):
+    """An invalid analyst walk (disconnected, empty, unknown nodes...)."""
+
+
+class RewritingError(MdmError):
+    """The query rewriting algorithm could not produce a UCQ."""
+
+
+class NoCoverError(RewritingError):
+    """No combination of wrappers covers a concept's requested features."""
+
+    def __init__(self, concept, missing_features):
+        self.concept = concept
+        self.missing_features = sorted(missing_features, key=str)
+        super().__init__(
+            f"no wrapper cover for concept {concept}: features "
+            f"{[str(f) for f in self.missing_features]} are not provided "
+            "by any applicable wrapper"
+        )
+
+
+class MissingIdentifierError(RewritingError):
+    """A walk concept has no identifier feature, so joins are impossible."""
+
+    def __init__(self, concept):
+        self.concept = concept
+        super().__init__(
+            f"concept {concept} has no feature inheriting from sc:identifier; "
+            "cannot be joined or queried unambiguously"
+        )
+
+
+class DisconnectedWalkError(WalkError):
+    """The analyst's contour selects a disconnected subgraph."""
+
+
+class GavUnfoldingError(MdmError):
+    """The GAV baseline's unfolding hit a stale mapping (the 'crash')."""

@@ -1,0 +1,244 @@
+"""A GAV (global-as-view) baseline — the approach MDM argues against.
+
+Classic OBDA systems "represent schema mappings following the
+global-as-view (GAV) approach, where elements of the ontology are
+characterized in terms of a query over the source schemata.  GAV ensures
+that the process of query rewriting is tractable ... by just unfolding
+the queries to the sources, but faulty upon source schema changes"
+(paper §1).
+
+:class:`GavSystem` is that approach, implemented honestly:
+
+- each global feature is *defined* as a fixed (wrapper, attribute) pair;
+- each concept relation is defined as a fixed equi-join between two
+  wrapper attributes;
+- query answering is pure unfolding — fast, single conjunctive query, no
+  alternatives;
+- when a source evolves, the definitions silently keep pointing at the
+  old wrapper.  Executing then raises :class:`GavUnfoldingError` (the
+  "crash") if the old endpoint is gone or its payload changed shape; if
+  the old endpoint still serves stale data, results are silently partial.
+
+``migration_cost`` counts how many definitions a steward must rewrite by
+hand after a release — the maintenance burden the LAV design removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import IRI, Triple
+from ..relational.algebra import (
+    Distinct,
+    NaturalJoin,
+    PlanNode,
+    Project,
+    Rename,
+    Scan,
+)
+from ..relational.executor import Executor
+from ..relational.relation import Relation
+from ..sources.wrappers import Wrapper, WrapperSchemaError
+from .errors import GavUnfoldingError
+from .walks import Walk, feature_column_names
+from .global_graph import GlobalGraph
+
+__all__ = ["GavSystem", "GavFeatureDef", "GavEdgeDef"]
+
+
+@dataclass(frozen=True)
+class GavFeatureDef:
+    """``feature := wrapper.attribute`` — a GAV view definition."""
+
+    feature: IRI
+    wrapper_name: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class GavEdgeDef:
+    """A concept relation defined as a fixed equi-join between wrappers."""
+
+    edge: Triple
+    left_wrapper: str
+    left_attribute: str
+    right_wrapper: str
+    right_attribute: str
+
+
+class GavSystem:
+    """The unfolding-based baseline integration system."""
+
+    def __init__(self, global_graph: GlobalGraph):
+        self.global_graph = global_graph
+        self._wrappers: Dict[str, Wrapper] = {}
+        self._features: Dict[IRI, GavFeatureDef] = {}
+        self._edges: Dict[Triple, GavEdgeDef] = {}
+
+    # ------------------------------------------------------------------ #
+    # definition
+    # ------------------------------------------------------------------ #
+
+    def register_wrapper(self, wrapper: Wrapper) -> None:
+        """Make a wrapper's data available to unfoldings."""
+        self._wrappers[wrapper.name] = wrapper
+
+    def define_feature(self, feature: IRI, wrapper_name: str, attribute: str) -> None:
+        """Define ``feature`` as ``wrapper.attribute`` (replaces any old def)."""
+        if wrapper_name not in self._wrappers:
+            raise GavUnfoldingError(f"unknown wrapper {wrapper_name!r}")
+        wrapper = self._wrappers[wrapper_name]
+        if attribute not in wrapper.attributes:
+            raise GavUnfoldingError(
+                f"wrapper {wrapper_name!r} has no attribute {attribute!r}"
+            )
+        self._features[feature] = GavFeatureDef(feature, wrapper_name, attribute)
+
+    def define_edge(
+        self,
+        edge: Triple,
+        left_wrapper: str,
+        left_attribute: str,
+        right_wrapper: str,
+        right_attribute: str,
+    ) -> None:
+        """Define a concept relation as a fixed wrapper equi-join."""
+        self._edges[edge] = GavEdgeDef(
+            edge, left_wrapper, left_attribute, right_wrapper, right_attribute
+        )
+
+    # ------------------------------------------------------------------ #
+    # unfolding
+    # ------------------------------------------------------------------ #
+
+    def unfold(self, walk: Walk) -> PlanNode:
+        """Unfold a walk into one conjunctive plan (GAV's single CQ)."""
+        walk.validate(self.global_graph)
+        columns = feature_column_names(self.global_graph, walk.features)
+        # Group requested features by the wrapper their definition names.
+        by_wrapper: Dict[str, Dict[str, str]] = {}
+        for feature in walk.sorted_features():
+            definition = self._features.get(feature)
+            if definition is None:
+                raise GavUnfoldingError(
+                    f"feature {feature} has no GAV definition"
+                )
+            by_wrapper.setdefault(definition.wrapper_name, {})[
+                definition.attribute
+            ] = columns[feature]
+        # Add join attributes from edge definitions.
+        join_columns: Dict[Tuple[str, str], str] = {}
+        for edge in walk.sorted_edges():
+            definition = self._edges.get(edge)
+            if definition is None:
+                raise GavUnfoldingError(f"edge {edge.n3()} has no GAV definition")
+            key_column = f"join_{definition.left_attribute}_{definition.right_attribute}"
+            by_wrapper.setdefault(definition.left_wrapper, {})[
+                definition.left_attribute
+            ] = key_column
+            by_wrapper.setdefault(definition.right_wrapper, {})[
+                definition.right_attribute
+            ] = key_column
+        branches: List[PlanNode] = []
+        for wrapper_name in sorted(by_wrapper):
+            attribute_to_column = by_wrapper[wrapper_name]
+            plan: PlanNode = Scan(wrapper_name)
+            rename = {
+                attr: col for attr, col in attribute_to_column.items() if attr != col
+            }
+            if rename:
+                plan = Rename.from_dict(plan, rename)
+            plan = Project(plan, tuple(sorted(set(attribute_to_column.values()))))
+            branches.append(plan)
+        plan = branches[0]
+        for branch in branches[1:]:
+            plan = NaturalJoin(plan, branch)
+        projection = tuple(columns[f] for f in walk.sorted_features())
+        return Distinct(Project(plan, projection))
+
+    def execute(self, walk: Walk) -> Relation:
+        """Unfold and execute; raises :class:`GavUnfoldingError` when a
+        definition references a wrapper whose source has moved on."""
+        plan = self.unfold(walk)
+        executor = Executor()
+        for name in set(plan.scans()):
+            wrapper = self._wrappers.get(name)
+            if wrapper is None:
+                raise GavUnfoldingError(f"unfolding references unknown wrapper {name!r}")
+            try:
+                executor.register(name, wrapper.fetch_relation())
+            except WrapperSchemaError as exc:
+                raise GavUnfoldingError(
+                    f"GAV unfolding crashed: {exc}"
+                ) from exc
+        return executor.execute(plan)
+
+    # ------------------------------------------------------------------ #
+    # maintenance accounting
+    # ------------------------------------------------------------------ #
+
+    def definitions_referencing(self, wrapper_name: str) -> List[object]:
+        """All feature/edge definitions bound to ``wrapper_name``."""
+        out: List[object] = [
+            d for d in self._features.values() if d.wrapper_name == wrapper_name
+        ]
+        out.extend(
+            d
+            for d in self._edges.values()
+            if wrapper_name in (d.left_wrapper, d.right_wrapper)
+        )
+        return out
+
+    def migration_cost(self, wrapper_name: str) -> int:
+        """How many definitions a steward must hand-edit when
+        ``wrapper_name``'s source ships a breaking release."""
+        return len(self.definitions_referencing(wrapper_name))
+
+    def migrate_wrapper(
+        self,
+        old_wrapper: str,
+        new_wrapper: Wrapper,
+        attribute_translation: Mapping[str, str],
+    ) -> int:
+        """Manually migrate definitions to a new wrapper (the GAV chore).
+
+        ``attribute_translation`` maps old attribute names to new ones.
+        Returns the number of definitions rewritten.  Raises when a
+        definition's attribute has no translation — the realistic failure
+        when a release drops an attribute.
+        """
+        self.register_wrapper(new_wrapper)
+        rewritten = 0
+        for feature, definition in list(self._features.items()):
+            if definition.wrapper_name != old_wrapper:
+                continue
+            new_attribute = attribute_translation.get(definition.attribute)
+            if new_attribute is None or new_attribute not in new_wrapper.attributes:
+                raise GavUnfoldingError(
+                    f"cannot migrate feature {feature}: attribute "
+                    f"{definition.attribute!r} has no equivalent in "
+                    f"{new_wrapper.name!r}"
+                )
+            self._features[feature] = GavFeatureDef(
+                feature, new_wrapper.name, new_attribute
+            )
+            rewritten += 1
+        for edge, definition in list(self._edges.items()):
+            changed = False
+            left_wrapper, left_attribute = definition.left_wrapper, definition.left_attribute
+            right_wrapper, right_attribute = definition.right_wrapper, definition.right_attribute
+            if left_wrapper == old_wrapper:
+                left_wrapper = new_wrapper.name
+                left_attribute = attribute_translation.get(left_attribute, left_attribute)
+                changed = True
+            if right_wrapper == old_wrapper:
+                right_wrapper = new_wrapper.name
+                right_attribute = attribute_translation.get(right_attribute, right_attribute)
+                changed = True
+            if changed:
+                self._edges[edge] = GavEdgeDef(
+                    edge, left_wrapper, left_attribute, right_wrapper, right_attribute
+                )
+                rewritten += 1
+        return rewritten

@@ -1,0 +1,333 @@
+"""The global graph: MDM's integration-oriented domain ontology (paper §2.1).
+
+The global graph "reflects the main domain concepts, relationships among
+them and features of analysis".  Its construction rules, enforced here:
+
+- **Concepts** (``G:Concept``) group features and never carry values.
+- **Features** (``G:Feature``) belong to *exactly one* concept, attached
+  with ``G:hasFeature``.
+- Only concepts relate to each other, through any user-defined property;
+  concept taxonomies use ``rdfs:subClassOf``.
+- Vocabulary reuse is first-class: a concept or feature IRI may come from
+  an external vocabulary (the demo reuses ``sc:SportsTeam``).
+- Identifier features are marked ``rdfs:subClassOf sc:identifier``; they
+  are what the rewriting may join on.
+
+A :class:`UmlModel` describes a UML class diagram (the steward's starting
+point, Figure 1) and compiles into a global graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF, RDFS
+from ..rdf.reasoner import superclass_closure
+from ..rdf.terms import IRI, Literal, Term, Triple
+from .errors import GlobalGraphError
+from .vocabulary import G, IDENTIFIER, mdm_namespace_manager
+
+__all__ = ["GlobalGraph", "UmlModel", "UmlClass", "UmlAssociation"]
+
+
+class GlobalGraph:
+    """A validated wrapper around the RDF global graph."""
+
+    def __init__(self, graph: Optional[Graph] = None):
+        self.graph = graph if graph is not None else Graph(
+            namespaces=mdm_namespace_manager()
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_concept(self, concept: IRI, label: Optional[str] = None) -> IRI:
+        """Declare a concept (idempotent)."""
+        self.graph.add((concept, RDF.type, G.Concept))
+        if label is not None:
+            self.graph.add((concept, RDFS.label, Literal(label)))
+        return concept
+
+    def add_feature(
+        self,
+        feature: IRI,
+        concept: IRI,
+        label: Optional[str] = None,
+        identifier: bool = False,
+    ) -> IRI:
+        """Attach ``feature`` to ``concept``.
+
+        Raises :class:`GlobalGraphError` if the feature already belongs to
+        a *different* concept — the paper restricts features to exactly
+        one concept.  ``identifier=True`` additionally asserts
+        ``rdfs:subClassOf sc:identifier``.
+        """
+        if not self.is_concept(concept):
+            raise GlobalGraphError(f"{concept} is not a declared concept")
+        current = self.concept_of(feature)
+        if current is not None and current != concept:
+            raise GlobalGraphError(
+                f"feature {feature} already belongs to {current}; features "
+                "belong to exactly one concept"
+            )
+        self.graph.add((feature, RDF.type, G.Feature))
+        self.graph.add((concept, G.hasFeature, feature))
+        if label is not None:
+            self.graph.add((feature, RDFS.label, Literal(label)))
+        if identifier:
+            self.graph.add((feature, RDFS.subClassOf, IDENTIFIER))
+        return feature
+
+    def add_identifier(self, feature: IRI, concept: IRI, label: Optional[str] = None) -> IRI:
+        """Shorthand for ``add_feature(..., identifier=True)``."""
+        return self.add_feature(feature, concept, label=label, identifier=True)
+
+    def relate(self, source: IRI, prop: IRI, target: IRI) -> Triple:
+        """Relate two concepts with a user-defined property."""
+        for concept in (source, target):
+            if not self.is_concept(concept):
+                raise GlobalGraphError(
+                    f"{concept} is not a declared concept; only concepts can "
+                    "be related"
+                )
+        triple = Triple(source, prop, target)
+        self.graph.add(triple)
+        return triple
+
+    def add_subclass(self, sub: IRI, sup: IRI) -> None:
+        """Declare a concept taxonomy edge ``sub rdfs:subClassOf sup``."""
+        for concept in (sub, sup):
+            if not self.is_concept(concept):
+                raise GlobalGraphError(f"{concept} is not a declared concept")
+        self.graph.add((sub, RDFS.subClassOf, sup))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def is_concept(self, term: Term) -> bool:
+        """Whether ``term`` is a declared concept."""
+        return (term, RDF.type, G.Concept) in self.graph
+
+    def is_feature(self, term: Term) -> bool:
+        """Whether ``term`` is a declared feature."""
+        return (term, RDF.type, G.Feature) in self.graph
+
+    def concepts(self) -> List[IRI]:
+        """All concepts, sorted by IRI."""
+        return sorted(
+            (s for s in self.graph.subjects(RDF.type, G.Concept) if isinstance(s, IRI)),
+            key=lambda i: i.value,
+        )
+
+    def features(self) -> List[IRI]:
+        """All features, sorted by IRI."""
+        return sorted(
+            (s for s in self.graph.subjects(RDF.type, G.Feature) if isinstance(s, IRI)),
+            key=lambda i: i.value,
+        )
+
+    def features_of(self, concept: IRI) -> List[IRI]:
+        """The features attached to ``concept``, sorted."""
+        return sorted(
+            (o for o in self.graph.objects(concept, G.hasFeature) if isinstance(o, IRI)),
+            key=lambda i: i.value,
+        )
+
+    def concept_of(self, feature: Term) -> Optional[IRI]:
+        """The single concept owning ``feature``, or None."""
+        owners = [
+            s
+            for s in self.graph.subjects(G.hasFeature, feature)
+            if isinstance(s, IRI)
+        ]
+        if not owners:
+            return None
+        if len(owners) > 1:
+            raise GlobalGraphError(
+                f"feature {feature} belongs to several concepts: {owners}"
+            )
+        return owners[0]
+
+    def is_identifier(self, feature: Term) -> bool:
+        """Whether ``feature`` inherits from ``sc:identifier``."""
+        return IDENTIFIER in superclass_closure(self.graph, feature) and feature != IDENTIFIER
+
+    def identifiers_of(self, concept: IRI) -> List[IRI]:
+        """The identifier features of ``concept`` (possibly empty)."""
+        return [f for f in self.features_of(concept) if self.is_identifier(f)]
+
+    def relations(self) -> List[Triple]:
+        """All concept-to-concept relation triples (sorted, taxonomy excluded)."""
+        concept_set = set(self.concepts())
+        out = [
+            t
+            for t in self.graph
+            if t.subject in concept_set
+            and t.object in concept_set
+            and t.predicate not in (RDF.type, G.hasFeature, RDFS.subClassOf)
+        ]
+        return sorted(out, key=lambda t: (str(t.subject), str(t.predicate), str(t.object)))
+
+    def relations_between(self, source: IRI, target: IRI) -> List[IRI]:
+        """The property IRIs relating ``source`` to ``target`` (directed)."""
+        return sorted(
+            (
+                p
+                for p in self.graph.predicates(source, target)
+                if isinstance(p, IRI)
+                and p not in (RDF.type, G.hasFeature, RDFS.subClassOf)
+            ),
+            key=lambda i: i.value,
+        )
+
+    def validate(self) -> List[str]:
+        """Structural issues, empty when the graph is well-formed."""
+        issues: List[str] = []
+        for feature in self.features():
+            owners = list(self.graph.subjects(G.hasFeature, feature))
+            if not owners:
+                issues.append(f"feature {feature} belongs to no concept")
+            elif len(owners) > 1:
+                issues.append(
+                    f"feature {feature} belongs to {len(owners)} concepts"
+                )
+        for subject, _, obj in self.graph.triples((None, G.hasFeature, None)):
+            if not self.is_concept(subject):
+                issues.append(f"hasFeature subject {subject} is not a concept")
+            if not self.is_feature(obj):
+                issues.append(f"hasFeature object {obj} is not a feature")
+        for concept in self.concepts():
+            if not self.identifiers_of(concept):
+                issues.append(
+                    f"concept {concept} has no identifier feature "
+                    "(queries touching it cannot be joined)"
+                )
+        return issues
+
+    def to_dot(self, highlight: Optional[Iterable[IRI]] = None) -> str:
+        """GraphViz DOT of the whole global graph (the D3 canvas stand-in).
+
+        Concepts render blue, features yellow (identifiers with a bold
+        border), matching the paper's Figure 5 color coding; nodes in
+        ``highlight`` get a red outline (the analyst's contour).
+        """
+        ns = self.graph.namespaces
+        highlighted = set(highlight or ())
+
+        def label(iri: IRI) -> str:
+            compact = ns.compact(iri)
+            return compact if compact is not None else iri.local_name()
+
+        def extra(iri: IRI) -> str:
+            return ", color=red, penwidth=2" if iri in highlighted else ""
+
+        lines = ["digraph globalGraph {", "  rankdir=LR;"]
+        for concept in self.concepts():
+            lines.append(
+                f'  "{label(concept)}" [shape=box, style=filled, '
+                f'fillcolor=lightblue{extra(concept)}];'
+            )
+        for feature in self.features():
+            border = ", penwidth=2" if self.is_identifier(feature) else ""
+            lines.append(
+                f'  "{label(feature)}" [shape=ellipse, style=filled, '
+                f'fillcolor=lightyellow{border}{extra(feature)}];'
+            )
+            owner = self.concept_of(feature)
+            if owner is not None:
+                lines.append(
+                    f'  "{label(owner)}" -> "{label(feature)}" '
+                    '[style=dashed, arrowhead=none];'
+                )
+        for relation in self.relations():
+            lines.append(
+                f'  "{label(relation.subject)}" -> "{label(relation.object)}" '
+                f'[label="{label(relation.predicate)}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalGraph {len(self.concepts())} concepts, "
+            f"{len(self.features())} features, {len(self.graph)} triples>"
+        )
+
+
+# --------------------------------------------------------------------- #
+# UML front-end (Figure 1)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class UmlClass:
+    """A UML class: name, attributes, and which attribute is the key."""
+
+    name: str
+    iri: IRI
+    attributes: Tuple[Tuple[str, IRI], ...]
+    identifier: str
+
+    def attribute_iri(self, name: str) -> IRI:
+        """The feature IRI declared for attribute ``name``."""
+        for attr_name, iri in self.attributes:
+            if attr_name == name:
+                return iri
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class UmlAssociation:
+    """A directed UML association compiled to a concept relation."""
+
+    source: str
+    property_iri: IRI
+    target: str
+
+
+@dataclass
+class UmlModel:
+    """A UML class diagram, the steward's input (paper Figure 1)."""
+
+    classes: List[UmlClass] = field(default_factory=list)
+    associations: List[UmlAssociation] = field(default_factory=list)
+
+    def compile(self) -> GlobalGraph:
+        """Generate the equivalent global graph (paper: "we use [the UML]
+        as a starting point ... to generate the ontological knowledge
+        captured in the global graph")."""
+        gg = GlobalGraph()
+        by_name: Dict[str, UmlClass] = {}
+        for cls in self.classes:
+            if cls.name in by_name:
+                raise GlobalGraphError(f"duplicate UML class {cls.name!r}")
+            by_name[cls.name] = cls
+            gg.add_concept(cls.iri, label=cls.name)
+            attribute_names = [a for a, _ in cls.attributes]
+            if cls.identifier not in attribute_names:
+                raise GlobalGraphError(
+                    f"class {cls.name!r}: identifier {cls.identifier!r} is "
+                    f"not among its attributes {attribute_names}"
+                )
+            for attr_name, feature_iri in cls.attributes:
+                gg.add_feature(
+                    feature_iri,
+                    cls.iri,
+                    label=attr_name,
+                    identifier=attr_name == cls.identifier,
+                )
+        for assoc in self.associations:
+            for endpoint in (assoc.source, assoc.target):
+                if endpoint not in by_name:
+                    raise GlobalGraphError(
+                        f"association references unknown class {endpoint!r}"
+                    )
+            gg.relate(by_name[assoc.source].iri, assoc.property_iri, by_name[assoc.target].iri)
+        return gg

@@ -1,0 +1,315 @@
+"""LAV mappings: named subgraphs plus attribute-to-feature links (paper §2.3).
+
+A LAV mapping characterizes a *source* element (a wrapper) as a query over
+the *global* schema — the opposite of GAV, and the reason MDM survives
+schema evolution.  Concretely, per wrapper:
+
+(a) an RDF **named graph**, identified by the wrapper IRI, whose triples
+    are a subgraph of the global graph ("drawing a contour around the set
+    of elements in the global graph that this wrapper is populating,
+    including concept relations");
+(b) a set of ``owl:sameAs`` links from the wrapper's source-graph
+    attributes to global-graph features.
+
+Validation enforced at definition time (the metamodel constraints that
+make LAV resolution unambiguous):
+
+- the named graph must be a subgraph of the global graph;
+- it must be connected;
+- every feature included must be populated — i.e. linked by ``sameAs``
+  from exactly one attribute of this wrapper;
+- every covered concept must include (and populate) an identifier
+  feature, since "joins are only restricted to elements that inherit
+  from sc:identifier".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..rdf.dataset import Dataset
+from ..rdf.graph import Graph
+from ..rdf.namespaces import OWL, RDF
+from ..rdf.paths import connected_components
+from ..rdf.terms import IRI, Term, Triple
+from .errors import MappingError
+from .global_graph import GlobalGraph
+from .source_graph import SourceGraph
+from .vocabulary import G
+
+__all__ = ["LavMapping", "MappingView", "LavMappingStore"]
+
+
+@dataclass(frozen=True)
+class MappingView:
+    """A resolved, query-ready view of one wrapper's LAV mapping."""
+
+    wrapper: IRI
+    wrapper_name: str
+    #: Concepts covered by the named graph.
+    concepts: FrozenSet[IRI]
+    #: Feature → signature attribute name that populates it.
+    feature_attributes: Mapping[IRI, str]
+    #: Concept-relation edges included in the named graph.
+    edges: FrozenSet[Triple]
+
+    @property
+    def features(self) -> FrozenSet[IRI]:
+        """The features this wrapper populates."""
+        return frozenset(self.feature_attributes)
+
+    def provides(self, feature: IRI) -> bool:
+        """Whether this wrapper populates ``feature``."""
+        return feature in self.feature_attributes
+
+    def covers_edge(self, edge: Triple) -> bool:
+        """Whether the named graph includes the relation ``edge``."""
+        return edge in self.edges
+
+
+@dataclass(frozen=True)
+class LavMapping:
+    """The stored form of one mapping (named graph + sameAs function)."""
+
+    wrapper: IRI
+    subgraph: Tuple[Triple, ...]
+    same_as: Tuple[Tuple[IRI, IRI], ...]  # (attribute, feature) pairs
+
+
+class LavMappingStore:
+    """Defines, validates and serves LAV mappings over the MDM dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        global_graph: GlobalGraph,
+        source_graph: SourceGraph,
+    ):
+        self.dataset = dataset
+        self.global_graph = global_graph
+        self.source_graph = source_graph
+
+    # ------------------------------------------------------------------ #
+    # definition
+    # ------------------------------------------------------------------ #
+
+    def define(
+        self,
+        wrapper: IRI,
+        subgraph: Iterable[Triple],
+        same_as: Mapping[IRI, IRI],
+    ) -> LavMapping:
+        """Define (or replace) the LAV mapping for ``wrapper``.
+
+        ``subgraph`` is the steward's contour over the global graph;
+        ``same_as`` maps attribute IRIs of this wrapper to feature IRIs.
+        Raises :class:`MappingError` on any violated constraint.
+        """
+        triples = tuple(subgraph)
+        if not triples:
+            raise MappingError(f"mapping for {wrapper} has an empty named graph")
+        self._check_wrapper(wrapper)
+        self._check_subgraph(wrapper, triples)
+        self._check_same_as(wrapper, triples, same_as)
+        self._check_identifiers(wrapper, triples, same_as)
+        # Store: the named graph is identified by the wrapper IRI.
+        if self.dataset.has_graph(wrapper):
+            self.dataset.remove_graph(wrapper)
+        named = self.dataset.graph(wrapper)
+        named.add_all(triples)
+        # sameAs links live in the source graph, next to the attributes.
+        # Attributes can be shared across wrappers of the same source, so a
+        # link may pre-exist; it must then point at the same feature.
+        for attribute, feature in sorted(same_as.items(), key=lambda kv: kv[0].value):
+            existing = list(self.source_graph.graph.objects(attribute, OWL.sameAs))
+            if existing and existing != [feature]:
+                raise MappingError(
+                    f"attribute {attribute} is already linked to "
+                    f"{existing[0]}; a shared attribute cannot map to a "
+                    f"different feature ({feature})"
+                )
+            self.source_graph.graph.add((attribute, OWL.sameAs, feature))
+        return LavMapping(
+            wrapper=wrapper,
+            subgraph=triples,
+            same_as=tuple(sorted(same_as.items(), key=lambda kv: kv[0].value)),
+        )
+
+    def _check_wrapper(self, wrapper: IRI) -> None:
+        if self.source_graph.source_of(wrapper) is None:
+            raise MappingError(
+                f"{wrapper} is not a registered wrapper; register it on the "
+                "source graph before mapping it"
+            )
+
+    def _check_subgraph(self, wrapper: IRI, triples: Tuple[Triple, ...]) -> None:
+        for triple in triples:
+            if triple not in self.global_graph.graph:
+                raise MappingError(
+                    f"mapping for {wrapper}: triple {triple.n3()} is not part "
+                    "of the global graph (a LAV named graph must be a "
+                    "subgraph of the global graph)"
+                )
+        contour = Graph()
+        contour.add_all(triples)
+        components = connected_components(contour)
+        if len(components) > 1:
+            raise MappingError(
+                f"mapping for {wrapper}: the named graph is disconnected "
+                f"({len(components)} components); draw one contour"
+            )
+
+    def _check_same_as(
+        self,
+        wrapper: IRI,
+        triples: Tuple[Triple, ...],
+        same_as: Mapping[IRI, IRI],
+    ) -> None:
+        wrapper_attributes = set(self.source_graph.attributes_of(wrapper))
+        mapped_features: Set[IRI] = set()
+        for attribute, feature in same_as.items():
+            if attribute not in wrapper_attributes:
+                raise MappingError(
+                    f"mapping for {wrapper}: {attribute} is not an attribute "
+                    "of this wrapper"
+                )
+            if not self.global_graph.is_feature(feature):
+                raise MappingError(
+                    f"mapping for {wrapper}: {feature} is not a feature of "
+                    "the global graph"
+                )
+            if feature in mapped_features:
+                raise MappingError(
+                    f"mapping for {wrapper}: feature {feature} is populated "
+                    "by more than one attribute"
+                )
+            mapped_features.add(feature)
+        included_features = {
+            t.object
+            for t in triples
+            if t.predicate == G.hasFeature and isinstance(t.object, IRI)
+        }
+        unmapped = included_features - mapped_features
+        if unmapped:
+            raise MappingError(
+                f"mapping for {wrapper}: features in the named graph without "
+                f"a sameAs attribute: {sorted(str(f) for f in unmapped)}"
+            )
+        orphans = mapped_features - included_features
+        if orphans:
+            raise MappingError(
+                f"mapping for {wrapper}: sameAs targets outside the named "
+                f"graph: {sorted(str(f) for f in orphans)}"
+            )
+
+    def _check_identifiers(
+        self,
+        wrapper: IRI,
+        triples: Tuple[Triple, ...],
+        same_as: Mapping[IRI, IRI],
+    ) -> None:
+        from ..rdf.reasoner import superclass_closure
+
+        mapped_features = set(same_as.values())
+        for concept in self._concepts_in(triples):
+            # A subclass concept is identified by its own identifier or by
+            # an inherited one from any superclass (taxonomy support).
+            identifiers: Set[IRI] = set()
+            for ancestor in superclass_closure(self.global_graph.graph, concept):
+                if isinstance(ancestor, IRI) and self.global_graph.is_concept(ancestor):
+                    identifiers.update(self.global_graph.identifiers_of(ancestor))
+            if not identifiers:
+                raise MappingError(
+                    f"mapping for {wrapper}: covered concept {concept} has "
+                    "no identifier feature in the global graph"
+                )
+            if not (identifiers & mapped_features):
+                raise MappingError(
+                    f"mapping for {wrapper}: covered concept {concept} must "
+                    "include and populate an identifier feature (joins are "
+                    "restricted to sc:identifier descendants)"
+                )
+
+    def _concepts_in(self, triples: Iterable[Triple]) -> List[IRI]:
+        concepts: Set[IRI] = set()
+        for triple in triples:
+            for term in (triple.subject, triple.object):
+                if isinstance(term, IRI) and self.global_graph.is_concept(term):
+                    concepts.add(term)
+        return sorted(concepts, key=lambda i: i.value)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    def mapped_wrappers(self) -> List[IRI]:
+        """Wrappers that currently have a LAV mapping, sorted."""
+        return [
+            name
+            for name in self.dataset.graph_names()
+            if self.source_graph.source_of(name) is not None
+        ]
+
+    def named_graph(self, wrapper: IRI) -> Graph:
+        """The stored named graph for ``wrapper``."""
+        if not self.dataset.has_graph(wrapper):
+            raise MappingError(f"no LAV mapping defined for {wrapper}")
+        return self.dataset.graph(wrapper)
+
+    def same_as_of(self, wrapper: IRI) -> Dict[IRI, IRI]:
+        """Attribute → feature links for ``wrapper``'s attributes."""
+        out: Dict[IRI, IRI] = {}
+        for attribute in self.source_graph.attributes_of(wrapper):
+            for feature in self.source_graph.graph.objects(attribute, OWL.sameAs):
+                if isinstance(feature, IRI):
+                    out[attribute] = feature
+        return out
+
+    def same_as_of_attribute(self, attribute: IRI) -> List[IRI]:
+        """The feature(s) an attribute IRI is linked to (usually 0 or 1)."""
+        return sorted(
+            (
+                f
+                for f in self.source_graph.graph.objects(attribute, OWL.sameAs)
+                if isinstance(f, IRI)
+            ),
+            key=lambda i: i.value,
+        )
+
+    def view(self, wrapper: IRI) -> MappingView:
+        """The query-ready :class:`MappingView` for ``wrapper``."""
+        named = self.named_graph(wrapper)
+        concepts = frozenset(self._concepts_in(named))
+        included_features = {
+            t.object
+            for t in named.triples((None, G.hasFeature, None))
+            if isinstance(t.object, IRI)
+        }
+        feature_attributes: Dict[IRI, str] = {}
+        for attribute, feature in self.same_as_of(wrapper).items():
+            if feature in included_features:
+                name = self.source_graph.attribute_name(attribute)
+                if name is not None:
+                    feature_attributes[feature] = name
+        edges = frozenset(
+            t
+            for t in named
+            if isinstance(t.subject, IRI)
+            and isinstance(t.object, IRI)
+            and t.subject in concepts
+            and t.object in concepts
+            and t.predicate != G.hasFeature
+            and t.predicate != RDF.type
+        )
+        return MappingView(
+            wrapper=wrapper,
+            wrapper_name=self.source_graph.wrapper_name(wrapper) or wrapper.local_name(),
+            concepts=concepts,
+            feature_attributes=feature_attributes,
+            edges=edges,
+        )
+
+    def views(self) -> List[MappingView]:
+        """Views for every mapped wrapper, sorted by wrapper IRI."""
+        return [self.view(w) for w in self.mapped_wrappers()]

@@ -1,0 +1,129 @@
+"""Name-based link suggestions: semi-automatic mapping for *new* sources.
+
+The paper's accommodation machinery reuses attribute IRIs when a *known*
+source evolves.  For a *brand-new* source there is nothing to reuse — yet
+"the data steward is aided on the process of linking such new schemata to
+the global graph".  This module provides that aid: it ranks, for each
+wrapper attribute, the global features whose names look alike, using a
+normalized-token similarity (case/camel/snake-insensitive, with a
+Levenshtein fallback).  The steward confirms or overrides; nothing is
+asserted automatically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import IRI
+from .global_graph import GlobalGraph
+from .source_graph import SourceGraph
+
+__all__ = ["LinkSuggestion", "suggest_links", "name_similarity"]
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_SPLIT_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def _tokens(name: str) -> Tuple[str, ...]:
+    """Lower-cased word tokens of an identifier-ish name."""
+    spaced = _CAMEL_RE.sub(" ", name)
+    return tuple(t.lower() for t in _SPLIT_RE.split(spaced) if t)
+
+
+def _levenshtein(a: str, b: str) -> int:
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def name_similarity(attribute_name: str, feature_name: str) -> float:
+    """A [0, 1] similarity between an attribute and a feature name.
+
+    1.0 for exact token-set matches (``team_id`` vs ``teamId``), partial
+    credit for token overlap, and a character-level Levenshtein fallback
+    so abbreviations (``pName`` vs ``playerName``) still score.
+    """
+    a_tokens = set(_tokens(attribute_name))
+    f_tokens = set(_tokens(feature_name))
+    if not a_tokens or not f_tokens:
+        return 0.0
+    if a_tokens == f_tokens:
+        return 1.0
+    overlap = len(a_tokens & f_tokens) / len(a_tokens | f_tokens)
+    a_flat = "".join(sorted(a_tokens))
+    f_flat = "".join(sorted(f_tokens))
+    distance = _levenshtein(a_flat, f_flat)
+    char_similarity = 1.0 - distance / max(len(a_flat), len(f_flat))
+    return max(overlap, round(char_similarity, 4) * 0.95)
+
+
+@dataclass(frozen=True)
+class LinkSuggestion:
+    """Ranked feature candidates for one wrapper attribute."""
+
+    attribute: IRI
+    attribute_name: str
+    #: (feature, score) pairs, best first; empty when nothing plausible.
+    candidates: Tuple[Tuple[IRI, float], ...]
+
+    @property
+    def best(self) -> Optional[IRI]:
+        """The top candidate, or None."""
+        return self.candidates[0][0] if self.candidates else None
+
+    @property
+    def confident(self) -> bool:
+        """Whether the top candidate clears the confidence bar (0.8)."""
+        return bool(self.candidates) and self.candidates[0][1] >= 0.8
+
+
+def suggest_links(
+    global_graph: GlobalGraph,
+    source_graph: SourceGraph,
+    wrapper: IRI,
+    concepts: Optional[Sequence[IRI]] = None,
+    minimum: float = 0.35,
+    top_k: int = 3,
+) -> List[LinkSuggestion]:
+    """Rank global features against every attribute of ``wrapper``.
+
+    ``concepts`` optionally restricts candidates to features of the given
+    concepts (the steward usually knows *which* concept the source is
+    about, just not the feature-by-feature links).
+    """
+    if concepts:
+        feature_pool: List[IRI] = []
+        for concept in concepts:
+            feature_pool.extend(global_graph.features_of(concept))
+    else:
+        feature_pool = global_graph.features()
+    suggestions: List[LinkSuggestion] = []
+    for attribute in source_graph.attributes_of(wrapper):
+        attribute_name = source_graph.attribute_name(attribute) or ""
+        scored = [
+            (feature, name_similarity(attribute_name, feature.local_name()))
+            for feature in feature_pool
+        ]
+        ranked = sorted(
+            ((f, s) for f, s in scored if s >= minimum),
+            key=lambda pair: (-pair[1], pair[0].value),
+        )[:top_k]
+        suggestions.append(
+            LinkSuggestion(
+                attribute=attribute,
+                attribute_name=attribute_name,
+                candidates=tuple(ranked),
+            )
+        )
+    return suggestions

@@ -1,0 +1,660 @@
+"""The MDM facade: the end-to-end Metadata Management System.
+
+One object ties together the four interaction kinds of paper §2:
+
+(a) *definition of the global graph* — :meth:`add_concept`,
+    :meth:`add_feature`, :meth:`add_identifier`, :meth:`relate`,
+    :meth:`load_uml`;
+(b) *registration of wrappers* — :meth:`register_source`,
+    :meth:`register_wrapper` (with release governance and attribute
+    reuse);
+(c) *definition of LAV mappings* — :meth:`define_mapping` and the
+    semi-automatic :meth:`suggest_mapping` / :meth:`apply_suggestion`;
+(d) *querying the global graph* — :meth:`walk_from_nodes`,
+    :meth:`rewrite`, :meth:`execute` (walk → SPARQL + UCQ algebra →
+    federated execution → table).
+
+State lives in one RDF :class:`~repro.rdf.dataset.Dataset` (global graph
+and source graph as named graphs, one named graph per wrapper for LAV)
+plus a metadata :class:`~repro.docstore.store.DocumentStore` — mirroring
+the paper's Jena TDB + MongoDB split.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..docstore.store import DocumentStore
+from ..rdf.dataset import Dataset
+from ..rdf.terms import IRI, Triple
+from ..relational.executor import Executor
+from ..relational.relation import Relation
+from ..sources.wrappers import Wrapper, WrapperSchemaError
+from ..sparql.evaluator import evaluate_text
+from .errors import MappingError, MdmError, SourceGraphError
+from .global_graph import GlobalGraph, UmlModel
+from .lav import LavMappingStore, MappingView
+from .releases import (
+    KIND_EVOLUTION,
+    KIND_NEW_SOURCE,
+    GovernanceLog,
+    MappingSuggestion,
+    Release,
+    suggest_mapping,
+)
+from .rewriting import Rewriter, RewriteResult
+from .source_graph import SourceGraph, WrapperRegistration
+from .vocabulary import G, M, mdm_namespace_manager
+from .walks import Walk
+
+__all__ = ["MDM", "QueryOutcome"]
+
+
+class QueryOutcome:
+    """The result of executing one OMQ end-to-end."""
+
+    def __init__(
+        self,
+        rewrite: RewriteResult,
+        relation: Relation,
+        skipped_wrappers: Tuple[str, ...] = (),
+        executor: Optional[Executor] = None,
+    ):
+        self.rewrite = rewrite
+        self.relation = relation
+        #: Wrappers whose fetch failed and were skipped (empty when
+        #: ``on_wrapper_error="raise"``).
+        self.skipped_wrappers = skipped_wrappers
+        self._executor = executor
+
+    def provenance(self) -> List[Dict[str, object]]:
+        """Per-CQ lineage: which wrapper combination produced which rows.
+
+        Each entry describes one conjunctive query of the union — its
+        per-concept wrapper cover, the distinct rows it contributed, and
+        how many of them no *other* CQ produced (its exclusive
+        contribution).  After an evolution release this shows exactly
+        what each schema version delivers.
+        """
+        if self._executor is None:
+            raise MdmError("provenance requires an executed outcome")
+        from ..relational.algebra import Distinct, Project
+
+        per_cq: List[Tuple[str, set]] = []
+        for query in self.rewrite.queries:
+            if self.skipped_wrappers and (
+                set(query.wrapper_names) & set(self.skipped_wrappers)
+            ):
+                per_cq.append((query.describe(), set()))
+                continue
+            branch = Distinct(Project(query.plan, self.rewrite.projection))
+            rows = set(self._executor.execute(branch).rows)
+            per_cq.append((query.describe(), rows))
+        report: List[Dict[str, object]] = []
+        for index, (description, rows) in enumerate(per_cq):
+            others: set = set()
+            for other_index, (_, other_rows) in enumerate(per_cq):
+                if other_index != index:
+                    others |= other_rows
+            report.append(
+                {
+                    "cq": description,
+                    "rows": len(rows),
+                    "exclusive_rows": len(rows - others),
+                    "skipped": not rows
+                    and bool(
+                        set(self.rewrite.queries[index].wrapper_names)
+                        & set(self.skipped_wrappers)
+                    ),
+                }
+            )
+        return report
+
+    def to_table(self) -> str:
+        """The tabular rendering MDM shows the analyst (Table 1)."""
+        return self.relation.to_table()
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        metrics: Sequence[Tuple[str, str, str]],
+    ) -> Relation:
+        """Group/aggregate the result the way a BI layer over MDM would.
+
+        ``metrics`` are ``(function, column, alias)`` triples with
+        function in count/sum/avg/min/max (``column="*"`` for count).
+
+        >>> outcome.aggregate(["teamName"], [("count", "*", "players")])
+        """
+        from ..relational.algebra import Aggregate, Scan
+
+        executor = Executor({"__result__": self.relation})
+        plan = Aggregate(
+            Scan("__result__"), tuple(group_by), tuple(metrics)
+        )
+        return executor.execute(plan).sorted()
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryOutcome {len(self.relation)} rows via "
+            f"{self.rewrite.ucq_size} CQs>"
+        )
+
+
+class MDM:
+    """The Metadata Management System."""
+
+    def __init__(self, metadata_path: Optional[os.PathLike] = None):
+        self.dataset = Dataset(namespaces=mdm_namespace_manager())
+        self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
+        self.source_graph = SourceGraph(self.dataset.graph(M.sourceGraph))
+        self.mappings = LavMappingStore(
+            self.dataset, self.global_graph, self.source_graph
+        )
+        self.rewriter = Rewriter(self.global_graph, self.mappings)
+        self.metadata = DocumentStore(metadata_path)
+        self.governance = GovernanceLog(self.metadata)
+        #: Runtime wrapper objects by name (the executable side of S:Wrapper).
+        self.wrappers: Dict[str, Wrapper] = {}
+        self._sources_by_name: Dict[str, IRI] = {}
+        from .registry import QueryRegistry
+
+        #: Saved analytical processes (named walks) with revalidation.
+        self.saved_queries = QueryRegistry(self)
+
+    # ------------------------------------------------------------------ #
+    # (a) global graph definition
+    # ------------------------------------------------------------------ #
+
+    def add_concept(self, concept: IRI, label: Optional[str] = None) -> IRI:
+        """Declare a concept in the global graph."""
+        return self.global_graph.add_concept(concept, label)
+
+    def add_feature(
+        self, feature: IRI, concept: IRI, label: Optional[str] = None
+    ) -> IRI:
+        """Attach a (non-identifier) feature to a concept."""
+        return self.global_graph.add_feature(feature, concept, label)
+
+    def add_identifier(
+        self, feature: IRI, concept: IRI, label: Optional[str] = None
+    ) -> IRI:
+        """Attach an identifier feature (``rdfs:subClassOf sc:identifier``)."""
+        return self.global_graph.add_identifier(feature, concept, label)
+
+    def relate(self, source: IRI, prop: IRI, target: IRI) -> Triple:
+        """Relate two concepts with a user-defined property."""
+        return self.global_graph.relate(source, prop, target)
+
+    def load_uml(self, model: UmlModel) -> GlobalGraph:
+        """Compile a UML model (Figure 1) into this MDM's global graph."""
+        compiled = model.compile()
+        self.global_graph.graph.add_all(iter(compiled.graph))
+        return self.global_graph
+
+    # ------------------------------------------------------------------ #
+    # (b) source & wrapper registration
+    # ------------------------------------------------------------------ #
+
+    def register_source(self, name: str, label: Optional[str] = None) -> IRI:
+        """Declare a data source; returns its IRI (idempotent)."""
+        iri = self.source_graph.add_data_source(name, label)
+        self._sources_by_name[name] = iri
+        self.metadata.collection("sources").replace_one(
+            {"name": name}, {"name": name, "iri": iri.value, "label": label or name}
+        ) or self.metadata.collection("sources").insert_one(
+            {"name": name, "iri": iri.value, "label": label or name}
+        )
+        return iri
+
+    def source_iri(self, name: str) -> IRI:
+        """The IRI of a registered source (raises if unknown)."""
+        try:
+            return self._sources_by_name[name]
+        except KeyError:
+            raise SourceGraphError(f"unknown data source {name!r}") from None
+
+    def register_wrapper(
+        self,
+        source_name: str,
+        wrapper: Wrapper,
+        kind: Optional[str] = None,
+        changes: Sequence[str] = (),
+    ) -> WrapperRegistration:
+        """Register a wrapper release under a source.
+
+        The signature is taken from the wrapper object; attribute IRIs are
+        reused across the source's previous wrappers; the release is
+        recorded in the governance log.  ``kind`` defaults to
+        ``new-source`` for the source's first wrapper and ``evolution``
+        afterwards.
+        """
+        source = self.source_iri(source_name)
+        previous = self.source_graph.wrappers_of(source)
+        registration = self.source_graph.register_wrapper(
+            source, wrapper.name, wrapper.attributes
+        )
+        self.wrappers[wrapper.name] = wrapper
+        resolved_kind = kind or (KIND_EVOLUTION if previous else KIND_NEW_SOURCE)
+        self.governance.record(source_name, registration, resolved_kind, changes)
+        return registration
+
+    def wrapper_iri(self, wrapper_name: str) -> IRI:
+        """The IRI of a registered wrapper (raises if unknown)."""
+        iri = self.source_graph.wrapper_by_name(wrapper_name)
+        if iri is None:
+            raise SourceGraphError(f"unknown wrapper {wrapper_name!r}")
+        return iri
+
+    def bootstrap_wrapper(
+        self,
+        source_name: str,
+        wrapper_name: str,
+        server,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+        paginate: bool = False,
+    ):
+        """Infer a wrapper's signature from a live endpoint and register it.
+
+        The signature is sampled from the endpoint
+        (:func:`repro.sources.inference.infer_signature`), a
+        :class:`~repro.sources.wrappers.RestWrapper` with the identity
+        attribute map is created, and the registration goes through the
+        normal release governance.  Returns
+        ``(registration, signature_profile)``.
+        """
+        from ..sources.inference import infer_signature
+        from ..sources.wrappers import RestWrapper
+
+        profile = infer_signature(server, path, params)
+        wrapper = RestWrapper(
+            wrapper_name,
+            list(profile.attribute_names),
+            server,
+            path,
+            params=params,
+            paginate=paginate,
+        )
+        registration = self.register_wrapper(source_name, wrapper)
+        return registration, profile
+
+    def suggest_links_for(
+        self,
+        wrapper_name: str,
+        concepts: Optional[Sequence[IRI]] = None,
+    ):
+        """Name-similarity sameAs suggestions for a new wrapper's attributes.
+
+        See :func:`repro.core.matching.suggest_links`; the steward reviews
+        the ranking and feeds the confirmed pairs to
+        :meth:`define_mapping`.
+        """
+        from .matching import suggest_links
+
+        return suggest_links(
+            self.global_graph,
+            self.source_graph,
+            self.wrapper_iri(wrapper_name),
+            concepts=concepts,
+        )
+
+    def profile_wrapper(self, wrapper_name: str):
+        """Profile a registered wrapper's live output (types, nullability).
+
+        Reuses the signature-inference machinery over the wrapper's actual
+        ``fetch()`` rows; the steward uses this to spot data-quality drift
+        between releases (a column suddenly going all-null, a type
+        changing representation) even when the signature itself held.
+        """
+        from ..relational.types import AttrType, common_type, infer_type
+        from ..sources.inference import AttributeProfile, SignatureProfile
+
+        wrapper = self.wrappers.get(wrapper_name)
+        if wrapper is None:
+            raise SourceGraphError(
+                f"wrapper {wrapper_name!r} has no runtime object to profile"
+            )
+        rows = wrapper.fetch()
+        profiles = []
+        for name in wrapper.attributes:
+            inferred = AttrType.ANY
+            present = 0
+            nulls = 0
+            examples: List[str] = []
+            for row in rows:
+                value = row.get(name)
+                if value is None or value == "":
+                    nulls += 1
+                    continue
+                present += 1
+                inferred = common_type(inferred, infer_type(value))
+                rendered = repr(value)
+                if len(examples) < 3 and rendered not in examples:
+                    examples.append(rendered)
+            profiles.append(
+                AttributeProfile(
+                    name=name,
+                    inferred_type=inferred,
+                    present=present,
+                    nulls=nulls,
+                    examples=tuple(examples),
+                )
+            )
+        return SignatureProfile(
+            path=getattr(wrapper, "path", wrapper_name),
+            record_count=len(rows),
+            attributes=tuple(profiles),
+        )
+
+    def diff_wrapper_versions(self, old_name: str, new_name: str):
+        """Signature diff between two registered wrappers (rename detection).
+
+        Uses live sample rows when both wrappers have runtime objects, so
+        value overlap can confirm renames that names alone would miss.
+        """
+        from .diffing import diff_signatures
+
+        def signature(name: str) -> List[str]:
+            iri = self.wrapper_iri(name)
+            return [
+                self.source_graph.attribute_name(a) or a.local_name()
+                for a in self.source_graph.attributes_of(iri)
+            ]
+
+        def sample(name: str):
+            wrapper = self.wrappers.get(name)
+            if wrapper is None:
+                return None
+            try:
+                return wrapper.fetch()[:50]
+            except Exception:  # noqa: BLE001 — sampling is best-effort
+                return None
+
+        return diff_signatures(
+            sorted(signature(old_name)),
+            sorted(signature(new_name)),
+            old_rows=sample(old_name),
+            new_rows=sample(new_name),
+        )
+
+    # ------------------------------------------------------------------ #
+    # (c) LAV mapping definition
+    # ------------------------------------------------------------------ #
+
+    def define_mapping(
+        self,
+        wrapper_name: str,
+        features_by_attribute: Mapping[str, IRI],
+        edges: Iterable[Tuple[IRI, IRI, IRI]] = (),
+    ) -> MappingView:
+        """Define the LAV mapping for ``wrapper_name`` by names.
+
+        ``features_by_attribute`` maps *signature attribute names* to
+        feature IRIs (the ``owl:sameAs`` gesture); ``edges`` are the
+        concept relations inside the contour.  The named graph is derived:
+        the ``hasFeature`` edge of every mapped feature plus the given
+        relation edges.
+        """
+        wrapper = self.wrapper_iri(wrapper_name)
+        registration_attributes = {
+            (self.source_graph.attribute_name(a) or ""): a
+            for a in self.source_graph.attributes_of(wrapper)
+        }
+        same_as: Dict[IRI, IRI] = {}
+        for attribute_name, feature in features_by_attribute.items():
+            attribute = registration_attributes.get(attribute_name)
+            if attribute is None:
+                raise MappingError(
+                    f"wrapper {wrapper_name!r} has no attribute "
+                    f"{attribute_name!r}; signature is "
+                    f"{self.source_graph.signature_of(wrapper)}"
+                )
+            same_as[attribute] = feature
+        subgraph: List[Triple] = []
+        for feature in sorted(set(same_as.values()), key=lambda i: i.value):
+            concept = self.global_graph.concept_of(feature)
+            if concept is None:
+                raise MappingError(f"{feature} is not attached to any concept")
+            subgraph.append(Triple(concept, G.hasFeature, feature))
+        for s, p, o in edges:
+            subgraph.append(Triple(s, p, o))
+        self.mappings.define(wrapper, subgraph, same_as)
+        return self.mappings.view(wrapper)
+
+    def suggest_mapping(self, wrapper_name: str) -> MappingSuggestion:
+        """Semi-automatic accommodation for an evolved source's wrapper."""
+        wrapper = self.wrapper_iri(wrapper_name)
+        source = self.source_graph.source_of(wrapper)
+        if source is None:
+            raise SourceGraphError(f"wrapper {wrapper_name!r} has no source")
+        attributes = tuple(
+            (self.source_graph.attribute_name(a) or "", a)
+            for a in self.source_graph.attributes_of(wrapper)
+        )
+        # Rebuild a registration view for the suggestion helper.
+        registration = WrapperRegistration(
+            source=source,
+            wrapper=wrapper,
+            wrapper_name=wrapper_name,
+            attributes=attributes,
+            reused_attributes=tuple(
+                name
+                for name, iri in attributes
+                if self.mappings.same_as_of_attribute(iri)
+            ),
+        )
+        return suggest_mapping(self.source_graph, self.mappings, registration)
+
+    def apply_suggestion(
+        self,
+        suggestion: MappingSuggestion,
+        extra_features_by_attribute: Optional[Mapping[str, IRI]] = None,
+        extra_edges: Iterable[Tuple[IRI, IRI, IRI]] = (),
+    ) -> MappingView:
+        """Apply a mapping suggestion, optionally completed by the steward."""
+        wrapper = suggestion.wrapper
+        same_as = dict(suggestion.same_as)
+        if extra_features_by_attribute:
+            by_name = {
+                (self.source_graph.attribute_name(a) or ""): a
+                for a in self.source_graph.attributes_of(wrapper)
+            }
+            for attribute_name, feature in extra_features_by_attribute.items():
+                attribute = by_name.get(attribute_name)
+                if attribute is None:
+                    raise MappingError(
+                        f"wrapper has no attribute {attribute_name!r}"
+                    )
+                same_as[attribute] = feature
+        subgraph: List[Triple] = list(suggestion.subgraph)
+        for feature in set(same_as.values()):
+            concept = self.global_graph.concept_of(feature)
+            if concept is None:
+                raise MappingError(f"{feature} is not attached to any concept")
+            triple = Triple(concept, G.hasFeature, feature)
+            if triple not in subgraph:
+                subgraph.append(triple)
+        for s, p, o in extra_edges:
+            triple = Triple(s, p, o)
+            if triple not in subgraph:
+                subgraph.append(triple)
+        self.mappings.define(wrapper, subgraph, same_as)
+        return self.mappings.view(wrapper)
+
+    # ------------------------------------------------------------------ #
+    # (d) querying
+    # ------------------------------------------------------------------ #
+
+    def walk_from_nodes(self, nodes: Iterable[IRI]) -> Walk:
+        """Complete a node selection into a validated walk."""
+        walk = Walk.from_nodes(self.global_graph, nodes)
+        walk.validate(self.global_graph)
+        return walk
+
+    def rewrite(self, walk: Walk) -> RewriteResult:
+        """Run the three-phase LAV rewriting for a walk."""
+        result = self.rewriter.rewrite(walk)
+        self.metadata.collection("queries").insert_one(
+            {
+                "walk": walk.describe(self.global_graph),
+                "ucq_size": result.ucq_size,
+                "wrappers": sorted(
+                    {name for q in result.queries for name in q.wrapper_names}
+                ),
+            }
+        )
+        return result
+
+    def execute(
+        self,
+        walk: Walk,
+        on_wrapper_error: str = "raise",
+    ) -> QueryOutcome:
+        """Rewrite a walk and execute the UCQ over the live wrappers.
+
+        ``on_wrapper_error="skip"`` drops CQ branches whose wrappers fail
+        to fetch (reporting them in the outcome) instead of raising —
+        useful while a source migration is in flight.
+        """
+        if on_wrapper_error not in ("raise", "skip"):
+            raise ValueError("on_wrapper_error must be 'raise' or 'skip'")
+        result = self.rewrite(walk)
+        executor = Executor()
+        failed: List[str] = []
+        needed = {name for q in result.queries for name in q.wrapper_names}
+        for name in sorted(needed):
+            wrapper = self.wrappers.get(name)
+            if wrapper is None:
+                raise MdmError(
+                    f"wrapper {name!r} is mapped but has no runtime object"
+                )
+            try:
+                executor.register(name, wrapper.fetch_relation())
+            except WrapperSchemaError as exc:
+                if on_wrapper_error == "raise":
+                    raise
+                failed.append(name)
+        if failed:
+            surviving = [
+                q
+                for q in result.queries
+                if not (set(q.wrapper_names) & set(failed))
+            ]
+            if not surviving:
+                raise MdmError(
+                    f"every CQ depends on a failed wrapper: {sorted(failed)}"
+                )
+            from ..relational.algebra import Distinct, Project, union_all
+
+            plan = Distinct(
+                union_all([Project(q.plan, result.projection) for q in surviving])
+            )
+        else:
+            plan = result.plan
+        relation = executor.execute(plan)
+        if walk.optional_features:
+            optional_columns = [
+                result.column_names[f]
+                for f in walk.optional_features
+                if result.column_names.get(f) in relation.schema
+            ]
+            relation = relation.without_subsumed(optional_columns)
+        relation = relation.sorted()
+        return QueryOutcome(
+            result, relation, tuple(sorted(failed)), executor=executor
+        )
+
+    def sparql_query(self, text: str, on_wrapper_error: str = "raise") -> QueryOutcome:
+        """Pose an OMQ written as SPARQL text (the expert-analyst path).
+
+        The query is interpreted as a walk (see
+        :mod:`repro.core.sparql_frontend`), rewritten through the LAV
+        algorithm and executed — identical semantics to the graphical
+        interface.
+        """
+        from .sparql_frontend import walk_from_sparql
+
+        walk = walk_from_sparql(self.global_graph, text)
+        return self.execute(walk, on_wrapper_error=on_wrapper_error)
+
+    def sparql(self, text: str):
+        """Evaluate SPARQL over the whole MDM dataset (union of graphs).
+
+        Useful for metadata introspection — e.g. listing concepts, or
+        querying LAV named graphs with ``GRAPH``.
+        """
+        return evaluate_text(text, self.dataset, union_default=True)
+
+    def impact_of_source(self, source_name: str) -> Dict[str, object]:
+        """Impact analysis for an upcoming release of ``source_name``.
+
+        "The maintenance of such data analysis processes is critical in
+        scenarios integrating tenths of sources and exploiting them in
+        hundreds of analytical processes" (paper §1).  This report tells
+        the steward, before a release lands, which wrappers belong to the
+        source, which logged queries depend on them, and which global
+        features would lose coverage if the source's wrappers all broke.
+        """
+        source = self.source_iri(source_name)
+        wrapper_names = sorted(
+            self.source_graph.wrapper_name(w) or w.local_name()
+            for w in self.source_graph.wrappers_of(source)
+        )
+        wrapper_set = set(wrapper_names)
+        affected_queries = [
+            q
+            for q in self.metadata.collection("queries").find()
+            if wrapper_set & set(q.get("wrappers", []))
+        ]
+        # Features populated only by this source's wrappers.
+        coverage: Dict[str, set] = {}
+        for wrapper_iri in self.mappings.mapped_wrappers():
+            view = self.mappings.view(wrapper_iri)
+            for feature in view.features:
+                coverage.setdefault(feature.value, set()).add(view.wrapper_name)
+        exclusive = sorted(
+            feature
+            for feature, providers in coverage.items()
+            if providers and providers <= wrapper_set
+        )
+        return {
+            "source": source_name,
+            "wrappers": wrapper_names,
+            "affected_queries": len(affected_queries),
+            "affected_query_walks": [q["walk"] for q in affected_queries],
+            "exclusively_covered_features": exclusive,
+        }
+
+    # ------------------------------------------------------------------ #
+    # introspection & persistence
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, int]:
+        """Counts of the main metadata entities."""
+        return {
+            "concepts": len(self.global_graph.concepts()),
+            "features": len(self.global_graph.features()),
+            "sources": len(self.source_graph.data_sources()),
+            "wrappers": len(self.source_graph.wrappers()),
+            "mappings": len(self.mappings.mapped_wrappers()),
+            "releases": len(self.governance.history()),
+            "triples": len(self.dataset),
+        }
+
+    def validate(self) -> List[str]:
+        """All structural issues across global graph, source graph, mappings."""
+        issues = self.global_graph.validate()
+        issues.extend(self.source_graph.validate())
+        for wrapper_iri in self.mappings.mapped_wrappers():
+            name = self.source_graph.wrapper_name(wrapper_iri)
+            if name is not None and name not in self.wrappers:
+                issues.append(f"mapped wrapper {name!r} has no runtime object")
+        return issues
+
+    def to_trig(self) -> str:
+        """Serialize the full metadata dataset as TriG (TDB snapshot)."""
+        from ..rdf.trig import serialize_trig
+
+        return serialize_trig(self.dataset)

@@ -1,0 +1,218 @@
+"""Release governance: the evolution lifecycle MDM manages (paper §1, §3).
+
+"The key concepts are releases, which represent a new source or changes
+in existing sources."  A :class:`Release` records one wrapper
+registration event; the :class:`GovernanceLog` persists them in the
+metadata document store and answers history questions.
+
+:func:`suggest_mapping` implements the *semi-automatic accommodation*:
+when a source evolves, the attributes the new wrapper shares with its
+predecessors keep their IRIs (source-graph reuse), so their ``sameAs``
+links and named-graph coverage can be carried over; only genuinely new
+attributes need the steward's attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..docstore.store import DocumentStore
+from ..rdf.terms import IRI, Triple
+from .lav import LavMappingStore, MappingView
+from .source_graph import SourceGraph, WrapperRegistration
+from .vocabulary import G
+
+__all__ = ["Release", "GovernanceLog", "MappingSuggestion", "suggest_mapping"]
+
+#: Release kinds, per the paper's two triggers for a new wrapper.
+KIND_NEW_SOURCE = "new-source"
+KIND_EVOLUTION = "evolution"
+
+
+@dataclass(frozen=True)
+class Release:
+    """One registration event in a source's history."""
+
+    sequence: int
+    source_name: str
+    wrapper_name: str
+    kind: str  # KIND_NEW_SOURCE or KIND_EVOLUTION
+    attributes: Tuple[str, ...]
+    reused_attributes: Tuple[str, ...]
+    changes: Tuple[str, ...] = ()
+
+    #: Change-description prefixes that indicate a breaking change
+    #: (matching the SchemaChange operators' describe() output).
+    _BREAKING_MARKERS = ("rename ", "remove ", "retype ", "nest ", "flatten ")
+
+    @property
+    def is_breaking(self) -> bool:
+        """Whether the recorded changes include a breaking operation.
+
+        Releases are append-only — a new wrapper never breaks MDM itself —
+        so "breaking" describes the *source API* change the release
+        accommodates, read from the change descriptions the steward (or
+        the signature diff) recorded.  A release with no recorded changes
+        (e.g. an additional wrapper over the same API version) is not
+        breaking.
+        """
+        return self.kind == KIND_EVOLUTION and any(
+            change.startswith(self._BREAKING_MARKERS) for change in self.changes
+        )
+
+
+class GovernanceLog:
+    """Append-only release history backed by the metadata store."""
+
+    COLLECTION = "releases"
+
+    def __init__(self, store: DocumentStore):
+        self._store = store
+
+    def record(
+        self,
+        source_name: str,
+        registration: WrapperRegistration,
+        kind: str,
+        changes: Sequence[str] = (),
+    ) -> Release:
+        """Append a release for ``registration`` and return it."""
+        if kind not in (KIND_NEW_SOURCE, KIND_EVOLUTION):
+            raise ValueError(f"unknown release kind {kind!r}")
+        collection = self._store.collection(self.COLLECTION)
+        sequence = collection.count() + 1
+        release = Release(
+            sequence=sequence,
+            source_name=source_name,
+            wrapper_name=registration.wrapper_name,
+            kind=kind,
+            attributes=tuple(name for name, _ in registration.attributes),
+            reused_attributes=registration.reused_attributes,
+            changes=tuple(changes),
+        )
+        collection.insert_one(
+            {
+                "sequence": release.sequence,
+                "source": release.source_name,
+                "wrapper": release.wrapper_name,
+                "kind": release.kind,
+                "attributes": list(release.attributes),
+                "reused_attributes": list(release.reused_attributes),
+                "changes": list(release.changes),
+            }
+        )
+        return release
+
+    def history(self, source_name: Optional[str] = None) -> List[Release]:
+        """Releases in sequence order, optionally for one source."""
+        query: Dict[str, object] = {}
+        if source_name is not None:
+            query["source"] = source_name
+        documents = self._store.collection(self.COLLECTION).find(
+            query, sort="sequence"
+        )
+        return [
+            Release(
+                sequence=d["sequence"],
+                source_name=d["source"],
+                wrapper_name=d["wrapper"],
+                kind=d["kind"],
+                attributes=tuple(d["attributes"]),
+                reused_attributes=tuple(d["reused_attributes"]),
+                changes=tuple(d.get("changes", [])),
+            )
+            for d in documents
+        ]
+
+    def latest(self, source_name: str) -> Optional[Release]:
+        """The most recent release of ``source_name``."""
+        releases = self.history(source_name)
+        return releases[-1] if releases else None
+
+    def breaking_releases(self) -> List[Release]:
+        """All releases flagged as breaking."""
+        return [r for r in self.history() if r.is_breaking]
+
+
+@dataclass(frozen=True)
+class MappingSuggestion:
+    """Bootstrap material for a new wrapper's LAV mapping."""
+
+    wrapper: IRI
+    #: Named-graph triples carried over from the predecessor's mapping.
+    subgraph: Tuple[Triple, ...]
+    #: Attribute IRI → feature IRI links carried over (reused attributes).
+    same_as: Dict[IRI, IRI]
+    #: Signature attributes the steward still has to map manually.
+    unmapped_attributes: Tuple[str, ...]
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the suggestion can be applied without steward input."""
+        return not self.unmapped_attributes
+
+
+def suggest_mapping(
+    source_graph: SourceGraph,
+    mappings: LavMappingStore,
+    registration: WrapperRegistration,
+) -> MappingSuggestion:
+    """Derive a mapping suggestion for a freshly registered wrapper.
+
+    Looks at the previously mapped wrappers of the same source; for every
+    attribute the new wrapper *reuses*, the existing ``sameAs`` link is
+    carried over, and the corresponding portion of the predecessors'
+    named graphs (the ``hasFeature`` edges of carried features, plus
+    relation edges whose endpoints stay covered) is proposed as the new
+    named graph.
+    """
+    carried_same_as: Dict[IRI, IRI] = {}
+    carried_features: Set[IRI] = set()
+    predecessor_views: List[MappingView] = []
+    for wrapper in source_graph.wrappers_of(registration.source):
+        if wrapper == registration.wrapper:
+            continue
+        try:
+            predecessor_views.append(mappings.view(wrapper))
+        except Exception:
+            continue  # unmapped predecessor contributes nothing
+    reusable = {
+        name: iri
+        for name, iri in registration.attributes
+        if name in registration.reused_attributes
+    }
+    for attribute_name, attribute_iri in reusable.items():
+        links = mappings.same_as_of_attribute(attribute_iri)
+        if links:
+            carried_same_as[attribute_iri] = links[0]
+            carried_features.add(links[0])
+    subgraph: List[Triple] = []
+    covered_concepts: Set[IRI] = set()
+    for view in predecessor_views:
+        graph = mappings.named_graph(view.wrapper)
+        for triple in graph.triples((None, G.hasFeature, None)):
+            if triple.object in carried_features:
+                if triple not in subgraph:
+                    subgraph.append(triple)
+                if isinstance(triple.subject, IRI):
+                    covered_concepts.add(triple.subject)
+    for view in predecessor_views:
+        for edge in view.edges:
+            if (
+                edge.subject in covered_concepts
+                and edge.object in covered_concepts
+                and edge not in subgraph
+            ):
+                subgraph.append(edge)
+    unmapped = tuple(
+        name
+        for name, iri in registration.attributes
+        if iri not in carried_same_as
+    )
+    return MappingSuggestion(
+        wrapper=registration.wrapper,
+        subgraph=tuple(subgraph),
+        same_as=carried_same_as,
+        unmapped_attributes=unmapped,
+    )

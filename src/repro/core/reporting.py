@@ -1,0 +1,121 @@
+"""Steward dashboard: one governance report over the whole ecosystem.
+
+The demo's pitch to stewards is situational awareness — what is
+integrated, what changed, what would break.  :func:`governance_report`
+assembles that picture from the pieces the rest of :mod:`repro.core`
+maintains: metadata counts, structural validation, the release history,
+saved-query health, and a per-source impact sketch.  The CLI's
+``report`` command and the service layer both render it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["governance_report", "render_report"]
+
+
+def governance_report(mdm, execute_queries: bool = False) -> Dict[str, object]:
+    """A JSON-shaped governance snapshot of one MDM instance.
+
+    ``issues`` holds *structural* metadata problems; missing runtime
+    wrapper objects are reported separately as ``runtime_warnings`` —
+    they are expected when inspecting a loaded snapshot offline.
+    """
+    all_issues = mdm.validate()
+    runtime_warnings = [i for i in all_issues if "no runtime object" in i]
+    issues = [i for i in all_issues if i not in runtime_warnings]
+    releases = mdm.governance.history()
+    sources = []
+    for source in mdm.source_graph.data_sources():
+        name = None
+        # Recover the registration name from the facade index.
+        for candidate, iri in mdm._sources_by_name.items():  # noqa: SLF001
+            if iri == source:
+                name = candidate
+                break
+        if name is None:
+            continue
+        impact = mdm.impact_of_source(name)
+        source_releases = [r for r in releases if r.source_name == name]
+        sources.append(
+            {
+                "name": name,
+                "wrappers": impact["wrappers"],
+                "releases": len(source_releases),
+                "breaking_releases": sum(
+                    1 for r in source_releases if r.is_breaking
+                ),
+                "exclusive_features": len(
+                    impact["exclusively_covered_features"]
+                ),
+                "queries_depending": impact["affected_queries"],
+            }
+        )
+    query_health = mdm.saved_queries.health_summary(execute=execute_queries)
+    return {
+        "summary": mdm.summary(),
+        "issues": issues,
+        "sources": sources,
+        "releases": len(releases),
+        "latest_release": (
+            {
+                "sequence": releases[-1].sequence,
+                "source": releases[-1].source_name,
+                "wrapper": releases[-1].wrapper_name,
+                "kind": releases[-1].kind,
+            }
+            if releases
+            else None
+        ),
+        "saved_queries": query_health,
+        "runtime_warnings": runtime_warnings,
+    }
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human rendering of :func:`governance_report` output."""
+    lines: List[str] = ["=== MDM governance report ==="]
+    summary = report["summary"]
+    lines.append(
+        "metadata : "
+        f"{summary['concepts']} concepts, {summary['features']} features, "
+        f"{summary['sources']} sources, {summary['wrappers']} wrappers, "
+        f"{summary['mappings']} mappings"
+    )
+    issues = report["issues"]
+    if issues:
+        lines.append(f"validation: {len(issues)} ISSUE(S)")
+        for issue in issues:
+            lines.append(f"  ! {issue}")
+    else:
+        lines.append("validation: clean")
+    lines.append(f"releases : {report['releases']} recorded")
+    latest = report["latest_release"]
+    if latest:
+        lines.append(
+            f"  latest: #{latest['sequence']} {latest['source']}/"
+            f"{latest['wrapper']} ({latest['kind']})"
+        )
+    lines.append("sources  :")
+    for source in report["sources"]:
+        flags = []
+        if source["breaking_releases"]:
+            flags.append(f"{source['breaking_releases']} breaking")
+        if source["queries_depending"]:
+            flags.append(f"{source['queries_depending']} queries depend")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {source['name']}: {len(source['wrappers'])} wrappers, "
+            f"{source['exclusive_features']} exclusive features{suffix}"
+        )
+    health = report["saved_queries"]
+    lines.append(
+        f"queries  : {health['ok']}/{health['total']} saved queries healthy"
+        + (f" — {health['broken']} BROKEN" if health["broken"] else "")
+    )
+    warnings = report.get("runtime_warnings", [])
+    if warnings:
+        lines.append(f"runtime  : {len(warnings)} wrapper(s) not attached "
+                     "(expected for offline snapshots)")
+    return "\n".join(lines)

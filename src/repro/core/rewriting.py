@@ -1,0 +1,604 @@
+"""The LAV query-rewriting algorithm (paper §2.4).
+
+"A specific query rewriting algorithm takes as input a walk and generates
+as a result an equivalent union of conjunctive queries over the wrappers
+resolving the LAV mappings.  Such process consists of three phases:
+(a) query expansion, where the walk is automatically expanded to include
+concept identifiers that have not been explicitly stated; (b)
+intra-concept generation, that generates partial walks per concept
+indicating how to query the wrappers in order to obtain the requested
+features for the concept at hand; and (c) inter-concept generation, where
+all partial walks are joined to obtain a union of conjunctive queries."
+
+The output is a relational-algebra plan over the wrappers
+(:mod:`repro.relational.algebra`), exactly what MDM displays next to the
+SPARQL in Figure 8 and executes over the federated temp tables.
+
+Join discipline (the metamodel's unambiguity condition): all joins —
+between wrappers of one concept and across concepts — happen on feature
+columns that inherit from ``sc:identifier``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rdf.reasoner import subclass_closure
+from ..rdf.terms import IRI, Triple
+from ..relational.algebra import (
+    Distinct,
+    Extend,
+    NaturalJoin,
+    PlanNode,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    union_all,
+)
+from ..relational.expressions import And, Cmp, Col, Const, Expr
+from .errors import (
+    MissingIdentifierError,
+    NoCoverError,
+    RewritingError,
+)
+from .global_graph import GlobalGraph
+from .lav import LavMappingStore, MappingView
+from .walks import Walk, feature_column_names
+
+__all__ = ["Rewriter", "RewriteResult", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """One CQ of the union: a wrapper choice per concept plus its plan."""
+
+    covers: Tuple[Tuple[IRI, Tuple[str, ...]], ...]  # concept -> wrapper names
+    plan: PlanNode
+    #: The feature columns this CQ's plan produces (before projection).
+    columns: FrozenSet[str] = frozenset()
+
+    @property
+    def wrapper_names(self) -> Tuple[str, ...]:
+        """All wrapper names used, deduplicated, sorted."""
+        out: Set[str] = set()
+        for _, names in self.covers:
+            out.update(names)
+        return tuple(sorted(out))
+
+    def describe(self) -> str:
+        """Readable cover summary, e.g. ``Player←{w1} ⋈ SportsTeam←{w2}``."""
+        parts = [
+            f"{concept.local_name()}←{{{', '.join(names)}}}"
+            for concept, names in self.covers
+        ]
+        return " ⋈ ".join(parts)
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Everything the rewriting produced for one walk."""
+
+    walk: Walk
+    expanded_walk: Walk
+    column_names: Mapping[IRI, str]
+    projection: Tuple[str, ...]
+    queries: Tuple[ConjunctiveQuery, ...]
+    plan: PlanNode
+    sparql: str
+
+    @property
+    def ucq_size(self) -> int:
+        """Number of conjunctive queries in the union."""
+        return len(self.queries)
+
+    def pretty(self) -> str:
+        """The relational-algebra rendering (Figure 8 bottom-right)."""
+        return self.plan.pretty()
+
+    def explain(self) -> str:
+        """A three-phase narration of how the rewriting was derived."""
+        lines = ["phase (a) query expansion:"]
+        added = set(self.expanded_walk.features) - set(self.walk.features)
+        if added:
+            lines.append(
+                "  added identifiers: "
+                + ", ".join(sorted(f.local_name() for f in added))
+            )
+        else:
+            lines.append("  all identifiers were already selected")
+        lines.append("phase (b) intra-concept generation:")
+        per_concept: Dict[IRI, Set[Tuple[str, ...]]] = {}
+        for query in self.queries:
+            for concept, names in query.covers:
+                per_concept.setdefault(concept, set()).add(names)
+        for concept in sorted(per_concept, key=lambda c: c.value):
+            alternatives = sorted(per_concept[concept])
+            rendered = " ∪ ".join("{" + ", ".join(a) + "}" for a in alternatives)
+            lines.append(f"  {concept.local_name()}: {rendered}")
+        lines.append("phase (c) inter-concept generation:")
+        for query in self.queries:
+            lines.append(f"  CQ: {query.describe()}")
+        lines.append(f"result: union of {self.ucq_size} conjunctive queries")
+        return "\n".join(lines)
+
+
+class Rewriter:
+    """Rewrites walks into UCQ plans over the mapped wrappers."""
+
+    def __init__(
+        self,
+        global_graph: GlobalGraph,
+        mappings: LavMappingStore,
+        max_cover_size: int = 3,
+        minimize: bool = True,
+    ):
+        self.global_graph = global_graph
+        self.mappings = mappings
+        #: Upper bound on wrappers combined per concept; the search space
+        #: is exponential beyond it and real sources rarely shard one
+        #: concept's features over more wrappers.
+        self.max_cover_size = max_cover_size
+        #: Apply CQ-containment minimization to the UCQ (design decision 5
+        #: in DESIGN.md).  Disabling keeps every non-duplicate CQ — sound
+        #: but larger unions; the ablation bench quantifies the gap.
+        self.minimize = minimize
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+
+    def rewrite(self, walk: Walk) -> RewriteResult:
+        """Run the three phases and return the UCQ plan."""
+        walk.validate(self.global_graph)
+        # Phase (a): expansion.
+        expanded = walk.expand(self.global_graph)
+        identifiers = self._identifiers(expanded)
+        relevant = self._relevant_features(expanded, identifiers)
+        columns = feature_column_names(self.global_graph, relevant)
+        views = self.mappings.views()
+        # Phase (b): intra-concept generation.
+        concept_covers: Dict[IRI, List[Tuple[MappingView, ...]]] = {}
+        for concept in expanded.sorted_concepts():
+            concept_covers[concept] = self._covers_for_concept(
+                concept, expanded, identifiers, views
+            )
+        # Phase (c): inter-concept generation.
+        queries = self._combine(expanded, identifiers, concept_covers, columns, relevant)
+        if not queries:
+            raise RewritingError(
+                "no conjunctive query survives the inter-concept phase: the "
+                "walk's relations are not covered by any wrapper combination"
+            )
+        queries = _drop_redundant(queries) if self.minimize else _dedupe(queries)
+        projected_features = sorted(
+            set(walk.features) | set(expanded.optional_features),
+            key=lambda i: i.value,
+        )
+        projection = tuple(
+            columns[f] for f in projected_features
+        ) or tuple(columns[f] for f in expanded.sorted_features())
+        predicate = _filter_predicate(walk, columns)
+        if predicate is not None:
+            queries = [
+                ConjunctiveQuery(
+                    covers=q.covers,
+                    plan=Select(q.plan, predicate),
+                    columns=q.columns,
+                )
+                for q in queries
+            ]
+        # NULL-pad optional columns the CQ's wrappers do not provide, so
+        # every union branch is union-compatible.
+        padded: List[ConjunctiveQuery] = []
+        for query in queries:
+            plan_q: PlanNode = query.plan
+            for column in projection:
+                if column not in query.columns:
+                    plan_q = Extend(plan_q, column)
+            padded.append(
+                ConjunctiveQuery(
+                    covers=query.covers,
+                    plan=plan_q,
+                    columns=query.columns | set(projection),
+                )
+            )
+        queries = padded
+        branches = [Project(q.plan, projection) for q in queries]
+        plan: PlanNode = Distinct(union_all(branches))
+        return RewriteResult(
+            walk=walk,
+            expanded_walk=expanded,
+            column_names=columns,
+            projection=projection,
+            queries=tuple(queries),
+            plan=plan,
+            sparql=walk.to_sparql(self.global_graph),
+        )
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _specializations(self, concept: IRI) -> FrozenSet[IRI]:
+        """The concept plus its declared subclasses (taxonomy support).
+
+        A wrapper mapped to a subclass populates instances of the
+        superclass too, so its views are applicable to superclass walks —
+        provided it still populates the queried concept's identifier.
+        """
+        return frozenset(
+            c
+            for c in subclass_closure(self.global_graph.graph, concept)
+            if isinstance(c, IRI) and self.global_graph.is_concept(c)
+        )
+
+    def _edge_witnessed_by(
+        self,
+        view: MappingView,
+        edge: Triple,
+        other_ids: Set[IRI],
+    ) -> bool:
+        """Whether ``view`` carries ``edge`` (up to concept taxonomy) and
+        populates an identifier of the edge's other endpoint."""
+        if not (set(view.feature_attributes) & other_ids):
+            return False
+        if view.covers_edge(edge):
+            return True
+        subject_specs = self._specializations(edge.subject)  # type: ignore[arg-type]
+        object_specs = self._specializations(edge.object)  # type: ignore[arg-type]
+        for candidate in view.edges:
+            if (
+                candidate.predicate == edge.predicate
+                and candidate.subject in subject_specs
+                and candidate.object in object_specs
+            ):
+                return True
+        return False
+
+    def _identifiers(self, walk: Walk) -> Dict[IRI, List[IRI]]:
+        """Identifier features per walk concept (raises if a concept has none)."""
+        out: Dict[IRI, List[IRI]] = {}
+        for concept in walk.sorted_concepts():
+            identifiers = self.global_graph.identifiers_of(concept)
+            if not identifiers:
+                raise MissingIdentifierError(concept)
+            out[concept] = identifiers
+        return out
+
+    def _relevant_features(
+        self, walk: Walk, identifiers: Dict[IRI, List[IRI]]
+    ) -> Set[IRI]:
+        """Walk features plus every identifier of every walk concept.
+
+        Identifier features of walk concepts matter even when not
+        requested: they are the join columns wrappers meet on.  Optional
+        features are relevant too — wrappers providing them get to
+        contribute the column.
+        """
+        relevant: Set[IRI] = set(walk.features) | set(walk.optional_features)
+        for concept_ids in identifiers.values():
+            relevant.update(concept_ids)
+        return relevant
+
+    # ------------------------------------------------------------------ #
+    # phase (b): intra-concept generation
+    # ------------------------------------------------------------------ #
+
+    def _covers_for_concept(
+        self,
+        concept: IRI,
+        walk: Walk,
+        identifiers: Dict[IRI, List[IRI]],
+        views: Sequence[MappingView],
+    ) -> List[Tuple[MappingView, ...]]:
+        """Minimal wrapper combinations providing the concept's features.
+
+        A view is *applicable* when its named graph covers the concept and
+        it populates one of the concept's identifiers (otherwise its rows
+        cannot be joined unambiguously).  Views of the same concept join
+        on the identifier, so every cover shares at least one identifier
+        feature across all its views.
+
+        Minimality is judged over both *features* and *edge witnessing*: a
+        combination is dominated only by a strict wrapper-subset that
+        still covers all required features AND witnesses at least the same
+        incident walk edges (a wrapper kept solely because it carries a
+        relation to a neighbouring concept — e.g. a memberships endpoint —
+        must survive pruning).
+        """
+        required = set(walk.features_of(self.global_graph, concept))
+        optional_here = {
+            f
+            for f in walk.optional_features
+            if self.global_graph.concept_of(f) == concept
+        }
+        id_set = set(identifiers[concept])
+        incident = [
+            e for e in walk.sorted_edges() if concept in (e.subject, e.object)
+        ]
+        specializations = self._specializations(concept)
+        applicable = [
+            v
+            for v in views
+            if (v.concepts & specializations)
+            and (set(v.feature_attributes) & id_set)
+        ]
+        applicable.sort(key=lambda v: v.wrapper_name)
+        if not applicable:
+            raise NoCoverError(concept, required or id_set)
+
+        def witnessed_edges(combo: Tuple[MappingView, ...]) -> FrozenSet[Triple]:
+            out: Set[Triple] = set()
+            for edge in incident:
+                other = edge.object if edge.subject == concept else edge.subject
+                other_ids = set(identifiers[other])  # type: ignore[index]
+                for view in combo:
+                    if self._edge_witnessed_by(view, edge, other_ids):
+                        out.add(edge)
+                        break
+            return frozenset(out)
+
+        candidates: List[
+            Tuple[
+                Tuple[MappingView, ...],
+                FrozenSet[str],
+                FrozenSet[Triple],
+                FrozenSet[IRI],
+            ]
+        ] = []
+        max_size = min(self.max_cover_size, len(applicable))
+        for size in range(1, max_size + 1):
+            for combo in itertools.combinations(applicable, size):
+                provided: Set[IRI] = set()
+                for view in combo:
+                    provided |= set(view.feature_attributes)
+                if not required <= provided:
+                    continue
+                # Joinability within the cover: all views must share an
+                # identifier of this concept.
+                shared_ids = id_set.copy()
+                for view in combo:
+                    shared_ids &= set(view.feature_attributes)
+                if not shared_ids:
+                    continue
+                names = frozenset(v.wrapper_name for v in combo)
+                candidates.append(
+                    (
+                        combo,
+                        names,
+                        witnessed_edges(combo),
+                        frozenset(provided & optional_here),
+                    )
+                )
+        # Dominance over three dimensions: a strict wrapper-subset must
+        # witness at least the same edges AND provide at least the same
+        # optional features to eliminate a combination.
+        covers = [
+            combo
+            for combo, names, edges, optionals in candidates
+            if not any(
+                other_names < names
+                and other_edges >= edges
+                and other_optionals >= optionals
+                for _, other_names, other_edges, other_optionals in candidates
+            )
+        ]
+        if not covers:
+            provided_union: Set[IRI] = set()
+            for view in applicable:
+                provided_union |= set(view.feature_attributes)
+            raise NoCoverError(concept, required - provided_union or required)
+        return covers
+
+    def _view_plan(
+        self,
+        view: MappingView,
+        relevant: Set[IRI],
+        columns: Mapping[IRI, str],
+    ) -> Tuple[PlanNode, FrozenSet[str]]:
+        """The per-wrapper plan: rename attributes to feature columns and
+        project the relevant ones.  Returns (plan, produced column names).
+        """
+        rename: Dict[str, str] = {}
+        produced: List[str] = []
+        for feature, attribute in sorted(
+            view.feature_attributes.items(), key=lambda kv: kv[0].value
+        ):
+            if feature not in relevant:
+                continue
+            column = columns[feature]
+            produced.append(column)
+            if attribute != column:
+                rename[attribute] = column
+        if not produced:
+            raise RewritingError(
+                f"wrapper {view.wrapper_name} provides no relevant feature"
+            )
+        plan: PlanNode = Scan(view.wrapper_name)
+        if rename:
+            plan = Rename.from_dict(plan, rename)
+        produced_sorted = tuple(sorted(set(produced)))
+        plan = Project(plan, produced_sorted)
+        return plan, frozenset(produced_sorted)
+
+    def _cover_plan(
+        self,
+        cover: Tuple[MappingView, ...],
+        relevant: Set[IRI],
+        columns: Mapping[IRI, str],
+    ) -> Tuple[PlanNode, FrozenSet[str]]:
+        """Join the cover's views (natural join on shared identifier cols)."""
+        plans = [self._view_plan(v, relevant, columns) for v in cover]
+        plan, cols = plans[0]
+        for other_plan, other_cols in plans[1:]:
+            plan = NaturalJoin(plan, other_plan)
+            cols = cols | other_cols
+        return plan, cols
+
+    # ------------------------------------------------------------------ #
+    # phase (c): inter-concept generation
+    # ------------------------------------------------------------------ #
+
+    def _combine(
+        self,
+        walk: Walk,
+        identifiers: Dict[IRI, List[IRI]],
+        concept_covers: Dict[IRI, List[Tuple[MappingView, ...]]],
+        columns: Mapping[IRI, str],
+        relevant: Set[IRI],
+    ) -> List[ConjunctiveQuery]:
+        """Enumerate concept-cover combinations and join them over edges."""
+        concepts = walk.sorted_concepts()
+        queries: List[ConjunctiveQuery] = []
+        for combo in itertools.product(*(concept_covers[c] for c in concepts)):
+            assignment = dict(zip(concepts, combo))
+            if not self._edges_supported(walk, identifiers, assignment):
+                continue
+            assembled = self._assemble(walk, concepts, assignment, columns, relevant)
+            if assembled is None:
+                continue
+            plan, produced = assembled
+            covers = tuple(
+                (concept, tuple(sorted(v.wrapper_name for v in assignment[concept])))
+                for concept in concepts
+            )
+            queries.append(
+                ConjunctiveQuery(covers=covers, plan=plan, columns=produced)
+            )
+        return queries
+
+    def _edges_supported(
+        self,
+        walk: Walk,
+        identifiers: Dict[IRI, List[IRI]],
+        assignment: Mapping[IRI, Tuple[MappingView, ...]],
+    ) -> bool:
+        """Every walk edge must be witnessed by a wrapper of one endpoint
+        that includes the edge in its named graph and populates an
+        identifier of the *other* endpoint — that identifier column is the
+        join key (the Figure 7 intersection at sc:SportsTeam's id)."""
+        for edge in walk.sorted_edges():
+            source = edge.subject
+            target = edge.object
+            source_ids = set(identifiers[source])  # type: ignore[index]
+            target_ids = set(identifiers[target])  # type: ignore[index]
+            witnessed = any(
+                self._edge_witnessed_by(view, edge, target_ids)
+                for view in assignment[source]  # type: ignore[index]
+            ) or any(
+                self._edge_witnessed_by(view, edge, source_ids)
+                for view in assignment[target]  # type: ignore[index]
+            )
+            if not witnessed:
+                return False
+        return True
+
+    def _assemble(
+        self,
+        walk: Walk,
+        concepts: Sequence[IRI],
+        assignment: Mapping[IRI, Tuple[MappingView, ...]],
+        columns: Mapping[IRI, str],
+        relevant: Set[IRI],
+    ) -> Optional[Tuple[PlanNode, FrozenSet[str]]]:
+        """Join the per-concept cover plans along the walk's edges.
+
+        Concepts are attached BFS-style so each join shares at least one
+        column (the identifier carried by the edge witness).  Returns the
+        joined plan and the set of columns it produces.
+        """
+        cover_plans: Dict[IRI, Tuple[PlanNode, FrozenSet[str]]] = {
+            c: self._cover_plan(assignment[c], relevant, columns) for c in concepts
+        }
+        adjacency: Dict[IRI, Set[IRI]] = {c: set() for c in concepts}
+        for edge in walk.sorted_edges():
+            adjacency[edge.subject].add(edge.object)  # type: ignore[index]
+            adjacency[edge.object].add(edge.subject)  # type: ignore[index]
+        start = concepts[0]
+        plan, cols = cover_plans[start]
+        attached = {start}
+        # Fixpoint: attach any not-yet-joined concept that is adjacent to
+        # the attached region *and* shares a join column with it.  One
+        # pass may postpone a concept whose join key arrives later, so
+        # iterate until no progress.
+        progress = True
+        while progress and attached != set(concepts):
+            progress = False
+            for concept in concepts:
+                if concept in attached:
+                    continue
+                if not (adjacency[concept] & attached):
+                    continue
+                other_plan, other_cols = cover_plans[concept]
+                if not (cols & other_cols):
+                    continue
+                plan = NaturalJoin(plan, other_plan)
+                cols = cols | other_cols
+                attached.add(concept)
+                progress = True
+        if attached != set(concepts):
+            return None
+        return plan, frozenset(cols)
+
+
+def _dedupe(queries: List[ConjunctiveQuery]) -> List[ConjunctiveQuery]:
+    """Drop only exact-duplicate cover assignments (no containment check)."""
+    seen: Set[Tuple] = set()
+    unique: List[ConjunctiveQuery] = []
+    for query in queries:
+        if query.covers not in seen:
+            seen.add(query.covers)
+            unique.append(query)
+    return unique
+
+
+def _filter_predicate(walk: Walk, columns: Mapping[IRI, str]) -> Optional[Expr]:
+    """The conjunction of the walk's filter conditions as a row predicate."""
+    if not walk.filters:
+        return None
+    predicate: Optional[Expr] = None
+    for condition in walk.filters:
+        clause = Cmp(condition.op, Col(columns[condition.feature]), Const(condition.value))
+        predicate = clause if predicate is None else And(predicate, clause)
+    return predicate
+
+
+def _drop_redundant(queries: List[ConjunctiveQuery]) -> List[ConjunctiveQuery]:
+    """Minimize the UCQ by conjunctive-query containment.
+
+    A CQ whose per-concept cover is, concept by concept, a superset of
+    another CQ's cover is *contained* in it: joining extra wrappers only
+    adds conjuncts, so its answers are a subset of the smaller CQ's and it
+    contributes nothing to the union.  Distinct wrapper choices that are
+    not comparable — e.g. the v1 and v2 wrappers of an evolved source —
+    are both kept, which is exactly how evolution governance unions the
+    schema versions.
+    """
+
+    def cover_map(query: ConjunctiveQuery) -> Dict[IRI, FrozenSet[str]]:
+        return {concept: frozenset(names) for concept, names in query.covers}
+
+    maps = [cover_map(q) for q in queries]
+    kept: List[ConjunctiveQuery] = []
+    seen: Set[Tuple] = set()
+    for i, query in enumerate(queries):
+        if query.covers in seen:
+            continue
+        contained_in_other = any(
+            j != i
+            and all(maps[j][c] <= maps[i][c] for c in maps[i])
+            and maps[j] != maps[i]
+            # The smaller CQ must also produce every column this one
+            # does — a CQ kept for an optional feature column is not
+            # redundant even though its covers are a superset.
+            and queries[j].columns >= queries[i].columns
+            for j in range(len(queries))
+        )
+        if contained_in_other:
+            continue
+        seen.add(query.covers)
+        kept.append(query)
+    return kept

@@ -1,0 +1,287 @@
+"""SPARQL front-end: accept OMQs written as SPARQL text.
+
+"The current de-facto standard to query ontologies is the SPARQL query
+language" (paper §1) — the graphical walk interface exists for non-expert
+analysts, but expert analysts write SPARQL directly.  This module closes
+the loop: a SPARQL SELECT of the shape MDM generates (and the obvious
+hand-written variants) is parsed back into a :class:`Walk`, so the same
+LAV rewriting serves both front-ends.
+
+Recognized shape::
+
+    SELECT ?playerName ?teamName WHERE {
+        ?p rdf:type ex:Player .
+        ?p ex:playerName ?playerName .
+        ?p ex:hasTeam ?t .
+        ?t rdf:type sc:SportsTeam .
+        ?t ex:teamName ?teamName .
+        FILTER(?playerName != "N/A")
+    }
+
+Rules:
+
+- every subject variable must be typed (``rdf:type``) with a concept of
+  the global graph;
+- a pattern ``?c <feature> ?v`` selects a feature of ?c's concept;
+- a pattern ``?c <property> ?d`` between two typed variables selects a
+  relation edge (which must exist in the global graph);
+- ``FILTER(?v op literal)`` becomes a :class:`FilterCondition` on the
+  feature bound to ``?v``;
+- ``OPTIONAL { ?c <feature> ?v }`` blocks select *optional* features
+  (NULL where no wrapper provides them);
+- ``DISTINCT`` is accepted (the rewriting applies set semantics anyway);
+  other SPARQL constructs (UNION, GRAPH, BIND, …) are outside the OMQ
+  fragment and rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rdf.namespaces import RDF
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..sparql.ast import (
+    Comparison,
+    FilterPattern,
+    GroupPattern,
+    OptionalPattern,
+    Pattern,
+    SelectQuery,
+    TermExpr,
+    TriplesBlock,
+)
+from ..sparql.parser import parse_query
+from .errors import WalkError
+from .global_graph import GlobalGraph
+from .walks import FilterCondition, Walk
+
+__all__ = ["walk_from_sparql"]
+
+
+def _collect_patterns(pattern: Pattern) -> Tuple[List, List, List]:
+    """Split the WHERE clause into (triples, filters, optional triples)."""
+    triples: List = []
+    filters: List = []
+    optional_triples: List = []
+    if isinstance(pattern, TriplesBlock):
+        triples.extend(pattern.triples)
+    elif isinstance(pattern, GroupPattern):
+        for member in pattern.members:
+            if isinstance(member, TriplesBlock):
+                triples.extend(member.triples)
+            elif isinstance(member, FilterPattern):
+                filters.append(member.expression)
+            elif isinstance(member, OptionalPattern):
+                optional_triples.extend(_optional_block_triples(member))
+            else:
+                raise WalkError(
+                    f"SPARQL construct {type(member).__name__} is outside "
+                    "the OMQ fragment (triple patterns, FILTER comparisons "
+                    "and feature-only OPTIONAL blocks are allowed)"
+                )
+    elif isinstance(pattern, FilterPattern):
+        filters.append(pattern.expression)
+    elif isinstance(pattern, OptionalPattern):
+        raise WalkError("a query cannot consist of only an OPTIONAL block")
+    else:
+        raise WalkError(
+            f"SPARQL construct {type(pattern).__name__} is outside the OMQ "
+            "fragment"
+        )
+    return triples, filters, optional_triples
+
+
+def _optional_block_triples(member: OptionalPattern) -> List:
+    """The triple patterns inside an OPTIONAL block (no nesting allowed)."""
+    inner = member.pattern
+    if isinstance(inner, TriplesBlock):
+        return list(inner.triples)
+    if isinstance(inner, GroupPattern) and all(
+        isinstance(m, TriplesBlock) for m in inner.members
+    ):
+        out: List = []
+        for block in inner.members:
+            out.extend(block.triples)  # type: ignore[attr-defined]
+        return out
+    raise WalkError(
+        "OPTIONAL blocks in the OMQ fragment may contain only feature "
+        "triple patterns"
+    )
+
+
+def walk_from_sparql(global_graph: GlobalGraph, text: str) -> Walk:
+    """Parse SPARQL ``text`` into a validated :class:`Walk`.
+
+    Raises :class:`WalkError` when the query falls outside the OMQ
+    fragment or references terms missing from the global graph.
+    """
+    query = parse_query(text, global_graph.graph.namespaces)
+    if not isinstance(query, SelectQuery):
+        raise WalkError("only SELECT queries can be interpreted as walks")
+    triples, filter_expressions, optional_triples = _collect_patterns(query.where)
+
+    concept_of_var: Dict[Variable, IRI] = {}
+    for triple in triples:
+        if triple.predicate == RDF.type:
+            if not isinstance(triple.subject, Variable) or not isinstance(
+                triple.object, IRI
+            ):
+                raise WalkError(
+                    f"type pattern must be '?var rdf:type <Concept>': "
+                    f"{triple.n3()}"
+                )
+            if not global_graph.is_concept(triple.object):
+                raise WalkError(
+                    f"{triple.object} is not a concept of the global graph"
+                )
+            existing = concept_of_var.get(triple.subject)
+            if existing is not None and existing != triple.object:
+                raise WalkError(
+                    f"variable ?{triple.subject.name} typed with two "
+                    f"concepts: {existing} and {triple.object}"
+                )
+            concept_of_var[triple.subject] = triple.object
+
+    features: Set[IRI] = set()
+    feature_of_var: Dict[Variable, IRI] = {}
+    edges: Set[Tuple[IRI, IRI, IRI]] = set()
+    for triple in triples:
+        if triple.predicate == RDF.type:
+            continue
+        if not isinstance(triple.subject, Variable):
+            raise WalkError(f"subject must be a variable: {triple.n3()}")
+        subject_concept = concept_of_var.get(triple.subject)
+        if subject_concept is None:
+            raise WalkError(
+                f"variable ?{triple.subject.name} is not typed with a "
+                "concept (add '?var rdf:type <Concept>')"
+            )
+        if not isinstance(triple.predicate, IRI):
+            raise WalkError(
+                f"variable predicates are outside the OMQ fragment: "
+                f"{triple.n3()}"
+            )
+        if isinstance(triple.object, Variable) and triple.object in concept_of_var:
+            # concept-to-concept relation
+            object_concept = concept_of_var[triple.object]
+            if triple.predicate not in global_graph.relations_between(
+                subject_concept, object_concept
+            ):
+                raise WalkError(
+                    f"{triple.predicate} does not relate {subject_concept} "
+                    f"to {object_concept} in the global graph"
+                )
+            edges.add((subject_concept, triple.predicate, object_concept))
+            continue
+        # feature selection
+        if not global_graph.is_feature(triple.predicate):
+            raise WalkError(
+                f"{triple.predicate} is neither a feature nor a relation of "
+                "the global graph"
+            )
+        owner = global_graph.concept_of(triple.predicate)
+        if owner != subject_concept:
+            raise WalkError(
+                f"feature {triple.predicate} belongs to {owner}, but "
+                f"?{triple.subject.name} is a {subject_concept}"
+            )
+        features.add(triple.predicate)
+        if isinstance(triple.object, Variable):
+            feature_of_var[triple.object] = triple.predicate
+        elif not isinstance(triple.object, Literal):
+            raise WalkError(
+                f"feature object must be a variable or literal: {triple.n3()}"
+            )
+
+    optional_features: Set[IRI] = set()
+    for triple in optional_triples:
+        if not (
+            isinstance(triple.subject, Variable)
+            and isinstance(triple.predicate, IRI)
+            and isinstance(triple.object, Variable)
+        ):
+            raise WalkError(
+                f"OPTIONAL pattern must be '?concept <feature> ?var': "
+                f"{triple.n3()}"
+            )
+        subject_concept = concept_of_var.get(triple.subject)
+        if subject_concept is None:
+            raise WalkError(
+                f"OPTIONAL subject ?{triple.subject.name} is not typed with "
+                "a concept"
+            )
+        if not global_graph.is_feature(triple.predicate):
+            raise WalkError(
+                f"{triple.predicate} in OPTIONAL is not a feature"
+            )
+        owner = global_graph.concept_of(triple.predicate)
+        if owner != subject_concept:
+            raise WalkError(
+                f"optional feature {triple.predicate} belongs to {owner}, "
+                f"but ?{triple.subject.name} is a {subject_concept}"
+            )
+        optional_features.add(triple.predicate)
+        feature_of_var[triple.object] = triple.predicate
+
+    conditions: List[FilterCondition] = []
+    for expression in filter_expressions:
+        conditions.append(
+            _interpret_filter(expression, feature_of_var)
+        )
+
+    # Projection restricts the walk's features when explicit; filter-only
+    # features stay as filters (the rewriting fetches them anyway).
+    if not query.is_star:
+        projected: Set[IRI] = set()
+        for variable in query.variables:
+            feature = feature_of_var.get(variable)
+            if feature is None:
+                raise WalkError(
+                    f"projected variable ?{variable.name} is not bound to a "
+                    "feature"
+                )
+            if feature not in optional_features:
+                projected.add(feature)
+        walk_features = projected
+    else:
+        walk_features = features
+
+    walk = Walk.build(
+        concepts=set(concept_of_var.values()),
+        features=walk_features,
+        edges=edges,
+        filters=conditions,
+        optional_features=optional_features,
+    )
+    walk.validate(global_graph)
+    return walk
+
+
+def _interpret_filter(
+    expression, feature_of_var: Dict[Variable, IRI]
+) -> FilterCondition:
+    if not isinstance(expression, Comparison):
+        raise WalkError(
+            "only simple comparisons (?var op literal) are supported in "
+            "OMQ filters"
+        )
+    left, right, op = expression.left, expression.right, expression.op
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+    if isinstance(right, TermExpr) and isinstance(right.term, Variable):
+        left, right = right, left
+        op = flipped[op]
+    if not (
+        isinstance(left, TermExpr)
+        and isinstance(left.term, Variable)
+        and isinstance(right, TermExpr)
+        and isinstance(right.term, Literal)
+    ):
+        raise WalkError(
+            "OMQ filters must compare a feature variable with a literal"
+        )
+    feature = feature_of_var.get(left.term)
+    if feature is None:
+        raise WalkError(
+            f"filter variable ?{left.term.name} is not bound to a feature"
+        )
+    return FilterCondition(feature, op, right.term.to_python())

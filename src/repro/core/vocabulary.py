@@ -1,0 +1,61 @@
+"""The BDI-ontology metamodel vocabulary (paper §2, Figure 4).
+
+Two RDF vocabularies structure MDM's metadata:
+
+- the **global graph** vocabulary, prefix ``G`` — concepts, features and
+  the ``hasFeature`` edge that groups features under a concept;
+- the **source graph** vocabulary, prefix ``S`` — data sources, wrappers
+  and attributes.
+
+Plus the externally reused terms: ``sc:identifier`` (the feature class
+whose subclasses gate joins, §2.3), ``owl:sameAs`` (attribute→feature
+links), ``rdfs:subClassOf`` (taxonomies).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..rdf.namespaces import Namespace, NamespaceManager, SC, default_namespace_manager
+from ..rdf.terms import IRI
+
+__all__ = ["G", "S", "M", "IDENTIFIER", "mdm_namespace_manager", "mint_local"]
+
+#: Global-graph metamodel: ``G:Concept``, ``G:Feature``, ``G:hasFeature``.
+G = Namespace("http://www.essi.upc.edu/mdm/globalGraph#")
+
+#: Source-graph metamodel: ``S:DataSource``, ``S:Wrapper``, ``S:Attribute``,
+#: ``S:hasWrapper``, ``S:hasAttribute``.
+S = Namespace("http://www.essi.upc.edu/mdm/sourceGraph#")
+
+#: MDM system namespace (graph names, releases, minted resources).
+M = Namespace("http://www.essi.upc.edu/mdm/system#")
+
+#: The feature superclass that marks identifiers: joins between concepts
+#: are "only restricted to elements that inherit from sc:identifier".
+IDENTIFIER = SC.identifier
+
+
+def mdm_namespace_manager() -> NamespaceManager:
+    """The default prefixes plus ``G``, ``S`` and ``mdm``."""
+    manager = default_namespace_manager()
+    manager.bind("G", G)
+    manager.bind("S", S)
+    manager.bind("mdm", M)
+    return manager
+
+
+_SANITIZE_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def mint_local(base: Namespace, *parts: str) -> IRI:
+    """Deterministically mint an IRI under ``base`` from name parts.
+
+    Each part is sanitized to ``[A-Za-z0-9_]``; parts join with ``/``.
+    Used for source/wrapper/attribute IRIs so re-running a registration
+    yields the same identifiers (idempotence matters for releases).
+    """
+    cleaned = [_SANITIZE_RE.sub("_", p) for p in parts if p]
+    if not cleaned:
+        raise ValueError("mint_local needs at least one non-empty part")
+    return base["/".join(cleaned)]

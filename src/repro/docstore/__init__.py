@@ -1,0 +1,13 @@
+"""Embedded document store (MongoDB substitute) for MDM system metadata."""
+
+from .matching import FilterError, matches, resolve_path
+from .store import Collection, DocumentStore, DuplicateKeyError
+
+__all__ = [
+    "DocumentStore",
+    "Collection",
+    "DuplicateKeyError",
+    "matches",
+    "resolve_path",
+    "FilterError",
+]

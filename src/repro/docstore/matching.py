@@ -1,0 +1,176 @@
+"""Mongo-style filter evaluation for the document store.
+
+Supports the operator subset MDM's metadata layer needs:
+
+- implicit equality: ``{"kind": "wrapper"}``
+- comparison: ``$eq $ne $gt $gte $lt $lte``
+- membership: ``$in $nin``
+- existence: ``$exists``
+- regex: ``$regex`` (string pattern, optional ``$options`` with ``i``)
+- boolean combinators: ``$and $or $nor $not``
+- dot paths into nested documents and lists: ``"release.version"``
+
+List semantics follow MongoDB: a query on a list field matches if *any*
+element matches.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Mapping
+
+__all__ = ["matches", "resolve_path", "FilterError"]
+
+
+class FilterError(ValueError):
+    """Raised for malformed filter documents."""
+
+
+_MISSING = object()
+
+
+def resolve_path(document: Any, path: str) -> List[Any]:
+    """All values at ``path`` (dot-separated) inside ``document``.
+
+    Lists fan out; a missing segment contributes nothing.  The result is a
+    list because Mongo path resolution is one-to-many through arrays.
+    """
+    values = [document]
+    for segment in path.split("."):
+        next_values: List[Any] = []
+        for value in values:
+            if isinstance(value, Mapping):
+                if segment in value:
+                    next_values.append(value[segment])
+            elif isinstance(value, list):
+                if segment.isdigit():
+                    index = int(segment)
+                    if 0 <= index < len(value):
+                        next_values.append(value[index])
+                else:
+                    for element in value:
+                        if isinstance(element, Mapping) and segment in element:
+                            next_values.append(element[segment])
+        values = next_values
+        if not values:
+            break
+    return values
+
+
+def _compare(op: str, actual: Any, expected: Any) -> bool:
+    try:
+        if op == "$eq":
+            return actual == expected
+        if op == "$ne":
+            return actual != expected
+        if op == "$gt":
+            return actual is not None and actual > expected
+        if op == "$gte":
+            return actual is not None and actual >= expected
+        if op == "$lt":
+            return actual is not None and actual < expected
+        if op == "$lte":
+            return actual is not None and actual <= expected
+    except TypeError:
+        return False
+    raise FilterError(f"unknown comparison operator {op!r}")
+
+
+def _match_condition(values: List[Any], condition: Any) -> bool:
+    """Match the resolved values of one path against one condition."""
+    if isinstance(condition, Mapping) and any(
+        k.startswith("$") for k in condition
+    ):
+        for op, expected in condition.items():
+            if op == "$options":
+                continue
+            if op == "$exists":
+                if bool(values) != bool(expected):
+                    return False
+            elif op == "$in":
+                if not isinstance(expected, (list, tuple)):
+                    raise FilterError("$in expects a list")
+                if not any(
+                    v in expected
+                    or (isinstance(v, list) and any(e in expected for e in v))
+                    for v in values
+                ):
+                    return False
+            elif op == "$nin":
+                if not isinstance(expected, (list, tuple)):
+                    raise FilterError("$nin expects a list")
+                if any(v in expected for v in values):
+                    return False
+            elif op == "$regex":
+                flags = 0
+                options = condition.get("$options", "")
+                if "i" in options:
+                    flags |= re.IGNORECASE
+                pattern = re.compile(expected, flags)
+                if not any(
+                    isinstance(v, str) and pattern.search(v) for v in values
+                ):
+                    return False
+            elif op == "$not":
+                if _match_condition(values, expected):
+                    return False
+            elif op in ("$eq", "$ne", "$gt", "$gte", "$lt", "$lte"):
+                if op == "$ne":
+                    # $ne is a for-all: no value may equal.
+                    if any(v == expected for v in values):
+                        return False
+                    # A list value containing the element also fails $ne.
+                    if any(
+                        isinstance(v, list) and expected in v for v in values
+                    ):
+                        return False
+                else:
+                    hit = False
+                    for v in values:
+                        candidates = v if isinstance(v, list) else [v]
+                        if any(_compare(op, c, expected) for c in candidates):
+                            hit = True
+                            break
+                    if not hit:
+                        return False
+            else:
+                raise FilterError(f"unknown operator {op!r}")
+        return True
+    # Implicit equality: match the value itself or any list element.
+    for v in values:
+        if v == condition:
+            return True
+        if isinstance(v, list) and condition in v:
+            return True
+    return False
+
+
+def matches(document: Mapping[str, Any], query: Mapping[str, Any]) -> bool:
+    """Whether ``document`` satisfies the Mongo-style ``query``."""
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise FilterError(f"unknown top-level operator {key!r}")
+        else:
+            values = resolve_path(document, key)
+            if not values and not (
+                isinstance(condition, Mapping) and "$exists" in condition
+            ):
+                if isinstance(condition, Mapping) and any(
+                    k.startswith("$") for k in condition
+                ):
+                    if "$ne" in condition or "$nin" in condition or "$not" in condition:
+                        # vacuously true for missing fields, like Mongo
+                        continue
+                return False
+            if not _match_condition(values, condition):
+                return False
+    return True

@@ -1,0 +1,85 @@
+"""Pure-Python RDF substrate (Jena substitute) for the MDM reproduction.
+
+Public surface::
+
+    from repro.rdf import (
+        IRI, BNode, Literal, Variable, Triple, Quad,
+        Graph, Dataset,
+        Namespace, NamespaceManager, RDF, RDFS, OWL, XSD, SC, EX,
+        parse_turtle, serialize_turtle,
+        parse_trig, serialize_trig,
+        parse_ntriples, serialize_ntriples,
+        parse_nquads, serialize_nquads,
+    )
+"""
+
+from .dataset import Dataset
+from .graph import Graph
+from .namespaces import (
+    EX,
+    OWL,
+    RDF,
+    RDFS,
+    SC,
+    XSD,
+    Namespace,
+    NamespaceManager,
+    default_namespace_manager,
+)
+from .ntriples import (
+    NTriplesParseError,
+    parse_nquads,
+    parse_ntriples,
+    serialize_nquads,
+    serialize_ntriples,
+)
+from .reasoner import (
+    instances_of,
+    materialize_rdfs,
+    same_as_closure,
+    subclass_closure,
+    subproperty_closure,
+    superclass_closure,
+    types_of,
+)
+from .terms import BNode, IRI, Literal, Quad, Term, Triple, Variable
+from .trig import parse_trig, serialize_trig
+from .turtle import TurtleParseError, parse_turtle, serialize_turtle
+
+__all__ = [
+    "IRI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Term",
+    "Triple",
+    "Quad",
+    "Graph",
+    "Dataset",
+    "Namespace",
+    "NamespaceManager",
+    "default_namespace_manager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "SC",
+    "EX",
+    "parse_turtle",
+    "serialize_turtle",
+    "TurtleParseError",
+    "parse_trig",
+    "serialize_trig",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "parse_nquads",
+    "serialize_nquads",
+    "NTriplesParseError",
+    "subclass_closure",
+    "superclass_closure",
+    "subproperty_closure",
+    "same_as_closure",
+    "instances_of",
+    "types_of",
+    "materialize_rdfs",
+]

@@ -1,0 +1,185 @@
+"""N-Triples and N-Quads codecs.
+
+The line-oriented formats are used as the lowest common denominator for
+persistence, test fixtures and graph diffing.  The parser is strict about
+term shapes but tolerant of surrounding whitespace and ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Optional
+
+from .dataset import Dataset
+from .graph import Graph
+from .terms import BNode, IRI, Literal, Quad, Term, Triple
+
+__all__ = [
+    "serialize_ntriples",
+    "parse_ntriples",
+    "serialize_nquads",
+    "parse_nquads",
+    "NTriplesParseError",
+]
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples / N-Quads input, with line context."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to canonical N-Triples (sorted for determinism)."""
+    lines = sorted(t.n3() for t in triples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def serialize_nquads(quads: Iterable[Quad]) -> str:
+    """Serialize quads to canonical N-Quads (sorted for determinism)."""
+    lines = sorted(q.n3() for q in quads)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_IRI_RE = re.compile(r"<([^<>\"\s]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9_][A-Za-z0-9_.-]*)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'  # lexical form with escapes
+    r"(?:\^\^<([^<>\"\s]*)>|@([A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*))?"
+)
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+    "b": "\b",
+    "f": "\f",
+    "'": "'",
+}
+
+
+def unescape_string(raw: str) -> str:
+    """Resolve N-Triples string escapes including ``\\uXXXX``/``\\UXXXXXXXX``."""
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise ValueError("dangling backslash in literal")
+        nxt = raw[i + 1]
+        if nxt in _ESCAPES:
+            out.append(_ESCAPES[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(raw[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(raw[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise ValueError(f"unknown escape \\{nxt}")
+    return "".join(out)
+
+
+def _parse_term(text: str, pos: int, line_number: int, line: str):
+    """Parse one term starting at ``pos``; returns ``(term, next_pos)``."""
+    while pos < len(text) and text[pos] in " \t":
+        pos += 1
+    if pos >= len(text):
+        raise NTriplesParseError("unexpected end of statement", line_number, line)
+    ch = text[pos]
+    if ch == "<":
+        m = _IRI_RE.match(text, pos)
+        if not m:
+            raise NTriplesParseError("malformed IRI", line_number, line)
+        return IRI(m.group(1)), m.end()
+    if ch == "_":
+        m = _BNODE_RE.match(text, pos)
+        if not m:
+            raise NTriplesParseError("malformed blank node", line_number, line)
+        return BNode(m.group(1)), m.end()
+    if ch == '"':
+        m = _LITERAL_RE.match(text, pos)
+        if not m:
+            raise NTriplesParseError("malformed literal", line_number, line)
+        lexical = unescape_string(m.group(1))
+        datatype, lang = m.group(2), m.group(3)
+        if lang is not None:
+            return Literal(lexical, lang=lang), m.end()
+        if datatype is not None:
+            return Literal(lexical, datatype=datatype), m.end()
+        return Literal(lexical), m.end()
+    raise NTriplesParseError(f"unexpected character {ch!r}", line_number, line)
+
+
+def _parse_statement_terms(
+    line: str, line_number: int, max_terms: int
+) -> List[Term]:
+    """Parse up to ``max_terms`` terms followed by the terminating dot."""
+    terms: List[Term] = []
+    pos = 0
+    while True:
+        while pos < len(line) and line[pos] in " \t":
+            pos += 1
+        if pos < len(line) and line[pos] == ".":
+            pos += 1
+            remainder = line[pos:].strip()
+            if remainder and not remainder.startswith("#"):
+                raise NTriplesParseError("content after '.'", line_number, line)
+            break
+        if len(terms) >= max_terms:
+            raise NTriplesParseError("too many terms in statement", line_number, line)
+        term, pos = _parse_term(line, pos, line_number, line)
+        terms.append(term)
+    return terms
+
+
+def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse N-Triples ``text`` into ``graph`` (a fresh one by default)."""
+    target = graph if graph is not None else Graph()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        terms = _parse_statement_terms(line, number, max_terms=3)
+        if len(terms) != 3:
+            raise NTriplesParseError(
+                f"expected 3 terms, got {len(terms)}", number, raw
+            )
+        target.add((terms[0], terms[1], terms[2]))
+    return target
+
+
+def parse_nquads(text: str, dataset: Optional[Dataset] = None) -> Dataset:
+    """Parse N-Quads ``text`` into ``dataset`` (a fresh one by default)."""
+    target = dataset if dataset is not None else Dataset()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        terms = _parse_statement_terms(line, number, max_terms=4)
+        if len(terms) == 3:
+            target.add_quad(Quad(terms[0], terms[1], terms[2], None))
+        elif len(terms) == 4:
+            if not isinstance(terms[3], IRI):
+                raise NTriplesParseError("graph label must be an IRI", number, raw)
+            target.add_quad(Quad(terms[0], terms[1], terms[2], terms[3]))
+        else:
+            raise NTriplesParseError(
+                f"expected 3 or 4 terms, got {len(terms)}", number, raw
+            )
+    return target
+
+
+def graph_to_nquads(dataset: Dataset) -> Iterator[Quad]:
+    """Flatten a dataset into quads (default graph first, then named)."""
+    yield from dataset.quads()

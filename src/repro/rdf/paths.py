@@ -1,0 +1,127 @@
+"""Graph-traversal helpers over RDF graphs.
+
+These utilities treat an RDF graph as a (directed or undirected) labelled
+graph of subject/object nodes.  MDM uses them for:
+
+- connectivity checks when validating walks and LAV named graphs (an
+  analyst's contour, projected onto the global graph, must be connected);
+- neighbourhood expansion in the query-expansion phase of rewriting;
+- shortest paths for user feedback ("these two concepts are linked via…").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .graph import Graph
+from .terms import IRI, Literal, Term
+
+__all__ = [
+    "neighbours",
+    "is_connected",
+    "connected_components",
+    "shortest_path",
+    "edge_induced_subgraph_nodes",
+]
+
+EdgeFilter = Callable[[Term, Term, Term], bool]
+
+
+def neighbours(
+    graph: Graph,
+    node: Term,
+    undirected: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+    include_literals: bool = False,
+) -> Set[Term]:
+    """Nodes adjacent to ``node``; literals excluded unless requested."""
+    out: Set[Term] = set()
+    for s, p, o in graph.triples((node, None, None)):
+        if edge_filter is not None and not edge_filter(s, p, o):
+            continue
+        if include_literals or not isinstance(o, Literal):
+            out.add(o)
+    if undirected:
+        for s, p, o in graph.triples((None, None, node)):
+            if edge_filter is not None and not edge_filter(s, p, o):
+                continue
+            out.add(s)
+    out.discard(node)
+    return out
+
+
+def _node_universe(graph: Graph, include_literals: bool) -> Set[Term]:
+    nodes: Set[Term] = set()
+    for s, _, o in graph:
+        nodes.add(s)
+        if include_literals or not isinstance(o, Literal):
+            nodes.add(o)
+    return nodes
+
+
+def connected_components(
+    graph: Graph, include_literals: bool = False
+) -> List[Set[Term]]:
+    """The undirected connected components of the graph's nodes."""
+    universe = _node_universe(graph, include_literals)
+    remaining = set(universe)
+    components: List[Set[Term]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component: Set[Term] = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in neighbours(
+                graph, node, undirected=True, include_literals=include_literals
+            ):
+                if nxt in remaining and nxt not in component:
+                    component.add(nxt)
+                    frontier.append(nxt)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph: Graph, include_literals: bool = False) -> bool:
+    """True for the empty graph or a graph with exactly one component."""
+    return len(connected_components(graph, include_literals)) <= 1
+
+
+def shortest_path(
+    graph: Graph,
+    source: Term,
+    target: Term,
+    undirected: bool = True,
+) -> Optional[List[Term]]:
+    """BFS shortest node path from ``source`` to ``target`` or None."""
+    if source == target:
+        return [source]
+    predecessor: Dict[Term, Term] = {}
+    frontier = deque([source])
+    visited: Set[Term] = {source}
+    while frontier:
+        node = frontier.popleft()
+        for nxt in neighbours(graph, node, undirected=undirected):
+            if nxt in visited:
+                continue
+            predecessor[nxt] = node
+            if nxt == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(predecessor[path[-1]])
+                path.reverse()
+                return path
+            visited.add(nxt)
+            frontier.append(nxt)
+    return None
+
+
+def edge_induced_subgraph_nodes(triples: Iterable[Tuple[Term, Term, Term]]) -> Set[Term]:
+    """Subject and object nodes touched by an edge set (predicates excluded)."""
+    nodes: Set[Term] = set()
+    for s, _, o in triples:
+        nodes.add(s)
+        nodes.add(o)
+    return nodes

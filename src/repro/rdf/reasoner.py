@@ -1,0 +1,169 @@
+"""Lightweight RDFS/OWL reasoning used by the MDM metamodel.
+
+MDM does not require a full description-logic reasoner — that is precisely
+the point of the vocabulary-based approach (paper §1).  What it does rely
+on is a small, well-defined set of entailments:
+
+- ``rdfs:subClassOf`` transitivity and type propagation (taxonomies of
+  concepts and of features, in particular the ``rdfs:subClassOf
+  sc:identifier`` marker that gates joins),
+- ``rdfs:subPropertyOf`` transitivity,
+- ``rdfs:domain`` / ``rdfs:range`` type inference,
+- ``owl:sameAs`` symmetric-transitive closure (attribute-to-feature
+  links in LAV mappings).
+
+Both *materialization* (forward chaining into the graph) and on-demand
+closure queries are provided; MDM uses the on-demand form so the stored
+graphs stay exactly what the steward asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from .graph import Graph
+from .namespaces import OWL, RDF, RDFS
+from .terms import IRI, Term, Triple
+
+__all__ = [
+    "subclass_closure",
+    "superclass_closure",
+    "subproperty_closure",
+    "same_as_closure",
+    "instances_of",
+    "types_of",
+    "materialize_rdfs",
+]
+
+
+def _reachable(graph: Graph, start: Term, predicate: IRI, forward: bool) -> Set[Term]:
+    """Terms reachable from ``start`` over ``predicate`` edges (reflexive)."""
+    seen: Set[Term] = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if forward:
+            neighbours = graph.objects(node, predicate)
+        else:
+            neighbours = graph.subjects(predicate, node)
+        for nxt in neighbours:
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def superclass_closure(graph: Graph, cls: Term) -> Set[Term]:
+    """``cls`` plus every direct/indirect superclass (rdfs:subClassOf*)."""
+    return _reachable(graph, cls, RDFS.subClassOf, forward=True)
+
+
+def subclass_closure(graph: Graph, cls: Term) -> Set[Term]:
+    """``cls`` plus every direct/indirect subclass."""
+    return _reachable(graph, cls, RDFS.subClassOf, forward=False)
+
+
+def subproperty_closure(graph: Graph, prop: Term) -> Set[Term]:
+    """``prop`` plus every direct/indirect subproperty."""
+    return _reachable(graph, prop, RDFS.subPropertyOf, forward=False)
+
+
+def same_as_closure(graph: Graph, term: Term) -> Set[Term]:
+    """The owl:sameAs equivalence class of ``term`` (symmetric-transitive)."""
+    seen: Set[Term] = {term}
+    frontier = [term]
+    while frontier:
+        node = frontier.pop()
+        for nxt in graph.objects(node, OWL.sameAs):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+        for nxt in graph.subjects(OWL.sameAs, node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def types_of(graph: Graph, node: Term) -> Set[Term]:
+    """All types of ``node`` under RDFS semantics (asserted + inherited)."""
+    out: Set[Term] = set()
+    for asserted in graph.objects(node, RDF.type):
+        out |= superclass_closure(graph, asserted)
+    return out
+
+
+def instances_of(graph: Graph, cls: Term) -> Set[Term]:
+    """All instances of ``cls`` including instances of its subclasses."""
+    out: Set[Term] = set()
+    for sub in subclass_closure(graph, cls):
+        out.update(graph.subjects(RDF.type, sub))
+    return out
+
+
+def _transitive_pairs(graph: Graph, predicate: IRI) -> Iterable[Triple]:
+    """New triples closing ``predicate`` transitively."""
+    adjacency: Dict[Term, Set[Term]] = {}
+    for s, _, o in graph.triples((None, predicate, None)):
+        adjacency.setdefault(s, set()).add(o)
+    for start in list(adjacency):
+        reachable = _reachable(graph, start, predicate, forward=True)
+        for target in reachable:
+            if target != start:
+                yield Triple(start, predicate, target)
+
+
+def materialize_rdfs(graph: Graph, max_rounds: int = 50) -> int:
+    """Forward-chain the RDFS rules into ``graph``; returns triples added.
+
+    Rules applied to fixpoint: subClassOf/subPropertyOf transitivity, type
+    propagation along subClassOf, property propagation along
+    subPropertyOf, and domain/range typing.  ``max_rounds`` bounds the
+    fixpoint loop defensively (each round adds at least one triple or
+    stops, so the bound is never hit on consistent inputs).
+    """
+    total_added = 0
+    for _ in range(max_rounds):
+        new_triples: Set[Triple] = set()
+        new_triples.update(
+            t for t in _transitive_pairs(graph, RDFS.subClassOf) if t not in graph
+        )
+        new_triples.update(
+            t for t in _transitive_pairs(graph, RDFS.subPropertyOf) if t not in graph
+        )
+        # rdf:type propagation upward through subClassOf.
+        for sub, _, sup in graph.triples((None, RDFS.subClassOf, None)):
+            for instance in graph.subjects(RDF.type, sub):
+                candidate = Triple(instance, RDF.type, sup)
+                if candidate not in graph:
+                    new_triples.add(candidate)
+        # statement propagation upward through subPropertyOf.
+        for sub_p, _, sup_p in graph.triples((None, RDFS.subPropertyOf, None)):
+            if not isinstance(sup_p, IRI):
+                continue
+            for s, _, o in graph.triples((None, sub_p, None)):
+                candidate = Triple(s, sup_p, o)
+                if candidate not in graph:
+                    new_triples.add(candidate)
+        # domain / range typing.
+        for prop, _, cls in graph.triples((None, RDFS.domain, None)):
+            if not isinstance(prop, IRI):
+                continue
+            for s, _, _o in graph.triples((None, prop, None)):
+                candidate = Triple(s, RDF.type, cls)
+                if candidate not in graph:
+                    new_triples.add(candidate)
+        for prop, _, cls in graph.triples((None, RDFS.range, None)):
+            if not isinstance(prop, IRI):
+                continue
+            for _s, _, o in graph.triples((None, prop, None)):
+                if isinstance(o, (IRI,)) or o.__class__.__name__ == "BNode":
+                    candidate = Triple(o, RDF.type, cls)
+                    if candidate not in graph:
+                        new_triples.add(candidate)
+        if not new_triples:
+            break
+        for t in new_triples:
+            graph.add(t)
+        total_added += len(new_triples)
+    return total_added

@@ -1,0 +1,111 @@
+"""TriG codec: Turtle extended with named graph blocks.
+
+TriG is the persistence format for MDM datasets (the substitute for Jena
+TDB): the default graph plus one ``<graphIRI> { ... }`` block per named
+graph.  Since LAV mappings are named graphs whose IRI is the wrapper IRI
+(paper §2.3), a TriG snapshot captures the entire integration state.
+
+Supported TriG fragment::
+
+    @prefix ex: <...> .
+    ex:s ex:p ex:o .                 # default graph
+    GRAPH <http://.../wrapper1> {    # or bare  <...> { ... }
+        ex:a ex:b ex:c .
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .dataset import Dataset
+from .graph import Graph
+from .terms import IRI
+from .turtle import TurtleParser, serialize_turtle
+
+__all__ = ["parse_trig", "serialize_trig"]
+
+
+class _TriGParser(TurtleParser):
+    """Extends the Turtle parser with graph blocks writing into a Dataset."""
+
+    def __init__(self, text: str, dataset: Optional[Dataset] = None):
+        self.dataset = dataset if dataset is not None else Dataset()
+        super().__init__(text, self.dataset.default_graph)
+        # Directives must update the dataset-wide namespace manager, which
+        # the default graph already shares.
+
+    def parse_dataset(self) -> Dataset:
+        while self.tokens.peek().kind != "EOF":
+            token = self.tokens.peek()
+            if token.kind == "KEYWORD" and token.value.lower() in (
+                "@prefix",
+                "prefix",
+                "@base",
+                "base",
+            ):
+                self._parse_directive()
+                continue
+            if token.kind == "KEYWORD" and token.value.upper() == "GRAPH":
+                self.tokens.next()
+                self._parse_graph_block()
+                continue
+            # A bare "<iri> {" also opens a graph block.
+            if token.kind in ("IRIREF", "QNAME"):
+                brace = self.tokens.peek(1)
+                if brace.kind == "PUNCT" and brace.value == "{":
+                    self._parse_graph_block()
+                    continue
+            self.parse_statement()
+        return self.dataset
+
+    def _parse_graph_block(self) -> None:
+        name_term = self.parse_term(as_subject=True)
+        if not isinstance(name_term, IRI):
+            raise self.tokens.error("graph name must be an IRI")
+        self.tokens.expect("PUNCT", "{")
+        outer = self.graph
+        self.graph = self.dataset.graph(name_term)
+        try:
+            while not (
+                self.tokens.peek().kind == "PUNCT" and self.tokens.peek().value == "}"
+            ):
+                subject = self.parse_term(as_subject=True)
+                self._parse_predicate_object_list(subject)
+                nxt = self.tokens.peek()
+                if nxt.kind == "PUNCT" and nxt.value == ".":
+                    self.tokens.next()
+        finally:
+            self.graph = outer
+        self.tokens.expect("PUNCT", "}")
+
+
+def parse_trig(text: str, dataset: Optional[Dataset] = None) -> Dataset:
+    """Parse a TriG document into ``dataset`` (a fresh one by default)."""
+    return _TriGParser(text, dataset).parse_dataset()
+
+
+def serialize_trig(dataset: Dataset) -> str:
+    """Serialize ``dataset`` as deterministic TriG.
+
+    Prefixes are emitted once at the top; the default graph is serialized
+    first, followed by each named graph block in sorted-IRI order.
+    """
+    parts: List[str] = []
+    prefix_lines = [
+        f"@prefix {prefix}: <{base}> ."
+        for prefix, base in dataset.namespaces.prefixes()
+    ]
+    if prefix_lines:
+        parts.append("\n".join(prefix_lines))
+    default_body = serialize_turtle(dataset.default_graph, include_prefixes=False)
+    if default_body.strip():
+        parts.append(default_body.rstrip())
+    for name in dataset.graph_names():
+        graph = dataset.graph(name)
+        body = serialize_turtle(graph, include_prefixes=False)
+        indented = "\n".join(
+            "    " + line if line else "" for line in body.rstrip().split("\n")
+        )
+        parts.append(f"{name.n3()} {{\n{indented}\n}}")
+    return "\n\n".join(parts) + ("\n" if parts else "")

@@ -1,0 +1,363 @@
+"""Relational-algebra operator trees.
+
+The rewriting algorithm (paper §2.4, Figure 8) produces *relational
+algebra expressions over the wrappers* — this module is that expression
+language.  Operators:
+
+``Scan(name)``
+    a base relation (one wrapper's output).
+``Project(child, names)``
+    π — also reorders columns.
+``Select(child, predicate)``
+    σ with an :class:`repro.relational.expressions.Expr` predicate.
+``NaturalJoin(left, right)``
+    ⋈ on all shared attribute names.
+``EquiJoin(left, right, pairs)``
+    ⋈ on explicit ``(left_attr, right_attr)`` pairs, keeping both sides'
+    columns (right-side join columns dropped when names collide).
+``Rename(child, mapping)``
+    ρ.
+``Union(left, right)``
+    ∪ over union-compatible children (bag union; wrap in Distinct for set).
+``Distinct(child)``
+    δ duplicate elimination.
+
+``pretty()`` renders the tree in the paper's mathematical notation, e.g.::
+
+    π_{name, pName} (w2 ⋈_{id=teamId} w1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expressions import Expr
+from .schema import RelationSchema, SchemaError
+
+__all__ = [
+    "PlanNode",
+    "Scan",
+    "Project",
+    "Select",
+    "NaturalJoin",
+    "EquiJoin",
+    "Rename",
+    "Union",
+    "Distinct",
+    "Catalog",
+    "union_all",
+]
+
+#: Maps scan names to their schemas for static schema derivation.
+Catalog = Dict[str, RelationSchema]
+
+
+class PlanNode:
+    """Base class of algebra operators."""
+
+    __slots__ = ()
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        """The schema this operator produces given base-relation schemas."""
+        raise NotImplementedError
+
+    def pretty(self) -> str:
+        """Mathematical rendering (π σ ⋈ ∪ ρ δ) like the paper's Figure 8."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Direct child operators."""
+        raise NotImplementedError
+
+    def scans(self) -> List[str]:
+        """All base-relation names in the subtree, in left-to-right order."""
+        if isinstance(self, Scan):
+            return [self.relation_name]
+        out: List[str] = []
+        for child in self.children():
+            out.extend(child.scans())
+        return out
+
+    def depth(self) -> int:
+        """Height of the operator tree (a Scan has depth 1)."""
+        kids = self.children()
+        return 1 + (max(k.depth() for k in kids) if kids else 0)
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """A base relation, by catalog name (= wrapper name in MDM)."""
+
+    relation_name: str
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        try:
+            return catalog[self.relation_name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {self.relation_name!r}") from None
+
+    def pretty(self) -> str:
+        return self.relation_name
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """π — keep (and reorder to) the listed attribute names."""
+
+    child: PlanNode
+    names: Tuple[str, ...]
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        return self.child.output_schema(catalog).project(self.names)
+
+    def pretty(self) -> str:
+        cols = ", ".join(self.names)
+        return f"π_{{{cols}}}({self.child.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Select(PlanNode):
+    """σ — filter rows by a predicate expression."""
+
+    child: PlanNode
+    predicate: Expr
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        return self.child.output_schema(catalog)
+
+    def pretty(self) -> str:
+        return f"σ_{{{self.predicate}}}({self.child.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(PlanNode):
+    """⋈ — join on all shared attribute names (cross product if none)."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        _, combined = self.left.output_schema(catalog).join_split(
+            self.right.output_schema(catalog)
+        )
+        return combined
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} ⋈ {self.right.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class EquiJoin(PlanNode):
+    """⋈ on explicit attribute pairs ``(left_name, right_name)``.
+
+    The output keeps all left attributes and the right attributes whose
+    names do not collide with a left name.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    pairs: Tuple[Tuple[str, str], ...]
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        left_schema = self.left.output_schema(catalog)
+        right_schema = self.right.output_schema(catalog)
+        for l_name, r_name in self.pairs:
+            left_schema.index_of(l_name)
+            right_schema.index_of(r_name)
+        combined = list(left_schema.attributes) + [
+            a for a in right_schema.attributes if a.name not in left_schema
+        ]
+        return RelationSchema(combined)
+
+    def pretty(self) -> str:
+        condition = " ∧ ".join(f"{l}={r}" for l, r in self.pairs)
+        return f"({self.left.pretty()} ⋈_{{{condition}}} {self.right.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Rename(PlanNode):
+    """ρ — rename attributes per a mapping (stored as sorted pairs)."""
+
+    child: PlanNode
+    mapping: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def from_dict(cls, child: PlanNode, mapping: Dict[str, str]) -> "Rename":
+        """Build from a dict (sorted for deterministic equality)."""
+        return cls(child, tuple(sorted(mapping.items())))
+
+    def mapping_dict(self) -> Dict[str, str]:
+        """The rename mapping as a dict."""
+        return dict(self.mapping)
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        return self.child.output_schema(catalog).rename(self.mapping_dict())
+
+    def pretty(self) -> str:
+        renames = ", ".join(f"{old}→{new}" for old, new in self.mapping)
+        return f"ρ_{{{renames}}}({self.child.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Union(PlanNode):
+    """∪ — bag union of two union-compatible children."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        left_schema = self.left.output_schema(catalog)
+        right_schema = self.right.output_schema(catalog)
+        return left_schema.widen(right_schema)
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} ∪ {self.right.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Distinct(PlanNode):
+    """δ — duplicate elimination."""
+
+    child: PlanNode
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        return self.child.output_schema(catalog)
+
+    def pretty(self) -> str:
+        return f"δ({self.child.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Extend(PlanNode):
+    """ε — append a constant column (used to NULL-pad optional features).
+
+    UCQ branches must be union-compatible; a branch whose wrappers do not
+    provide an optional feature is extended with a NULL column of that
+    name so it lines up with branches that do.
+    """
+
+    child: PlanNode
+    column: str
+    value: object = None
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        from .schema import Attribute
+        from .types import AttrType, infer_type
+
+        child_schema = self.child.output_schema(catalog)
+        if self.column in child_schema:
+            raise SchemaError(
+                f"extend column {self.column!r} already exists in "
+                f"{list(child_schema.names)}"
+            )
+        attr_type = AttrType.ANY if self.value is None else infer_type(self.value)
+        return RelationSchema(
+            list(child_schema.attributes) + [Attribute(self.column, attr_type)]
+        )
+
+    def pretty(self) -> str:
+        rendered = "NULL" if self.value is None else repr(self.value)
+        return f"ε_{{{self.column}={rendered}}}({self.child.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+#: The aggregation functions :class:`Aggregate` supports.
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    """γ — grouped aggregation.
+
+    ``metrics`` is a tuple of ``(function, column, alias)`` with function
+    in :data:`AGGREGATE_FUNCTIONS`; ``column`` may be ``"*"`` for
+    ``count``.  The output schema is the group-by columns followed by the
+    aliases.  Not part of the paper's UCQ output (walks are conjunctive),
+    but the analyst-facing tabular layer aggregates results the way any
+    BI tool over MDM would.
+    """
+
+    child: PlanNode
+    group_by: Tuple[str, ...]
+    metrics: Tuple[Tuple[str, str, str], ...]
+
+    def __post_init__(self):
+        seen = set(self.group_by)
+        for function, column, alias in self.metrics:
+            if function not in AGGREGATE_FUNCTIONS:
+                raise SchemaError(
+                    f"unknown aggregate function {function!r}; "
+                    f"use one of {AGGREGATE_FUNCTIONS}"
+                )
+            if column == "*" and function != "count":
+                raise SchemaError(f"{function}(*) is not defined")
+            if alias in seen:
+                raise SchemaError(f"duplicate output column {alias!r}")
+            seen.add(alias)
+
+    def output_schema(self, catalog: Catalog) -> RelationSchema:
+        from .schema import Attribute
+        from .types import AttrType
+
+        child_schema = self.child.output_schema(catalog)
+        attributes = [child_schema.attribute(name) for name in self.group_by]
+        for function, column, alias in self.metrics:
+            if column != "*":
+                child_schema.index_of(column)  # existence check
+            if function == "count":
+                attr_type = AttrType.INTEGER
+            elif function == "avg":
+                attr_type = AttrType.FLOAT
+            elif column != "*":
+                attr_type = child_schema.attribute(column).type
+            else:
+                attr_type = AttrType.ANY
+            attributes.append(Attribute(alias, attr_type))
+        return RelationSchema(attributes)
+
+    def pretty(self) -> str:
+        groups = ", ".join(self.group_by)
+        metrics = ", ".join(
+            f"{alias}={function}({column})" for function, column, alias in self.metrics
+        )
+        return f"γ_{{{groups}; {metrics}}}({self.child.pretty()})"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+def union_all(branches: Sequence[PlanNode]) -> PlanNode:
+    """Left-deep union of one or more branches (identity for a single one)."""
+    if not branches:
+        raise ValueError("union_all needs at least one branch")
+    result = branches[0]
+    for branch in branches[1:]:
+        result = Union(result, branch)
+    return result

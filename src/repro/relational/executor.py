@@ -1,0 +1,276 @@
+"""Execution of relational-algebra plans over in-memory relations.
+
+The :class:`Executor` plays the role of the paper's federated SQLite step:
+wrapper outputs are registered as base relations, and the UCQ plan emitted
+by the LAV rewriting executes against them.  Joins are hash joins; unions
+widen schemas positionally and coerce rows to the common type so that two
+schema versions of the same source (e.g. INTEGER ids vs stringified ids)
+union cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .algebra import (
+    Aggregate,
+    Extend,
+    Catalog,
+    Distinct,
+    EquiJoin,
+    NaturalJoin,
+    PlanNode,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from .relation import Relation
+from .schema import RelationSchema, SchemaError
+
+__all__ = ["Executor", "ExecutionError"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed (unknown scan, bad schema...)."""
+
+
+class Executor:
+    """Executes plans against a registry of named base relations."""
+
+    def __init__(self, relations: Optional[Dict[str, Relation]] = None):
+        self._relations: Dict[str, Relation] = {}
+        if relations:
+            for name, relation in relations.items():
+                self.register(name, relation)
+
+    def register(self, name: str, relation: Relation) -> None:
+        """Register (or replace) a base relation under ``name``."""
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        self._relations[name] = relation
+
+    def unregister(self, name: str) -> bool:
+        """Drop a base relation; True if it existed."""
+        return self._relations.pop(name, None) is not None
+
+    @property
+    def catalog(self) -> Catalog:
+        """Scan-name → schema mapping for static plan checking."""
+        return {name: rel.schema for name, rel in self._relations.items()}
+
+    def relation(self, name: str) -> Relation:
+        """The base relation registered under ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown base relation {name!r}; registered: "
+                f"{sorted(self._relations)}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def execute(self, plan: PlanNode) -> Relation:
+        """Evaluate ``plan`` and return the result relation."""
+        if isinstance(plan, Scan):
+            return self.relation(plan.relation_name)
+        if isinstance(plan, Project):
+            return self._project(plan)
+        if isinstance(plan, Select):
+            return self._select(plan)
+        if isinstance(plan, NaturalJoin):
+            return self._natural_join(plan)
+        if isinstance(plan, EquiJoin):
+            return self._equi_join(plan)
+        if isinstance(plan, Rename):
+            return self._rename(plan)
+        if isinstance(plan, Union):
+            return self._union(plan)
+        if isinstance(plan, Distinct):
+            return self.execute(plan.child).distinct()
+        if isinstance(plan, Aggregate):
+            return self._aggregate(plan)
+        if isinstance(plan, Extend):
+            child = self.execute(plan.child)
+            schema = plan.output_schema({**self.catalog, "__child__": child.schema})
+            rows = [row + (plan.value,) for row in child]
+            return Relation(schema, rows)
+        raise ExecutionError(f"unknown plan node {plan!r}")
+
+    def _aggregate(self, plan: Aggregate) -> Relation:
+        child = self.execute(plan.child)
+        schema = plan.output_schema({**self.catalog, "__child__": child.schema})
+        group_indices = [child.schema.index_of(n) for n in plan.group_by]
+        metric_indices = [
+            None if column == "*" else child.schema.index_of(column)
+            for _, column, _ in plan.metrics
+        ]
+        groups: Dict[Tuple, List[Tuple]] = {}
+        order: List[Tuple] = []
+        for row in child:
+            key = tuple(row[i] for i in group_indices)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        if not plan.group_by and not groups:
+            # Global aggregate over an empty input still yields one row.
+            groups[()] = []
+            order.append(())
+        rows: List[Tuple] = []
+        for key in order:
+            members = groups[key]
+            cells: List[Any] = list(key)
+            for (function, column, _), index in zip(plan.metrics, metric_indices):
+                if function == "count" and index is None:
+                    cells.append(len(members))
+                    continue
+                values = [
+                    row[index] for row in members if row[index] is not None
+                ]
+                if function == "count":
+                    cells.append(len(values))
+                elif not values:
+                    cells.append(None)
+                elif function == "sum":
+                    cells.append(sum(values))
+                elif function == "avg":
+                    cells.append(sum(values) / len(values))
+                elif function == "min":
+                    cells.append(min(values))
+                elif function == "max":
+                    cells.append(max(values))
+                else:  # unreachable: Aggregate validates its functions
+                    raise ExecutionError(f"unknown aggregate {function!r}")
+            rows.append(tuple(cells))
+        return Relation(schema, rows)
+
+    def _project(self, plan: Project) -> Relation:
+        child = self.execute(plan.child)
+        indices = [child.schema.index_of(n) for n in plan.names]
+        schema = child.schema.project(plan.names)
+        rows = [tuple(row[i] for i in indices) for row in child]
+        return Relation(schema, rows)
+
+    def _select(self, plan: Select) -> Relation:
+        child = self.execute(plan.child)
+        names = child.schema.names
+        kept = [
+            row
+            for row in child
+            if plan.predicate.evaluate(dict(zip(names, row)))
+        ]
+        return Relation(child.schema, kept)
+
+    def _natural_join(self, plan: NaturalJoin) -> Relation:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        shared, schema = left.schema.join_split(right.schema)
+        if not shared:
+            # Degenerate to a cross product.
+            rows = [l + r for l in left for r in right]
+            return Relation(schema, rows)
+        pairs = tuple((n, n) for n in shared)
+        return self._hash_join(left, right, pairs, schema)
+
+    def _equi_join(self, plan: EquiJoin) -> Relation:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        schema = self._equi_schema(left.schema, right.schema, plan.pairs)
+        return self._hash_join(left, right, plan.pairs, schema)
+
+    @staticmethod
+    def _equi_schema(
+        left_schema: RelationSchema,
+        right_schema: RelationSchema,
+        pairs: Tuple[Tuple[str, str], ...],
+    ) -> RelationSchema:
+        for l_name, r_name in pairs:
+            left_schema.index_of(l_name)
+            right_schema.index_of(r_name)
+        combined = list(left_schema.attributes) + [
+            a for a in right_schema.attributes if a.name not in left_schema
+        ]
+        return RelationSchema(combined)
+
+    @staticmethod
+    def _join_key(value: Any) -> Any:
+        """Normalize join keys so 25 and "25" and 25.0 meet (REST payloads
+        stringify numbers inconsistently across API versions)."""
+        if isinstance(value, bool):
+            return ("b", value)
+        if isinstance(value, (int, float)):
+            return ("n", float(value))
+        if isinstance(value, str):
+            stripped = value.strip()
+            try:
+                return ("n", float(stripped))
+            except ValueError:
+                return ("s", value)
+        return ("x", value)
+
+    def _hash_join(
+        self,
+        left: Relation,
+        right: Relation,
+        pairs: Tuple[Tuple[str, str], ...],
+        schema: RelationSchema,
+    ) -> Relation:
+        left_indices = [left.schema.index_of(l) for l, _ in pairs]
+        right_indices = [right.schema.index_of(r) for _, r in pairs]
+        keep_right = [
+            i
+            for i, attr in enumerate(right.schema.attributes)
+            if attr.name not in left.schema
+        ]
+        # Build on the smaller side.
+        build_left = len(left) <= len(right)
+        table: Dict[Tuple, List[Tuple]] = {}
+        if build_left:
+            for row in left:
+                key = tuple(self._join_key(row[i]) for i in left_indices)
+                if any(row[i] is None for i in left_indices):
+                    continue
+                table.setdefault(key, []).append(row)
+            rows = []
+            for row in right:
+                if any(row[i] is None for i in right_indices):
+                    continue
+                key = tuple(self._join_key(row[i]) for i in right_indices)
+                for match in table.get(key, ()):
+                    rows.append(match + tuple(row[i] for i in keep_right))
+        else:
+            for row in right:
+                if any(row[i] is None for i in right_indices):
+                    continue
+                key = tuple(self._join_key(row[i]) for i in right_indices)
+                table.setdefault(key, []).append(row)
+            rows = []
+            for row in left:
+                if any(row[i] is None for i in left_indices):
+                    continue
+                key = tuple(self._join_key(row[i]) for i in left_indices)
+                for match in table.get(key, ()):
+                    rows.append(row + tuple(match[i] for i in keep_right))
+        return Relation(schema, rows)
+
+    def _rename(self, plan: Rename) -> Relation:
+        child = self.execute(plan.child)
+        return Relation(child.schema.rename(plan.mapping_dict()), child.rows)
+
+    def _union(self, plan: Union) -> Relation:
+        left = self.execute(plan.left)
+        right = self.execute(plan.right)
+        if not left.schema.union_compatible(right.schema):
+            raise ExecutionError(
+                "union of incompatible schemas: "
+                f"{list(left.schema.names)} vs {list(right.schema.names)}"
+            )
+        widened = left.schema.widen(right.schema)
+        left_rows = left.coerced(widened).rows
+        right_rows = right.coerced(widened).rows
+        return Relation(widened, left_rows + right_rows)

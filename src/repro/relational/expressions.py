@@ -1,0 +1,216 @@
+"""Scalar and predicate expressions for selections in the relational algebra.
+
+Expressions evaluate against a row dict (attribute name → value).  NULL
+follows SQL three-valued logic collapsed to two values: any comparison
+with NULL is false, so selections never keep rows on unknowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Const",
+    "Cmp",
+    "And",
+    "Or",
+    "NotExpr",
+    "IsNull",
+]
+
+RowDict = Dict[str, Any]
+
+
+class Expr:
+    """Base class for row expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: RowDict) -> Any:
+        raise NotImplementedError
+
+    def references(self) -> Tuple[str, ...]:
+        """Attribute names this expression reads."""
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        """SQL rendering of this expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """A column reference."""
+
+    name: str
+
+    def evaluate(self, row: RowDict) -> Any:
+        return row.get(self.name)
+
+    def references(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def sql(self) -> str:
+        return f'"{self.name}"'
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: RowDict) -> Any:
+        return self.value
+
+    def references(self) -> Tuple[str, ...]:
+        return ()
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_CMP_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """A binary comparison; NULL on either side yields False."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: RowDict) -> bool:
+        a = self.left.evaluate(row)
+        b = self.right.evaluate(row)
+        if a is None or b is None:
+            return False
+        try:
+            return bool(_CMP_OPS[self.op](a, b))
+        except TypeError:
+            # Mixed types: compare textually for equality, false otherwise.
+            if self.op == "=":
+                return str(a) == str(b)
+            if self.op == "!=":
+                return str(a) != str(b)
+            return False
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+    def sql(self) -> str:
+        op = "<>" if self.op == "!=" else self.op
+        return f"{self.left.sql()} {op} {self.right.sql()}"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: RowDict) -> bool:
+        return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} AND {self.right.sql()})"
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: RowDict) -> bool:
+        return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} OR {self.right.sql()})"
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def evaluate(self, row: RowDict) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def sql(self) -> str:
+        return f"NOT ({self.operand.sql()})"
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def evaluate(self, row: RowDict) -> bool:
+        is_null = self.operand.evaluate(row) is None
+        return is_null != self.negated
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.sql()} {suffix}"
+
+    def __str__(self) -> str:
+        suffix = "≠ NULL" if self.negated else "= NULL"
+        return f"{self.operand} {suffix}"

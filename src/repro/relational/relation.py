@@ -1,0 +1,235 @@
+"""Relations: immutable bags of typed tuples under a schema.
+
+A :class:`Relation` is the unit of data exchanged between wrappers and the
+federated executor (the stand-in for the paper's "temporal SQLite tables",
+§2.5).  Rows are plain tuples aligned with the schema; helper constructors
+build relations from dict rows (wrapper output) with type inference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .schema import Attribute, RelationSchema, SchemaError
+from .types import AttrType, coerce, common_type, infer_type
+
+__all__ = ["Relation"]
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A named bag of rows with a :class:`RelationSchema`."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Any]] = (),
+        name: Optional[str] = None,
+    ):
+        self.schema = schema
+        self.name = name
+        self._rows: List[Row] = []
+        width = len(schema)
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise SchemaError(
+                    f"row width {len(row_tuple)} != schema width {width}: {row_tuple!r}"
+                )
+            self._rows.append(row_tuple)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dicts(
+        cls,
+        records: Sequence[Dict[str, Any]],
+        attribute_order: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """Build a relation from dict rows, inferring column types.
+
+        ``attribute_order`` fixes the column order (and the full column
+        set — missing keys become NULL); without it, columns appear in
+        first-seen order across the records.
+        """
+        if attribute_order is None:
+            seen: List[str] = []
+            seen_set = set()
+            for record in records:
+                for key in record:
+                    if key not in seen_set:
+                        seen_set.add(key)
+                        seen.append(key)
+            attribute_order = seen
+        types: Dict[str, AttrType] = {n: AttrType.ANY for n in attribute_order}
+        for record in records:
+            for key in attribute_order:
+                types[key] = common_type(types[key], infer_type(record.get(key)))
+        schema = RelationSchema(
+            Attribute(n, types[n]) for n in attribute_order
+        )
+        # Coerce cells to the inferred column type so a relation's rows
+        # always conform to its schema (a mixed int/str column becomes
+        # all-string, exactly as a widening union would make it).
+        rows = [
+            tuple(
+                coerce(record.get(n), types[n]) for n in attribute_order
+            )
+            for record in records
+        ]
+        return cls(schema, rows, name=name)
+
+    @classmethod
+    def empty(cls, schema: RelationSchema, name: Optional[str] = None) -> "Relation":
+        """An empty relation over ``schema``."""
+        return cls(schema, (), name=name)
+
+    # ------------------------------------------------------------------ #
+    # row access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The rows as a list of tuples (do not mutate)."""
+        return self._rows
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self._rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by attribute name."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    def distinct(self) -> "Relation":
+        """A duplicate-free copy preserving first-occurrence order."""
+        seen = set()
+        unique: List[Row] = []
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return Relation(self.schema, unique, name=self.name)
+
+    def without_subsumed(self, optional_columns: Sequence[str]) -> "Relation":
+        """Drop rows subsumed by a more-informative row.
+
+        Row ``r`` is subsumed by ``r'`` when they agree on every column
+        outside ``optional_columns`` and, on the optional columns, ``r``
+        is NULL wherever it differs from ``r'`` (and strictly less
+        informative overall).  This is the minimal-union semantics for
+        incomplete information — what makes NULL-padded OPTIONAL branches
+        of a UCQ behave like SPARQL OPTIONAL.
+        """
+        optional_indices = [self.schema.index_of(n) for n in optional_columns]
+        if not optional_indices:
+            return self
+        mandatory_indices = [
+            i for i in range(len(self.schema)) if i not in optional_indices
+        ]
+        groups: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        for row in self._rows:
+            key = tuple(row[i] for i in mandatory_indices)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        def subsumes(better: Row, worse: Row) -> bool:
+            strictly = False
+            for i in optional_indices:
+                if worse[i] is None:
+                    if better[i] is not None:
+                        strictly = True
+                elif worse[i] != better[i]:
+                    return False
+            return strictly
+
+        kept: List[Row] = []
+        for key in order:
+            members = groups[key]
+            for row in members:
+                if not any(
+                    other is not row and subsumes(other, row)
+                    for other in members
+                ):
+                    kept.append(row)
+        return Relation(self.schema, kept, name=self.name)
+
+    def sorted(self) -> "Relation":
+        """Rows sorted canonically (None first) — for stable display/tests."""
+
+        def key(row: Row):
+            return tuple((value is not None, str(value)) for value in row)
+
+        return Relation(self.schema, sorted(self._rows, key=key), name=self.name)
+
+    def coerced(self, target: RelationSchema) -> "Relation":
+        """Rows coerced cell-by-cell to ``target``'s types (same names)."""
+        if self.schema.names != target.names:
+            raise SchemaError(
+                f"cannot coerce {list(self.schema.names)} to {list(target.names)}"
+            )
+        coerced_rows = [
+            tuple(
+                coerce(value, attr.type)
+                for value, attr in zip(row, target.attributes)
+            )
+            for row in self._rows
+        ]
+        return Relation(target, coerced_rows, name=self.name)
+
+    def equal_as_set(self, other: "Relation") -> bool:
+        """Set equality over rows (schema names must match)."""
+        return (
+            self.schema.names == other.schema.names
+            and set(self._rows) == set(other._rows)
+        )
+
+    # ------------------------------------------------------------------ #
+    # display
+    # ------------------------------------------------------------------ #
+
+    def to_table(self, max_width: int = 40) -> str:
+        """Aligned text rendering (MDM's tabular query output, Table 1)."""
+        headers = list(self.schema.names)
+        body: List[List[str]] = []
+        for row in self._rows:
+            rendered = []
+            for cell in row:
+                text = "NULL" if cell is None else str(cell)
+                if len(text) > max_width:
+                    text = text[: max_width - 1] + "…"
+                rendered.append(text)
+            body.append(rendered)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+        lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(r) for r in body)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        label = self.name or "?"
+        return f"<Relation {label}({', '.join(self.schema.names)}) with {len(self)} rows>"

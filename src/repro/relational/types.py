@@ -1,0 +1,112 @@
+"""Attribute types for the relational engine.
+
+Wrapper outputs (paper §2.2) are flat, first-normal-form tuples whose cells
+are strings, numbers, booleans or NULL.  The small type lattice here
+supports schema inference from sample rows and safe coercion when loading
+heterogeneous wrapper payloads into relations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+__all__ = ["AttrType", "infer_type", "coerce", "common_type"]
+
+
+class AttrType(enum.Enum):
+    """The cell types a relation column may carry."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    #: Unknown/any — a column with no non-null observations.
+    ANY = "any"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def infer_type(value: Any) -> AttrType:
+    """The :class:`AttrType` of a single Python value (None → ANY)."""
+    if value is None:
+        return AttrType.ANY
+    if isinstance(value, bool):
+        return AttrType.BOOLEAN
+    if isinstance(value, int):
+        return AttrType.INTEGER
+    if isinstance(value, float):
+        return AttrType.FLOAT
+    if isinstance(value, str):
+        return AttrType.STRING
+    raise TypeError(f"unsupported relational value: {value!r} ({type(value).__name__})")
+
+
+#: Numeric widening order used by :func:`common_type`.
+_WIDEN = {
+    (AttrType.INTEGER, AttrType.FLOAT): AttrType.FLOAT,
+    (AttrType.FLOAT, AttrType.INTEGER): AttrType.FLOAT,
+}
+
+
+def common_type(a: AttrType, b: AttrType) -> AttrType:
+    """The least common type of two cell types (STRING is the top)."""
+    if a == b:
+        return a
+    if a == AttrType.ANY:
+        return b
+    if b == AttrType.ANY:
+        return a
+    widened = _WIDEN.get((a, b))
+    if widened is not None:
+        return widened
+    return AttrType.STRING
+
+
+def coerce(value: Any, target: AttrType) -> Optional[Any]:
+    """Coerce ``value`` to ``target``; None passes through.
+
+    Raises :class:`ValueError` when the coercion loses meaning (e.g.
+    ``"abc"`` to INTEGER); numeric strings convert cleanly since REST
+    payloads frequently stringify numbers.
+    """
+    if value is None:
+        return None
+    if target == AttrType.ANY:
+        return value
+    if target == AttrType.STRING:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+    if target == AttrType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            return int(value.strip())
+        raise ValueError(f"cannot coerce {value!r} to integer")
+    if target == AttrType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            return float(value.strip())
+        raise ValueError(f"cannot coerce {value!r} to float")
+    if target == AttrType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "1", "yes"):
+                return True
+            if lowered in ("false", "0", "no"):
+                return False
+        raise ValueError(f"cannot coerce {value!r} to boolean")
+    raise ValueError(f"unknown target type {target!r}")

@@ -1,0 +1,26 @@
+"""Ready-made end-to-end scenarios used by examples, tests and benchmarks."""
+
+from .football import (
+    COUNTRY,
+    FEATURES,
+    LEAGUE,
+    PLAYER,
+    RELATIONS,
+    TEAM,
+    FootballScenario,
+    football_uml,
+)
+from .supersede import SUP, SupersedeScenario
+
+__all__ = [
+    "FootballScenario",
+    "football_uml",
+    "PLAYER",
+    "TEAM",
+    "LEAGUE",
+    "COUNTRY",
+    "FEATURES",
+    "RELATIONS",
+    "SupersedeScenario",
+    "SUP",
+]

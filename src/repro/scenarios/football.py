@@ -1,0 +1,460 @@
+"""The paper's motivational use case, fully wired (paper §1, Figures 1-8).
+
+"We aim to ingest data from four data sources, in the form of REST APIs,
+respectively providing information about players, teams, leagues and
+countries."
+
+:class:`FootballScenario` builds the complete stack:
+
+- the synthetic football data (:mod:`repro.sources.datagen`) served by a
+  mock REST server — Players API in JSON, Teams API in XML (Figure 2),
+  Leagues in JSON, Countries in CSV;
+- the global graph compiled from the Figure 1 UML (reusing
+  ``sc:SportsTeam`` and ``sc:Country`` per the Linked-Data guidance of
+  §2.1);
+- the wrappers, with the exact signatures of Figure 6 —
+  ``w1(id, pName, height, weight, score, foot, teamId)`` and
+  ``w2(id, name, shortName)`` — plus membership/nationality wrappers
+  showing multiple wrappers per source;
+- the LAV mappings of Figure 7, intersecting at ``sc:SportsTeam`` and its
+  identifier;
+- the evolution machinery for demo scenario 3 (Players API v2 with
+  breaking changes) and a GAV twin system for the comparison benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.gav_baseline import GavSystem
+from ..core.global_graph import UmlAssociation, UmlClass, UmlModel
+from ..core.mdm import MDM
+from ..core.releases import KIND_EVOLUTION
+from ..core.walks import Walk
+from ..rdf.namespaces import EX, SC
+from ..rdf.terms import IRI, Triple
+from ..sources.datagen import FootballDataset
+from ..sources.evolution import (
+    ChangeType,
+    EndpointVersion,
+    NestFields,
+    RenameField,
+    release_version,
+)
+from ..sources.restapi import MockRestServer
+from ..sources.wrappers import RestWrapper, Wrapper
+
+__all__ = [
+    "FootballScenario",
+    "PLAYER",
+    "TEAM",
+    "LEAGUE",
+    "COUNTRY",
+    "FEATURES",
+    "RELATIONS",
+]
+
+# --------------------------------------------------------------------- #
+# ontology terms (Figure 5)
+# --------------------------------------------------------------------- #
+
+PLAYER = EX.Player
+#: Reused from schema.org, as in the paper: "the concept Team is reused
+#: from http://schema.org/SportsTeam".
+TEAM = SC.SportsTeam
+LEAGUE = EX.League
+COUNTRY = SC.Country
+
+#: feature name → (IRI, concept, is_identifier)
+FEATURES: Dict[str, Tuple[IRI, IRI, bool]] = {
+    "playerId": (EX.playerId, PLAYER, True),
+    "playerName": (EX.playerName, PLAYER, False),
+    "height": (EX.height, PLAYER, False),
+    "weight": (EX.weight, PLAYER, False),
+    "rating": (EX.rating, PLAYER, False),
+    "preferredFoot": (EX.preferredFoot, PLAYER, False),
+    "teamId": (EX.teamId, TEAM, True),
+    "teamName": (EX.teamName, TEAM, False),
+    "shortName": (EX.shortName, TEAM, False),
+    "leagueId": (EX.leagueId, LEAGUE, True),
+    "leagueName": (EX.leagueName, LEAGUE, False),
+    "countryId": (EX.countryId, COUNTRY, True),
+    "countryName": (EX.countryName, COUNTRY, False),
+    "countryCode": (EX.countryCode, COUNTRY, False),
+}
+
+#: relation name → (subject concept, property IRI, object concept)
+RELATIONS: Dict[str, Tuple[IRI, IRI, IRI]] = {
+    "hasTeam": (PLAYER, EX.hasTeam, TEAM),
+    "inLeague": (TEAM, EX.inLeague, LEAGUE),
+    "inCountry": (LEAGUE, EX.inCountry, COUNTRY),
+    "hasNationality": (PLAYER, EX.hasNationality, COUNTRY),
+}
+
+
+def football_uml() -> UmlModel:
+    """The Figure 1 UML class diagram as a :class:`UmlModel`."""
+    return UmlModel(
+        classes=[
+            UmlClass(
+                name="Player",
+                iri=PLAYER,
+                attributes=(
+                    ("playerId", EX.playerId),
+                    ("playerName", EX.playerName),
+                    ("height", EX.height),
+                    ("weight", EX.weight),
+                    ("rating", EX.rating),
+                    ("preferredFoot", EX.preferredFoot),
+                ),
+                identifier="playerId",
+            ),
+            UmlClass(
+                name="Team",
+                iri=TEAM,
+                attributes=(
+                    ("teamId", EX.teamId),
+                    ("teamName", EX.teamName),
+                    ("shortName", EX.shortName),
+                ),
+                identifier="teamId",
+            ),
+            UmlClass(
+                name="League",
+                iri=LEAGUE,
+                attributes=(
+                    ("leagueId", EX.leagueId),
+                    ("leagueName", EX.leagueName),
+                ),
+                identifier="leagueId",
+            ),
+            UmlClass(
+                name="Country",
+                iri=COUNTRY,
+                attributes=(
+                    ("countryId", EX.countryId),
+                    ("countryName", EX.countryName),
+                    ("countryCode", EX.countryCode),
+                ),
+                identifier="countryId",
+            ),
+        ],
+        associations=[
+            UmlAssociation("Player", EX.hasTeam, "Team"),
+            UmlAssociation("Team", EX.inLeague, "League"),
+            UmlAssociation("League", EX.inCountry, "Country"),
+            UmlAssociation("Player", EX.hasNationality, "Country"),
+        ],
+    )
+
+
+@dataclass
+class FootballScenario:
+    """The assembled use case: data, server, MDM, wrappers."""
+
+    data: FootballDataset
+    server: MockRestServer
+    mdm: MDM
+    players_v1: EndpointVersion
+    #: Wrapper names in registration order.
+    wrapper_names: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        seed: int = 2018,
+        anchors_only: bool = False,
+        with_membership_wrappers: bool = True,
+    ) -> "FootballScenario":
+        """Assemble the full scenario.
+
+        ``anchors_only`` restricts the data to exactly the paper's
+        entities (used by the figure/table benches);
+        ``with_membership_wrappers`` adds the extra wrappers (team→league,
+        player→nationality) needed by the multi-concept queries.
+        """
+        data = (
+            FootballDataset.anchors_only()
+            if anchors_only
+            else FootballDataset.generate(seed=seed)
+        )
+        server = MockRestServer()
+        players_v1 = EndpointVersion(
+            "players",
+            1,
+            "json",
+            lambda: [asdict(p) for p in data.players],
+        )
+        release_version(server, players_v1)
+        teams_v1 = EndpointVersion(
+            "teams",
+            1,
+            "xml",
+            lambda: [
+                {
+                    "id": t.id,
+                    "name": t.name,
+                    "shortName": t.short_name,
+                    "leagueId": t.league_id,
+                }
+                for t in data.teams
+            ],
+        )
+        release_version(server, teams_v1, item_tag="team", root_tag="teams")
+        leagues_v1 = EndpointVersion(
+            "leagues",
+            1,
+            "json",
+            lambda: [asdict(l) for l in data.leagues],
+        )
+        release_version(server, leagues_v1)
+        countries_v1 = EndpointVersion(
+            "countries",
+            1,
+            "csv",
+            lambda: [asdict(c) for c in data.countries],
+        )
+        release_version(server, countries_v1)
+
+        mdm = MDM()
+        mdm.load_uml(football_uml())
+        for subject, prop, obj in RELATIONS.values():
+            # load_uml already added these; relate() is idempotent.
+            mdm.relate(subject, prop, obj)
+
+        scenario = cls(
+            data=data, server=server, mdm=mdm, players_v1=players_v1
+        )
+        scenario._register_sources(with_membership_wrappers)
+        return scenario
+
+    def _register_sources(self, with_membership_wrappers: bool) -> None:
+        mdm, server = self.mdm, self.server
+        mdm.register_source("players", "Players API")
+        mdm.register_source("teams", "Teams API")
+        mdm.register_source("leagues", "Leagues API")
+        mdm.register_source("countries", "Countries API")
+
+        # w1(id, pName, height, weight, score, foot, teamId) — Figure 6.
+        w1 = RestWrapper(
+            "w1",
+            ["id", "pName", "height", "weight", "score", "foot", "teamId"],
+            server,
+            "/v1/players",
+            attribute_map={
+                "pName": "name",
+                "score": "rating",
+                "foot": "preferred_foot",
+                "teamId": "team_id",
+            },
+        )
+        mdm.register_wrapper("players", w1)
+        mdm.define_mapping(
+            "w1",
+            {
+                "id": EX.playerId,
+                "pName": EX.playerName,
+                "height": EX.height,
+                "weight": EX.weight,
+                "score": EX.rating,
+                "foot": EX.preferredFoot,
+                "teamId": EX.teamId,
+            },
+            edges=[RELATIONS["hasTeam"]],
+        )
+        self.wrapper_names.append("w1")
+
+        # w2(id, name, shortName) — Figure 6.
+        w2 = RestWrapper(
+            "w2",
+            ["id", "name", "shortName"],
+            server,
+            "/v1/teams",
+        )
+        mdm.register_wrapper("teams", w2)
+        mdm.define_mapping(
+            "w2",
+            {"id": EX.teamId, "name": EX.teamName, "shortName": EX.shortName},
+        )
+        self.wrapper_names.append("w2")
+
+        if with_membership_wrappers:
+            # A second wrapper on the Teams source: league membership.
+            w2m = RestWrapper(
+                "w2m",
+                ["id", "leagueId"],
+                server,
+                "/v1/teams",
+            )
+            mdm.register_wrapper("teams", w2m)
+            mdm.define_mapping(
+                "w2m",
+                {"id": EX.teamId, "leagueId": EX.leagueId},
+                edges=[RELATIONS["inLeague"]],
+            )
+            self.wrapper_names.append("w2m")
+
+            # A second wrapper on the Players source: nationality.
+            w1n = RestWrapper(
+                "w1n",
+                ["id", "nationalityId"],
+                server,
+                "/v1/players",
+                attribute_map={"nationalityId": "nationality_id"},
+            )
+            mdm.register_wrapper("players", w1n)
+            mdm.define_mapping(
+                "w1n",
+                {"id": EX.playerId, "nationalityId": EX.countryId},
+                edges=[RELATIONS["hasNationality"]],
+            )
+            self.wrapper_names.append("w1n")
+
+        w3 = RestWrapper(
+            "w3",
+            ["id", "name", "countryId"],
+            server,
+            "/v1/leagues",
+            attribute_map={"countryId": "country_id"},
+        )
+        mdm.register_wrapper("leagues", w3)
+        mdm.define_mapping(
+            "w3",
+            {"id": EX.leagueId, "name": EX.leagueName, "countryId": EX.countryId},
+            edges=[RELATIONS["inCountry"]],
+        )
+        self.wrapper_names.append("w3")
+
+        w4 = RestWrapper(
+            "w4",
+            ["id", "name", "code"],
+            server,
+            "/v1/countries",
+        )
+        mdm.register_wrapper("countries", w4)
+        mdm.define_mapping(
+            "w4",
+            {"id": EX.countryId, "name": EX.countryName, "code": EX.countryCode},
+        )
+        self.wrapper_names.append("w4")
+
+    # ------------------------------------------------------------------ #
+    # canonical walks
+    # ------------------------------------------------------------------ #
+
+    def walk_player_team_names(self) -> Walk:
+        """The Figure 8 OMQ: player names and their team names."""
+        return self.mdm.walk_from_nodes(
+            [PLAYER, EX.playerName, TEAM, EX.teamName]
+        )
+
+    def walk_league_nationality(self) -> Walk:
+        """The intro query: "who are the players that play in a league of
+        their nationality?" — a four-concept cycle."""
+        return self.mdm.walk_from_nodes(
+            [PLAYER, EX.playerName, TEAM, LEAGUE, COUNTRY]
+        )
+
+    def walk_single_concept(self) -> Walk:
+        """All Player features (a one-concept walk)."""
+        return self.mdm.walk_from_nodes(
+            [
+                PLAYER,
+                EX.playerName,
+                EX.height,
+                EX.weight,
+                EX.rating,
+                EX.preferredFoot,
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # evolution (demo scenario 3)
+    # ------------------------------------------------------------------ #
+
+    #: The breaking changes shipped by Players API v2.
+    V2_CHANGES = (
+        RenameField("name", "fullName"),
+        NestFields(("height", "weight"), "physique"),
+        ChangeType("team_id", str),
+    )
+
+    def release_players_v2(self, retire_v1: bool = False) -> RestWrapper:
+        """Ship Players API v2 (breaking) and register wrapper ``w1v2``.
+
+        Registers the new wrapper on the source graph (reusing attribute
+        IRIs), applies the semi-automatic mapping suggestion, and records
+        the evolution release.  Returns the new wrapper.
+        """
+        players_v2 = self.players_v1.successor(list(self.V2_CHANGES))
+        release_version(self.server, players_v2, retire_previous=retire_v1)
+        w1v2 = RestWrapper(
+            "w1v2",
+            ["id", "pName", "height", "weight", "score", "foot", "teamId"],
+            self.server,
+            "/v2/players",
+            attribute_map={
+                "pName": "fullName",
+                "height": "physique_height",
+                "weight": "physique_weight",
+                "score": "rating",
+                "foot": "preferred_foot",
+                "teamId": "team_id",
+            },
+        )
+        self.mdm.register_wrapper(
+            "players",
+            w1v2,
+            kind=KIND_EVOLUTION,
+            changes=[c.describe() for c in self.V2_CHANGES],
+        )
+        suggestion = self.mdm.suggest_mapping("w1v2")
+        self.mdm.apply_suggestion(
+            suggestion,
+            extra_edges=[RELATIONS["hasTeam"]],
+        )
+        self.wrapper_names.append("w1v2")
+        return w1v2
+
+    # ------------------------------------------------------------------ #
+    # GAV twin (baseline for the comparison benches)
+    # ------------------------------------------------------------------ #
+
+    def build_gav(self) -> GavSystem:
+        """A GAV system over the same wrappers with fixed unfoldings."""
+        gav = GavSystem(self.mdm.global_graph)
+        for name in self.wrapper_names:
+            gav.register_wrapper(self.mdm.wrappers[name])
+        gav.define_feature(EX.playerId, "w1", "id")
+        gav.define_feature(EX.playerName, "w1", "pName")
+        gav.define_feature(EX.height, "w1", "height")
+        gav.define_feature(EX.weight, "w1", "weight")
+        gav.define_feature(EX.rating, "w1", "score")
+        gav.define_feature(EX.preferredFoot, "w1", "foot")
+        gav.define_feature(EX.teamId, "w2", "id")
+        gav.define_feature(EX.teamName, "w2", "name")
+        gav.define_feature(EX.shortName, "w2", "shortName")
+        gav.define_edge(
+            Triple(*RELATIONS["hasTeam"]), "w1", "teamId", "w2", "id"
+        )
+        if "w2m" in self.wrapper_names:
+            gav.define_feature(EX.leagueId, "w3", "id")
+            gav.define_feature(EX.leagueName, "w3", "name")
+            gav.define_feature(EX.countryId, "w4", "id")
+            gav.define_feature(EX.countryName, "w4", "name")
+            gav.define_feature(EX.countryCode, "w4", "code")
+            gav.define_edge(
+                Triple(*RELATIONS["inLeague"]), "w2m", "id", "w3", "id"
+            )
+            gav.define_edge(
+                Triple(*RELATIONS["inCountry"]), "w3", "countryId", "w4", "id"
+            )
+            gav.define_edge(
+                Triple(*RELATIONS["hasNationality"]), "w1n", "nationalityId", "w4", "id"
+            )
+        return gav

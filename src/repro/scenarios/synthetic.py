@@ -1,0 +1,139 @@
+"""Synthetic MDM ecosystems for scalability benchmarks and stress tests.
+
+Two generators:
+
+``chain_mdm``
+    a chain-shaped ontology ``C0 → C1 → … → C(n-1)`` with one source and
+    (optionally several versioned) wrappers per concept, plus consistent
+    synthetic rows — scales the *walk size* dimension;
+
+``versioned_concept_mdm``
+    a single concept whose source has accumulated ``n_versions`` wrapper
+    releases (all serving the same logical data through different
+    signatures) — scales the *wrappers per source* dimension the paper
+    calls out ("regardless of the number of wrappers per source").
+
+Both are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.mdm import MDM
+from ..rdf.namespaces import Namespace
+from ..rdf.terms import IRI
+from ..sources.wrappers import StaticWrapper
+
+__all__ = ["SYN", "chain_mdm", "versioned_concept_mdm", "chain_ground_truth"]
+
+SYN = Namespace("http://synthetic.mdm/")
+
+
+def chain_mdm(
+    n_concepts: int,
+    rows_per_concept: int = 20,
+    seed: int = 42,
+) -> Tuple[MDM, List[IRI], Dict[int, List[dict]], Dict[int, Dict[int, int]]]:
+    """A chain ontology with one wrapper per concept and consistent rows.
+
+    Returns ``(mdm, concepts, ground_rows, links)`` where ``links[i]``
+    maps a C(i) entity id to its C(i+1) neighbour id.
+    """
+    if n_concepts < 1:
+        raise ValueError("need at least one concept")
+    rng = random.Random(seed)
+    mdm = MDM()
+    concepts: List[IRI] = []
+    for i in range(n_concepts):
+        concept = SYN[f"C{i}"]
+        mdm.add_concept(concept)
+        mdm.add_identifier(SYN[f"id{i}"], concept)
+        mdm.add_feature(SYN[f"val{i}"], concept)
+        concepts.append(concept)
+    edges = []
+    for i in range(n_concepts - 1):
+        prop = SYN[f"r{i}"]
+        mdm.relate(concepts[i], prop, concepts[i + 1])
+        edges.append((concepts[i], prop, concepts[i + 1]))
+    ground: Dict[int, List[dict]] = {
+        i: [{"id": k, "val": f"c{i}v{k}"} for k in range(rows_per_concept)]
+        for i in range(n_concepts)
+    }
+    links: Dict[int, Dict[int, int]] = {
+        i: {k: rng.randrange(rows_per_concept) for k in range(rows_per_concept)}
+        for i in range(n_concepts - 1)
+    }
+    for i in range(n_concepts):
+        mdm.register_source(f"s{i}")
+        rows = []
+        for record in ground[i]:
+            row = dict(record)
+            if i < n_concepts - 1:
+                row["next"] = links[i][record["id"]]
+            rows.append(row)
+        attributes = ["id", "val"] + (["next"] if i < n_concepts - 1 else [])
+        mdm.register_wrapper(f"s{i}", StaticWrapper(f"w{i}", attributes, rows))
+        mapping = {"id": SYN[f"id{i}"], "val": SYN[f"val{i}"]}
+        mapping_edges = []
+        if i < n_concepts - 1:
+            mapping["next"] = SYN[f"id{i+1}"]
+            mapping_edges.append(edges[i])
+        mdm.define_mapping(f"w{i}", mapping, edges=mapping_edges)
+    return mdm, concepts, ground, links
+
+
+def chain_ground_truth(
+    ground: Dict[int, List[dict]],
+    links: Dict[int, Dict[int, int]],
+    n_concepts: int,
+) -> set:
+    """Expected (val0, …, valN) tuples over the chain joins."""
+    rows = set()
+    for record in ground[0]:
+        chain = [record]
+        ok = True
+        for i in range(n_concepts - 1):
+            nxt_id = links[i][chain[-1]["id"]]
+            nxt = next((r for r in ground[i + 1] if r["id"] == nxt_id), None)
+            if nxt is None:
+                ok = False
+                break
+            chain.append(nxt)
+        if ok:
+            rows.add(tuple(c["val"] for c in chain))
+    return rows
+
+
+def versioned_concept_mdm(
+    n_versions: int,
+    rows: int = 50,
+    seed: int = 42,
+) -> Tuple[MDM, IRI]:
+    """One concept whose source shipped ``n_versions`` wrapper releases.
+
+    Every version serves the same logical rows; version k renames its
+    value attribute to ``valK`` in the signature (accommodated through
+    sameAs), so the rewriting sees ``n_versions`` interchangeable covers
+    and must union them — the UCQ grows linearly with versions.
+    """
+    if n_versions < 1:
+        raise ValueError("need at least one version")
+    rng = random.Random(seed)
+    mdm = MDM()
+    concept = SYN.Entity
+    mdm.add_concept(concept)
+    mdm.add_identifier(SYN.entityId, concept)
+    mdm.add_feature(SYN.entityVal, concept)
+    mdm.register_source("entities")
+    base_rows = [{"id": k, "val": f"v{rng.randrange(10**6)}"} for k in range(rows)]
+    for version in range(1, n_versions + 1):
+        attr = "val" if version == 1 else f"val{version}"
+        wrapper_rows = [{"id": r["id"], attr: r["val"]} for r in base_rows]
+        name = f"wv{version}"
+        mdm.register_wrapper(
+            "entities", StaticWrapper(name, ["id", attr], wrapper_rows)
+        )
+        mdm.define_mapping(name, {"id": SYN.entityId, attr: SYN.entityVal})
+    return mdm, concept

@@ -1,0 +1,16 @@
+"""Service layer: REST-style API and persistence for the MDM facade."""
+
+from .api import MdmService
+from .http import JsonRequest, JsonResponse, Router, ServiceError
+from .persistence import attach_wrappers, load_mdm, save_mdm
+
+__all__ = [
+    "MdmService",
+    "Router",
+    "JsonRequest",
+    "JsonResponse",
+    "ServiceError",
+    "save_mdm",
+    "load_mdm",
+    "attach_wrappers",
+]

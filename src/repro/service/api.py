@@ -1,0 +1,372 @@
+"""The MDM REST-style service: the four interaction kinds over HTTP shapes.
+
+Endpoints (JSON in / JSON out, see :mod:`repro.service.http`):
+
+Global graph (steward):
+    ``POST /globalGraph/concepts``       {"iri", "label"?}
+    ``POST /globalGraph/features``       {"iri", "concept", "label"?, "identifier"?}
+    ``POST /globalGraph/relations``      {"source", "property", "target"}
+    ``GET  /globalGraph``                summary with concepts/features/relations
+
+Sources & wrappers (steward):
+    ``POST /sources``                    {"name", "label"?}
+    ``GET  /sources``
+    ``POST /sources/:name/wrappers``     {"name", "attributes": [...], "rows": [...]?, "changes": [...]?}
+    ``GET  /releases``
+
+LAV mappings (steward):
+    ``POST /wrappers/:name/mapping``     {"features": {attr: featureIRI}, "edges": [[s,p,o], ...]}
+    ``GET  /wrappers/:name/suggestion``  semi-automatic accommodation
+
+Querying (analyst):
+    ``POST /query``                      {"nodes": [iri, ...], "execute"?: bool}
+    ``GET  /metadata/trig``              the TriG snapshot
+
+Wrapper rows posted through the service back a
+:class:`repro.sources.wrappers.StaticWrapper`; programmatic embedders
+attach live :class:`RestWrapper` objects through the facade instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.mdm import MDM
+from ..core.errors import MdmError
+from ..rdf.terms import IRI
+from ..sources.wrappers import StaticWrapper
+from .http import JsonRequest, JsonResponse, Router, ServiceError
+
+__all__ = ["MdmService"]
+
+
+def _iri(value: Any, what: str) -> IRI:
+    if not isinstance(value, str) or not value:
+        raise ServiceError(400, f"{what} must be a non-empty IRI string")
+    try:
+        return IRI(value)
+    except ValueError as exc:
+        raise ServiceError(400, f"invalid {what}: {exc}") from exc
+
+
+class MdmService:
+    """Binds an :class:`MDM` facade to a :class:`Router`."""
+
+    def __init__(self, mdm: Optional[MDM] = None):
+        self.mdm = mdm if mdm is not None else MDM()
+        self.router = Router()
+        self._bind()
+
+    # Convenience passthrough. ------------------------------------------ #
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        query: Optional[Mapping[str, str]] = None,
+    ) -> JsonResponse:
+        """Dispatch one request against this service."""
+        return self.router.dispatch(method, path, body, query)
+
+    # Handlers. ---------------------------------------------------------- #
+
+    def _bind(self) -> None:
+        add = self.router.add
+        add("POST", "/globalGraph/concepts", self._post_concept)
+        add("POST", "/globalGraph/features", self._post_feature)
+        add("POST", "/globalGraph/relations", self._post_relation)
+        add("GET", "/globalGraph", self._get_global_graph)
+        add("POST", "/sources", self._post_source)
+        add("GET", "/sources", self._get_sources)
+        add("POST", "/sources/:name/wrappers", self._post_wrapper)
+        add("GET", "/releases", self._get_releases)
+        add("POST", "/wrappers/:name/mapping", self._post_mapping)
+        add("GET", "/wrappers/:name/suggestion", self._get_suggestion)
+        add("POST", "/query", self._post_query)
+        add("POST", "/query/sparql", self._post_sparql_query)
+        add("POST", "/queries/saved", self._post_saved_query)
+        add("GET", "/queries/saved", self._get_saved_queries)
+        add("POST", "/queries/saved/:name/run", self._run_saved_query)
+        add("DELETE", "/queries/saved/:name", self._delete_saved_query)
+        add("GET", "/queries/revalidate", self._revalidate_saved)
+        add("GET", "/impact/:source", self._get_impact)
+        add("GET", "/report", self._get_report)
+        add("GET", "/metadata/trig", self._get_trig)
+        add("GET", "/summary", self._get_summary)
+
+    def _post_concept(self, request: JsonRequest) -> Dict[str, Any]:
+        (iri_text,) = request.require("iri")
+        label = request.body.get("label") if isinstance(request.body, dict) else None
+        concept = self.mdm.add_concept(_iri(iri_text, "concept IRI"), label)
+        return {"iri": concept.value}
+
+    def _post_feature(self, request: JsonRequest) -> Dict[str, Any]:
+        iri_text, concept_text = request.require("iri", "concept")
+        body = request.body
+        label = body.get("label")
+        identifier = bool(body.get("identifier", False))
+        feature = _iri(iri_text, "feature IRI")
+        concept = _iri(concept_text, "concept IRI")
+        if identifier:
+            self.mdm.add_identifier(feature, concept, label)
+        else:
+            self.mdm.add_feature(feature, concept, label)
+        return {"iri": feature.value, "concept": concept.value, "identifier": identifier}
+
+    def _post_relation(self, request: JsonRequest) -> Dict[str, Any]:
+        source, prop, target = request.require("source", "property", "target")
+        triple = self.mdm.relate(
+            _iri(source, "source concept"),
+            _iri(prop, "property"),
+            _iri(target, "target concept"),
+        )
+        return {"triple": triple.n3()}
+
+    def _get_global_graph(self, request: JsonRequest) -> Dict[str, Any]:
+        gg = self.mdm.global_graph
+        return {
+            "concepts": [c.value for c in gg.concepts()],
+            "features": [
+                {
+                    "iri": f.value,
+                    "concept": (gg.concept_of(f) or f).value,
+                    "identifier": gg.is_identifier(f),
+                }
+                for f in gg.features()
+            ],
+            "relations": [t.n3() for t in gg.relations()],
+            "issues": gg.validate(),
+        }
+
+    def _post_source(self, request: JsonRequest) -> Dict[str, Any]:
+        (name,) = request.require("name")
+        label = request.body.get("label")
+        iri = self.mdm.register_source(name, label)
+        return {"name": name, "iri": iri.value}
+
+    def _get_sources(self, request: JsonRequest) -> List[Dict[str, Any]]:
+        sg = self.mdm.source_graph
+        return [
+            {
+                "iri": source.value,
+                "wrappers": [
+                    {
+                        "iri": w.value,
+                        "name": sg.wrapper_name(w),
+                        "signature": sg.signature_of(w),
+                    }
+                    for w in sg.wrappers_of(source)
+                ],
+            }
+            for source in sg.data_sources()
+        ]
+
+    def _post_wrapper(self, request: JsonRequest) -> Dict[str, Any]:
+        name, attributes = request.require("name", "attributes")
+        source_name = request.path_params["name"]
+        rows = request.body.get("rows", [])
+        changes = request.body.get("changes", [])
+        if not isinstance(attributes, list) or not all(
+            isinstance(a, str) for a in attributes
+        ):
+            raise ServiceError(400, "attributes must be a list of strings")
+        wrapper = StaticWrapper(name, attributes, rows)
+        try:
+            registration = self.mdm.register_wrapper(
+                source_name, wrapper, changes=changes
+            )
+        except MdmError as exc:
+            raise ServiceError(409, str(exc)) from exc
+        return {
+            "wrapper": registration.wrapper.value,
+            "signature": registration.signature,
+            "reused_attributes": list(registration.reused_attributes),
+        }
+
+    def _get_releases(self, request: JsonRequest) -> List[Dict[str, Any]]:
+        return [
+            {
+                "sequence": r.sequence,
+                "source": r.source_name,
+                "wrapper": r.wrapper_name,
+                "kind": r.kind,
+                "breaking": r.is_breaking,
+                "changes": list(r.changes),
+            }
+            for r in self.mdm.governance.history()
+        ]
+
+    def _post_mapping(self, request: JsonRequest) -> Dict[str, Any]:
+        (features,) = request.require("features")
+        wrapper_name = request.path_params["name"]
+        edges_raw = request.body.get("edges", [])
+        if not isinstance(features, Mapping):
+            raise ServiceError(400, "features must map attribute names to feature IRIs")
+        features_by_attribute = {
+            attr: _iri(feature, f"feature for attribute {attr!r}")
+            for attr, feature in features.items()
+        }
+        edges = []
+        for edge in edges_raw:
+            if not (isinstance(edge, list) and len(edge) == 3):
+                raise ServiceError(400, "each edge must be [subject, property, object]")
+            edges.append(tuple(_iri(part, "edge term") for part in edge))
+        try:
+            view = self.mdm.define_mapping(wrapper_name, features_by_attribute, edges)
+        except MdmError as exc:
+            raise ServiceError(422, str(exc)) from exc
+        return {
+            "wrapper": view.wrapper.value,
+            "concepts": sorted(c.value for c in view.concepts),
+            "features": sorted(f.value for f in view.features),
+        }
+
+    def _get_suggestion(self, request: JsonRequest) -> Dict[str, Any]:
+        wrapper_name = request.path_params["name"]
+        try:
+            suggestion = self.mdm.suggest_mapping(wrapper_name)
+        except MdmError as exc:
+            raise ServiceError(404, str(exc)) from exc
+        return {
+            "wrapper": suggestion.wrapper.value,
+            "carried_links": {
+                a.value: f.value for a, f in suggestion.same_as.items()
+            },
+            "unmapped_attributes": list(suggestion.unmapped_attributes),
+            "complete": suggestion.is_complete,
+        }
+
+    def _post_query(self, request: JsonRequest) -> Dict[str, Any]:
+        (nodes,) = request.require("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise ServiceError(400, "nodes must be a non-empty list of IRIs")
+        walk = self.mdm.walk_from_nodes([_iri(n, "walk node") for n in nodes])
+        execute = bool(request.body.get("execute", True))
+        try:
+            if execute:
+                outcome = self.mdm.execute(walk)
+                rewrite = outcome.rewrite
+                rows = [list(r) for r in outcome.relation.rows]
+                columns = list(outcome.relation.schema.names)
+            else:
+                rewrite = self.mdm.rewrite(walk)
+                rows, columns = None, list(rewrite.projection)
+        except MdmError as exc:
+            raise ServiceError(422, str(exc)) from exc
+        payload: Dict[str, Any] = {
+            "sparql": rewrite.sparql,
+            "algebra": rewrite.pretty(),
+            "ucq_size": rewrite.ucq_size,
+            "columns": columns,
+        }
+        if rows is not None:
+            payload["rows"] = rows
+        return payload
+
+    def _post_sparql_query(self, request: JsonRequest) -> Dict[str, Any]:
+        """Pose an OMQ as SPARQL text: ``{"sparql": "...", "execute"?: bool}``."""
+        (text,) = request.require("sparql")
+        from ..core.sparql_frontend import walk_from_sparql
+
+        try:
+            walk = walk_from_sparql(self.mdm.global_graph, text)
+            if bool(request.body.get("execute", True)):
+                outcome = self.mdm.execute(walk)
+                return {
+                    "sparql": outcome.rewrite.sparql,
+                    "algebra": outcome.rewrite.pretty(),
+                    "ucq_size": outcome.rewrite.ucq_size,
+                    "columns": list(outcome.relation.schema.names),
+                    "rows": [list(r) for r in outcome.relation.rows],
+                }
+            rewrite = self.mdm.rewrite(walk)
+            return {
+                "sparql": rewrite.sparql,
+                "algebra": rewrite.pretty(),
+                "ucq_size": rewrite.ucq_size,
+                "columns": list(rewrite.projection),
+            }
+        except MdmError as exc:
+            raise ServiceError(422, str(exc)) from exc
+
+    def _post_saved_query(self, request: JsonRequest) -> Dict[str, Any]:
+        """Save a named query: ``{"name", "nodes": [...], "description"?}``."""
+        name, nodes = request.require("name", "nodes")
+        description = request.body.get("description", "")
+        if not isinstance(nodes, list) or not nodes:
+            raise ServiceError(400, "nodes must be a non-empty list of IRIs")
+        try:
+            walk = self.mdm.walk_from_nodes([_iri(n, "walk node") for n in nodes])
+            saved = self.mdm.saved_queries.save(name, walk, description)
+        except MdmError as exc:
+            raise ServiceError(422, str(exc)) from exc
+        return {"name": saved.name, "walk": saved.walk.to_json_dict()}
+
+    def _get_saved_queries(self, request: JsonRequest) -> List[Dict[str, Any]]:
+        out = []
+        for name in self.mdm.saved_queries.names():
+            saved = self.mdm.saved_queries.get(name)
+            out.append(
+                {
+                    "name": saved.name,
+                    "description": saved.description,
+                    "walk": saved.walk.to_json_dict(),
+                }
+            )
+        return out
+
+    def _run_saved_query(self, request: JsonRequest) -> Dict[str, Any]:
+        name = request.path_params["name"]
+        try:
+            outcome = self.mdm.saved_queries.run(name, on_wrapper_error="skip")
+        except KeyError as exc:
+            raise ServiceError(404, str(exc)) from exc
+        except MdmError as exc:
+            raise ServiceError(422, str(exc)) from exc
+        return {
+            "columns": list(outcome.relation.schema.names),
+            "rows": [list(r) for r in outcome.relation.rows],
+            "ucq_size": outcome.rewrite.ucq_size,
+            "skipped_wrappers": list(outcome.skipped_wrappers),
+        }
+
+    def _delete_saved_query(self, request: JsonRequest) -> Dict[str, Any]:
+        name = request.path_params["name"]
+        removed = self.mdm.saved_queries.delete(name)
+        if not removed:
+            raise ServiceError(404, f"no saved query named {name!r}")
+        return {"deleted": name}
+
+    def _revalidate_saved(self, request: JsonRequest) -> List[Dict[str, Any]]:
+        execute = request.query.get("execute", "false").lower() == "true"
+        return [
+            {
+                "name": entry.name,
+                "ok": entry.ok,
+                "ucq_size": entry.ucq_size,
+                "rows": entry.rows,
+                "error": entry.error,
+            }
+            for entry in self.mdm.saved_queries.revalidate(execute=execute)
+        ]
+
+    def _get_impact(self, request: JsonRequest) -> Dict[str, Any]:
+        """Release impact analysis for one source."""
+        try:
+            return dict(self.mdm.impact_of_source(request.path_params["source"]))
+        except MdmError as exc:
+            raise ServiceError(404, str(exc)) from exc
+
+    def _get_report(self, request: JsonRequest) -> Dict[str, Any]:
+        """The full governance report (see repro.core.reporting)."""
+        from ..core.reporting import governance_report
+
+        execute = request.query.get("execute", "false").lower() == "true"
+        return dict(governance_report(self.mdm, execute_queries=execute))
+
+    def _get_trig(self, request: JsonRequest) -> Dict[str, Any]:
+        return {"trig": self.mdm.to_trig()}
+
+    def _get_summary(self, request: JsonRequest) -> Dict[str, Any]:
+        return dict(self.mdm.summary())

@@ -1,0 +1,96 @@
+"""Durability for MDM state (the Jena TDB substitute).
+
+One MDM instance's metadata lives in two stores:
+
+- the RDF dataset (global graph, source graph, LAV named graphs), saved
+  as a TriG document;
+- the document store (releases, sources, query log), saved as JSONL.
+
+``save`` writes both under a directory; ``load`` reconstructs an
+:class:`~repro.core.mdm.MDM` from them.  Runtime wrapper objects (live
+fetch functions) cannot be serialized — callers re-attach them by name
+with :func:`attach_wrappers` after loading, mirroring how the real system
+re-establishes connections on restart.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..core.mdm import MDM
+from ..core.vocabulary import M
+from ..docstore.store import DocumentStore
+from ..rdf.namespaces import RDFS
+from ..rdf.terms import IRI, Literal
+from ..rdf.trig import parse_trig, serialize_trig
+from ..sources.wrappers import Wrapper
+
+__all__ = ["save_mdm", "load_mdm", "attach_wrappers", "DATASET_FILE", "METADATA_FILE"]
+
+DATASET_FILE = "mdm-dataset.trig"
+METADATA_FILE = "mdm-metadata.jsonl"
+
+
+def save_mdm(mdm: MDM, directory: os.PathLike) -> Path:
+    """Persist ``mdm``'s dataset and metadata under ``directory``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    (target / DATASET_FILE).write_text(serialize_trig(mdm.dataset))
+    mdm.metadata.save(target / METADATA_FILE)
+    return target
+
+
+def load_mdm(directory: os.PathLike) -> MDM:
+    """Reconstruct an MDM from a saved directory.
+
+    The source-name index is rebuilt from the source graph's labels;
+    runtime wrappers must be re-attached (see :func:`attach_wrappers`).
+    """
+    source = Path(directory)
+    dataset_path = source / DATASET_FILE
+    metadata_path = source / METADATA_FILE
+    if not dataset_path.exists():
+        raise FileNotFoundError(f"no dataset snapshot at {dataset_path}")
+    mdm = MDM()
+    parse_trig(dataset_path.read_text(), mdm.dataset)
+    if metadata_path.exists():
+        mdm.metadata = DocumentStore(metadata_path)
+        from ..core.releases import GovernanceLog
+
+        mdm.governance = GovernanceLog(mdm.metadata)
+    _rebuild_source_index(mdm)
+    return mdm
+
+
+def _rebuild_source_index(mdm: MDM) -> None:
+    from ..core.vocabulary import S
+    from ..rdf.namespaces import RDF
+
+    graph = mdm.source_graph.graph
+    for source in mdm.source_graph.data_sources():
+        # Source IRIs are minted as mdm:dataSource/<name>; recover <name>.
+        local = source.value[len(M.base):]
+        if local.startswith("dataSource/"):
+            name = local[len("dataSource/"):]
+            mdm._sources_by_name[name] = source  # noqa: SLF001
+
+
+def attach_wrappers(mdm: MDM, wrappers: Iterable[Wrapper]) -> List[str]:
+    """Re-attach runtime wrappers by name; returns the attached names.
+
+    Raises :class:`KeyError` if a wrapper's name is not registered in the
+    source graph — attaching an unknown wrapper almost certainly means
+    the snapshot and the code have drifted.
+    """
+    attached: List[str] = []
+    for wrapper in wrappers:
+        if mdm.source_graph.wrapper_by_name(wrapper.name) is None:
+            raise KeyError(
+                f"wrapper {wrapper.name!r} is not registered in the loaded "
+                "source graph"
+            )
+        mdm.wrappers[wrapper.name] = wrapper
+        attached.append(wrapper.name)
+    return attached

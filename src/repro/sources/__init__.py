@@ -1,0 +1,67 @@
+"""Simulated REST sources, formats, schema evolution and wrappers."""
+
+from .datagen import Country, FootballDataset, League, Player, Team
+from .evolution import (
+    AddField,
+    ChangeType,
+    EndpointVersion,
+    FlattenField,
+    NestFields,
+    RemoveField,
+    RenameField,
+    SchemaChange,
+    release_version,
+)
+from .formats import (
+    decode_csv,
+    decode_json,
+    decode_xml,
+    encode_csv,
+    encode_json,
+    encode_xml,
+    flatten_record,
+    flatten_records,
+)
+from .restapi import Endpoint, HttpError, MockRestServer, Request, Response
+from .wrappers import (
+    AttributeSpec,
+    RestWrapper,
+    StaticWrapper,
+    Wrapper,
+    WrapperSchemaError,
+)
+
+__all__ = [
+    "FootballDataset",
+    "Country",
+    "League",
+    "Team",
+    "Player",
+    "MockRestServer",
+    "Endpoint",
+    "Request",
+    "Response",
+    "HttpError",
+    "SchemaChange",
+    "RenameField",
+    "RemoveField",
+    "AddField",
+    "ChangeType",
+    "NestFields",
+    "FlattenField",
+    "EndpointVersion",
+    "release_version",
+    "Wrapper",
+    "RestWrapper",
+    "StaticWrapper",
+    "WrapperSchemaError",
+    "AttributeSpec",
+    "encode_json",
+    "decode_json",
+    "encode_xml",
+    "decode_xml",
+    "encode_csv",
+    "decode_csv",
+    "flatten_record",
+    "flatten_records",
+]

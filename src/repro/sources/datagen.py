@@ -1,0 +1,223 @@
+"""Deterministic synthetic football data (the paper's motivational domain).
+
+The EDBT demo integrates four REST APIs about european football — players,
+teams, leagues and countries (paper §1, Figure 1).  This module generates
+that data deterministically:
+
+- a fixed set of *anchor* entities reproducing every value the paper
+  prints (Lionel Messi #6176 at FC Barcelona #25 with height 170.18,
+  weight 159, rating 94, preferred foot "left"; Robert Lewandowski at
+  Bayern Munich; Zlatan Ibrahimovic at Manchester United — Figure 2 and
+  Table 1), plus players whose nationality matches their league's country
+  so the intro query "players that play in a league of their nationality"
+  has a non-empty answer;
+- optionally, seeded pseudo-random extras to scale workloads for the
+  benchmarks.
+
+All generation is pure-Python ``random.Random(seed)``, so a given seed
+always produces byte-identical datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Country", "League", "Team", "Player", "FootballDataset"]
+
+
+@dataclass(frozen=True)
+class Country:
+    """A national association."""
+
+    id: int
+    name: str
+    code: str
+
+
+@dataclass(frozen=True)
+class League:
+    """A national league competition."""
+
+    id: int
+    name: str
+    country_id: int
+
+
+@dataclass(frozen=True)
+class Team:
+    """A football club."""
+
+    id: int
+    name: str
+    short_name: str
+    league_id: int
+
+
+@dataclass(frozen=True)
+class Player:
+    """A player with the attributes shown in the paper's Figure 2."""
+
+    id: int
+    name: str
+    height: float
+    weight: int
+    rating: int
+    preferred_foot: str
+    team_id: int
+    nationality_id: int
+
+
+_ANCHOR_COUNTRIES = [
+    Country(1, "Spain", "ESP"),
+    Country(2, "Germany", "GER"),
+    Country(3, "England", "ENG"),
+    Country(4, "Argentina", "ARG"),
+    Country(5, "Poland", "POL"),
+    Country(6, "Sweden", "SWE"),
+]
+
+_ANCHOR_LEAGUES = [
+    League(100, "La Liga", 1),
+    League(101, "Bundesliga", 2),
+    League(102, "Premier League", 3),
+]
+
+_ANCHOR_TEAMS = [
+    Team(25, "FC Barcelona", "FCB", 100),
+    Team(26, "Bayern Munich", "BAY", 101),
+    Team(27, "Manchester United", "MUN", 102),
+    Team(28, "Real Madrid", "RMA", 100),
+]
+
+_ANCHOR_PLAYERS = [
+    # The exact record from Figure 2.
+    Player(6176, "Lionel Messi", 170.18, 159, 94, "left", 25, 4),
+    Player(6300, "Robert Lewandowski", 184.0, 176, 92, "right", 26, 5),
+    Player(6400, "Zlatan Ibrahimovic", 195.0, 209, 90, "right", 27, 6),
+    # Nationality == league country (for the intro query).
+    Player(6500, "Sergio Ramos", 183.0, 181, 90, "right", 28, 1),
+    Player(6600, "Thomas Muller", 185.0, 165, 87, "right", 26, 2),
+    Player(6700, "Marcus Rashford", 180.0, 154, 84, "right", 27, 3),
+]
+
+_FIRST_NAMES = [
+    "Marco", "Luis", "Karim", "Pedro", "Jan", "Erik", "Nils", "Hugo",
+    "Iker", "Dani", "Samu", "Oscar", "Pau", "Leo", "Bruno", "Andre",
+]
+_LAST_NAMES = [
+    "Garcia", "Muller", "Smith", "Rossi", "Kovacs", "Nowak", "Jansen",
+    "Silva", "Costa", "Weber", "Moreau", "Novak", "Berg", "Lund",
+]
+
+
+@dataclass
+class FootballDataset:
+    """The four entity collections plus lookup helpers."""
+
+    countries: List[Country] = field(default_factory=list)
+    leagues: List[League] = field(default_factory=list)
+    teams: List[Team] = field(default_factory=list)
+    players: List[Player] = field(default_factory=list)
+
+    @classmethod
+    def anchors_only(cls) -> "FootballDataset":
+        """Exactly the paper's entities, nothing synthetic."""
+        return cls(
+            countries=list(_ANCHOR_COUNTRIES),
+            leagues=list(_ANCHOR_LEAGUES),
+            teams=list(_ANCHOR_TEAMS),
+            players=list(_ANCHOR_PLAYERS),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 2018,
+        extra_teams: int = 12,
+        extra_players_per_team: int = 4,
+    ) -> "FootballDataset":
+        """Anchors plus seeded synthetic teams and players.
+
+        Synthetic teams are spread round-robin over the anchor leagues;
+        synthetic players get plausible physique values and a nationality
+        that equals the league's country for roughly one in three players
+        (keeping the intro query interesting at scale).
+        """
+        rng = random.Random(seed)
+        dataset = cls.anchors_only()
+        next_team_id = 1000
+        next_player_id = 10000
+        for i in range(extra_teams):
+            league = dataset.leagues[i % len(dataset.leagues)]
+            first = rng.choice(_LAST_NAMES)
+            team = Team(
+                next_team_id,
+                f"{first} FC {next_team_id}",
+                f"T{next_team_id % 1000:03d}",
+                league.id,
+            )
+            next_team_id += 1
+            dataset.teams.append(team)
+        for team in dataset.teams:
+            if team.id < 1000:
+                continue  # anchors already have players
+            league = dataset.league_by_id(team.league_id)
+            for _ in range(extra_players_per_team):
+                if rng.random() < 0.34:
+                    nationality = league.country_id
+                else:
+                    nationality = rng.choice(dataset.countries).id
+                player = Player(
+                    id=next_player_id,
+                    name=f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}",
+                    height=round(rng.uniform(165.0, 200.0), 2),
+                    weight=rng.randint(130, 220),
+                    rating=rng.randint(55, 93),
+                    preferred_foot=rng.choice(["left", "right"]),
+                    team_id=team.id,
+                    nationality_id=nationality,
+                )
+                next_player_id += 1
+                dataset.players.append(player)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    def team_by_id(self, team_id: int) -> Team:
+        """The team with that id (raises KeyError if absent)."""
+        return self._index(self.teams)[team_id]
+
+    def league_by_id(self, league_id: int) -> League:
+        """The league with that id."""
+        return self._index(self.leagues)[league_id]
+
+    def country_by_id(self, country_id: int) -> Country:
+        """The country with that id."""
+        return self._index(self.countries)[country_id]
+
+    def player_by_id(self, player_id: int) -> Player:
+        """The player with that id."""
+        return self._index(self.players)[player_id]
+
+    @staticmethod
+    def _index(items) -> Dict[int, object]:
+        return {item.id: item for item in items}
+
+    def players_in_national_league(self) -> List[Player]:
+        """Ground truth for "players that play in a league of their
+        nationality" — used to check the rewritten OMQ end-to-end."""
+        result = []
+        team_index = self._index(self.teams)
+        league_index = self._index(self.leagues)
+        for player in self.players:
+            team = team_index.get(player.team_id)
+            if team is None:
+                continue
+            league = league_index.get(team.league_id)
+            if league is not None and league.country_id == player.nationality_id:
+                result.append(player)
+        return result

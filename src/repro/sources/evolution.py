@@ -1,0 +1,231 @@
+"""Schema-evolution operators for the simulated REST APIs.
+
+"In the last year Facebook's Graph API released four major versions
+affecting more than twenty endpoints each, many of them breaking changes"
+(paper §1).  This module reproduces that phenomenon programmatically: a
+new :class:`EndpointVersion` is the previous version's record shape pushed
+through a list of :class:`SchemaChange` operators.
+
+Operators cover the breaking-change taxonomy of the schema-evolution
+literature the paper cites (Caruccio et al. 2016):
+
+``RenameField``   — attribute renamed (breaking for consumers)
+``RemoveField``   — attribute dropped (breaking)
+``AddField``      — attribute added (non-breaking)
+``ChangeType``    — value representation changes, e.g. int → string
+``NestFields``    — flat attributes moved under a sub-object (breaking)
+``FlattenField``  — a sub-object inlined into the top level
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .restapi import Endpoint, MockRestServer, Record
+
+__all__ = [
+    "SchemaChange",
+    "RenameField",
+    "RemoveField",
+    "AddField",
+    "ChangeType",
+    "NestFields",
+    "FlattenField",
+    "EndpointVersion",
+    "release_version",
+]
+
+
+class SchemaChange:
+    """Base class: a pure record-shape transformation."""
+
+    #: Whether existing consumers break without adaptation.
+    breaking: bool = True
+
+    def apply(self, record: Record) -> Record:
+        """Return the transformed copy of ``record``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable change description for governance logs."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RenameField(SchemaChange):
+    """Rename a top-level field."""
+
+    old: str
+    new: str
+    breaking = True
+
+    def apply(self, record: Record) -> Record:
+        out = dict(record)
+        if self.old in out:
+            out[self.new] = out.pop(self.old)
+        return out
+
+    def describe(self) -> str:
+        return f"rename {self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class RemoveField(SchemaChange):
+    """Drop a field entirely."""
+
+    name: str
+    breaking = True
+
+    def apply(self, record: Record) -> Record:
+        out = dict(record)
+        out.pop(self.name, None)
+        return out
+
+    def describe(self) -> str:
+        return f"remove {self.name}"
+
+
+@dataclass(frozen=True)
+class AddField(SchemaChange):
+    """Add a field computed from the record (or a constant)."""
+
+    name: str
+    compute: Callable[[Record], Any]
+    breaking = False
+
+    def apply(self, record: Record) -> Record:
+        out = dict(record)
+        out[self.name] = self.compute(record)
+        return out
+
+    def describe(self) -> str:
+        return f"add {self.name}"
+
+
+@dataclass(frozen=True)
+class ChangeType(SchemaChange):
+    """Change a field's value representation (e.g. ``str``)."""
+
+    name: str
+    converter: Callable[[Any], Any]
+    breaking = True
+
+    def apply(self, record: Record) -> Record:
+        out = dict(record)
+        if self.name in out and out[self.name] is not None:
+            out[self.name] = self.converter(out[self.name])
+        return out
+
+    def describe(self) -> str:
+        return f"retype {self.name}"
+
+
+@dataclass(frozen=True)
+class NestFields(SchemaChange):
+    """Move flat fields under a new sub-object key."""
+
+    names: Sequence[str]
+    under: str
+    breaking = True
+
+    def apply(self, record: Record) -> Record:
+        out = dict(record)
+        nested: Dict[str, Any] = {}
+        for name in self.names:
+            if name in out:
+                nested[name] = out.pop(name)
+        out[self.under] = nested
+        return out
+
+    def describe(self) -> str:
+        return f"nest {list(self.names)} under {self.under}"
+
+
+@dataclass(frozen=True)
+class FlattenField(SchemaChange):
+    """Inline a sub-object's keys into the top level (prefix optional)."""
+
+    name: str
+    prefix: str = ""
+    breaking = True
+
+    def apply(self, record: Record) -> Record:
+        out = dict(record)
+        nested = out.pop(self.name, None)
+        if isinstance(nested, Mapping):
+            for key, value in nested.items():
+                out[f"{self.prefix}{key}"] = value
+        return out
+
+    def describe(self) -> str:
+        return f"flatten {self.name}"
+
+
+@dataclass
+class EndpointVersion:
+    """A concrete API version: base provider + accumulated changes."""
+
+    name: str
+    version: int
+    payload_format: str
+    base_provider: Callable[[], List[Record]]
+    changes: List[SchemaChange] = field(default_factory=list)
+
+    def provider(self) -> List[Record]:
+        """Records after applying this version's change pipeline."""
+        records = [dict(r) for r in self.base_provider()]
+        for change in self.changes:
+            records = [change.apply(r) for r in records]
+        return records
+
+    def successor(
+        self,
+        changes: Sequence[SchemaChange],
+        payload_format: Optional[str] = None,
+    ) -> "EndpointVersion":
+        """The next version: same base, previous changes plus new ones."""
+        return EndpointVersion(
+            name=self.name,
+            version=self.version + 1,
+            payload_format=payload_format or self.payload_format,
+            base_provider=self.base_provider,
+            changes=list(self.changes) + list(changes),
+        )
+
+    @property
+    def is_breaking(self) -> bool:
+        """Whether this version introduced at least one breaking change."""
+        return any(c.breaking for c in self.changes)
+
+    def changelog(self) -> List[str]:
+        """Descriptions of every change since the base version."""
+        return [c.describe() for c in self.changes]
+
+
+def release_version(
+    server: MockRestServer,
+    version: EndpointVersion,
+    retire_previous: bool = False,
+    **endpoint_kwargs,
+) -> Endpoint:
+    """Mount ``version`` on ``server``; optionally retire its predecessor.
+
+    Returns the mounted :class:`Endpoint`.  This is the source-side half of
+    the paper's "governance of evolution" demo scenario — the provider
+    ships v(N+1); whether v(N) keeps working is the provider's choice.
+    """
+    endpoint = Endpoint(
+        name=version.name,
+        version=version.version,
+        payload_format=version.payload_format,
+        provider=version.provider,
+        **endpoint_kwargs,
+    )
+    server.register(endpoint)
+    if retire_previous and version.version > 1:
+        try:
+            server.retire(version.name, version.version - 1)
+        except KeyError:
+            pass  # predecessor was never mounted in this simulation
+    return endpoint

@@ -1,0 +1,198 @@
+"""Wrappers: the access mechanism from the mediator/wrapper architecture.
+
+A wrapper (paper §2.2) encapsulates how a source is queried — "an API
+request or a database query" — and exposes a *signature*
+``w(a1, ..., an)``: a flat, first-normal-form relation over named
+attributes.  "The query contained in the wrapper might rename (e.g. foot)
+or add new attributes (e.g. teamId)", which here is the ``attribute_map``:
+each signature attribute is produced from a path into the (flattened)
+payload or a computed function.
+
+``RestWrapper.fetch()`` is strict by design: if the payload no longer
+contains an expected path — the typical effect of a breaking schema
+change hitting a wrapper written for the previous version — it raises
+:class:`WrapperSchemaError` rather than silently emitting NULLs.  That
+strictness is what makes the GAV baseline "crash" in the evolution
+scenario while MDM's LAV rewriting routes around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..relational.relation import Relation
+from .formats import decode_csv, decode_json, decode_xml, flatten_record
+from .restapi import HttpError, MockRestServer, Response
+
+__all__ = ["Wrapper", "RestWrapper", "StaticWrapper", "WrapperSchemaError", "AttributeSpec"]
+
+Record = Dict[str, Any]
+
+#: How a signature attribute is produced from one flattened payload record:
+#: a key (str) into the flattened record, or a function of it.
+AttributeSpec = Union[str, Callable[[Record], Any]]
+
+
+class WrapperSchemaError(RuntimeError):
+    """The payload no longer matches the wrapper's expectations."""
+
+    def __init__(self, wrapper_name: str, attribute: str, detail: str):
+        super().__init__(
+            f"wrapper {wrapper_name!r}: cannot produce attribute "
+            f"{attribute!r}: {detail}"
+        )
+        self.wrapper_name = wrapper_name
+        self.attribute = attribute
+
+
+class Wrapper:
+    """Abstract wrapper: a name, a signature, and ``fetch()``."""
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        if not name:
+            raise ValueError("wrapper name must be non-empty")
+        if not attributes:
+            raise ValueError("wrapper signature needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise ValueError(f"duplicate attributes in signature: {attributes}")
+        self.name = name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+
+    @property
+    def signature(self) -> str:
+        """The paper's notation, e.g. ``w1(id, pName, height, ...)``."""
+        return f"{self.name}({', '.join(self.attributes)})"
+
+    def fetch(self) -> List[Record]:
+        """The current rows as dicts keyed exactly by the signature."""
+        raise NotImplementedError
+
+    def fetch_relation(self) -> Relation:
+        """The current rows as a typed :class:`Relation` named after the wrapper."""
+        return Relation.from_dicts(
+            self.fetch(), attribute_order=list(self.attributes), name=self.name
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.signature}>"
+
+
+class StaticWrapper(Wrapper):
+    """A wrapper over fixed in-memory rows (tests, examples, baselines)."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Sequence[Mapping[str, Any]],
+    ):
+        super().__init__(name, attributes)
+        self._rows = [
+            {a: row.get(a) for a in self.attributes} for row in rows
+        ]
+
+    def fetch(self) -> List[Record]:
+        return [dict(r) for r in self._rows]
+
+
+class RestWrapper(Wrapper):
+    """A wrapper that issues a GET against a (mock) REST endpoint.
+
+    Parameters
+    ----------
+    name, attributes:
+        The signature.
+    server, path:
+        Where to fetch (e.g. ``/v1/players``).
+    attribute_map:
+        Signature attribute → :data:`AttributeSpec`.  Attributes absent
+        from the map default to their own name as the payload key.
+    params:
+        Extra query parameters sent with every request.
+    strict:
+        When True (default), a missing payload key raises
+        :class:`WrapperSchemaError`; when False it yields NULL (the
+        "silently partial results" failure mode the paper warns about).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        server: MockRestServer,
+        path: str,
+        attribute_map: Optional[Mapping[str, AttributeSpec]] = None,
+        params: Optional[Mapping[str, str]] = None,
+        strict: bool = True,
+        paginate: bool = False,
+    ):
+        super().__init__(name, attributes)
+        self.server = server
+        self.path = path
+        self.attribute_map: Dict[str, AttributeSpec] = dict(attribute_map or {})
+        self.params = dict(params or {})
+        self.strict = strict
+        #: Fetch every page of a paginated endpoint instead of one GET.
+        self.paginate = paginate
+
+    def _decode(self, response: Response) -> List[Record]:
+        if "json" in response.content_type:
+            records = decode_json(response.body)
+        elif "xml" in response.content_type:
+            records = decode_xml(response.body)
+        elif "csv" in response.content_type:
+            records = decode_csv(response.body)
+        else:
+            raise WrapperSchemaError(
+                self.name, "*", f"unsupported content type {response.content_type}"
+            )
+        return [flatten_record(r) for r in records]
+
+    def _responses(self) -> List[Response]:
+        if not self.paginate:
+            return [self.server.get_or_raise(self.path, self.params)]
+        responses = self.server.get_all_pages(self.path, self.params)
+        for response in responses:
+            if not response.ok:
+                raise HttpError(response.status, response.body)
+        return responses
+
+    def fetch(self) -> List[Record]:
+        try:
+            responses = self._responses()
+        except HttpError as exc:
+            raise WrapperSchemaError(
+                self.name, "*", f"endpoint {self.path} failed: {exc}"
+            ) from exc
+        decoded: List[Record] = []
+        for response in responses:
+            decoded.extend(self._decode(response))
+        rows: List[Record] = []
+        for record in decoded:
+            row: Record = {}
+            for attribute in self.attributes:
+                spec = self.attribute_map.get(attribute, attribute)
+                if callable(spec):
+                    try:
+                        row[attribute] = spec(record)
+                    except (KeyError, TypeError, ValueError) as exc:
+                        if self.strict:
+                            raise WrapperSchemaError(
+                                self.name, attribute, f"computed spec failed: {exc}"
+                            ) from exc
+                        row[attribute] = None
+                else:
+                    if spec in record:
+                        row[attribute] = record[spec]
+                    elif self.strict:
+                        raise WrapperSchemaError(
+                            self.name,
+                            attribute,
+                            f"payload key {spec!r} missing "
+                            f"(payload keys: {sorted(record)})",
+                        )
+                    else:
+                        row[attribute] = None
+            rows.append(row)
+        return rows

@@ -1,0 +1,39 @@
+"""SPARQL subset engine (ARQ substitute) for the MDM reproduction.
+
+Typical use::
+
+    from repro.sparql import evaluate_text
+    results = evaluate_text("SELECT ?n WHERE { ?p sc:name ?n }", dataset)
+    print(results.to_table())
+"""
+
+from .algebra import AlgebraNode, explain, translate
+from .ast import (
+    AskQuery,
+    ConstructQuery,
+    Query,
+    SelectQuery,
+)
+from .evaluator import QueryEvaluator, evaluate, evaluate_text
+from .functions import ExpressionError, effective_boolean_value, evaluate_expression
+from .parser import SparqlSyntaxError, parse_query
+from .results import SolutionSequence
+
+__all__ = [
+    "parse_query",
+    "translate",
+    "explain",
+    "AlgebraNode",
+    "SparqlSyntaxError",
+    "evaluate",
+    "evaluate_text",
+    "QueryEvaluator",
+    "SolutionSequence",
+    "SelectQuery",
+    "AskQuery",
+    "ConstructQuery",
+    "Query",
+    "ExpressionError",
+    "evaluate_expression",
+    "effective_boolean_value",
+]

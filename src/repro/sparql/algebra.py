@@ -1,0 +1,362 @@
+"""SPARQL algebra: a lowered IR with a printable operator tree.
+
+The evaluator interprets the AST directly for performance, but tooling
+(query explain, tests, optimizers) benefits from the standard SPARQL
+algebra view (à la the W3C spec's ``ToAlgebra``): group graph patterns
+lower to ``Join``/``LeftJoin``/``Union``/``Filter``/``Graph``/``Minus``
+trees over ``BGP`` leaves, and the query modifiers wrap the tree in
+``Project``/``Distinct``/``Group``/``OrderBy``/``Slice``.
+
+``translate(query)`` produces the tree; ``explain(query)`` renders it in
+the indented notation SPARQL engines print::
+
+    Distinct
+      Project [?playerName ?teamName]
+        Join
+          BGP { ?p rdf:type ex:Player . ... }
+          Filter (?h > 180)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..rdf.terms import Triple, Variable
+from .ast import (
+    AskQuery,
+    BindPattern,
+    ConstructQuery,
+    Expression,
+    FilterPattern,
+    GraphPattern,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Pattern,
+    Query,
+    SelectQuery,
+    TriplesBlock,
+    UnionPattern,
+    ValuesPattern,
+)
+
+__all__ = [
+    "AlgebraNode",
+    "BGP",
+    "Join",
+    "LeftJoin",
+    "AlgebraUnion",
+    "AlgebraFilter",
+    "AlgebraGraph",
+    "AlgebraMinus",
+    "Extend",
+    "Table",
+    "Project",
+    "DistinctNode",
+    "GroupNode",
+    "OrderByNode",
+    "Slice",
+    "translate",
+    "translate_pattern",
+    "explain",
+]
+
+
+class AlgebraNode:
+    """Base class of algebra operators."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["AlgebraNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def render(self, indent: int = 0) -> str:
+        """Indented tree rendering."""
+        pad = "  " * indent
+        lines = [pad + self.label()]
+        for child in self.children():
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BGP(AlgebraNode):
+    """A basic graph pattern leaf."""
+
+    triples: Tuple[Triple, ...]
+
+    def label(self) -> str:
+        patterns = " . ".join(
+            f"{t.subject.n3()} {t.predicate.n3()} {t.object.n3()}"
+            for t in self.triples
+        )
+        return f"BGP {{ {patterns} }}" if patterns else "BGP {}"
+
+
+@dataclass(frozen=True)
+class Join(AlgebraNode):
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "Join"
+
+
+@dataclass(frozen=True)
+class LeftJoin(AlgebraNode):
+    """OPTIONAL lowering."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "LeftJoin"
+
+
+@dataclass(frozen=True)
+class AlgebraUnion(AlgebraNode):
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "Union"
+
+
+@dataclass(frozen=True)
+class AlgebraFilter(AlgebraNode):
+    expression: Expression
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter ({type(self.expression).__name__})"
+
+
+@dataclass(frozen=True)
+class AlgebraGraph(AlgebraNode):
+    graph: object
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        name = self.graph.n3() if hasattr(self.graph, "n3") else str(self.graph)
+        return f"Graph {name}"
+
+
+@dataclass(frozen=True)
+class AlgebraMinus(AlgebraNode):
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "Minus"
+
+
+@dataclass(frozen=True)
+class Extend(AlgebraNode):
+    """BIND lowering."""
+
+    variable: Variable
+    expression: Expression
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Extend ?{self.variable.name}"
+
+
+@dataclass(frozen=True)
+class Table(AlgebraNode):
+    """VALUES lowering: an inline solution table."""
+
+    variables: Tuple[Variable, ...]
+    rows: int
+
+    def label(self) -> str:
+        names = " ".join(f"?{v.name}" for v in self.variables)
+        return f"Table [{names}] ({self.rows} rows)"
+
+
+@dataclass(frozen=True)
+class Project(AlgebraNode):
+    variables: Tuple[Variable, ...]
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        if not self.variables:
+            return "Project *"
+        names = " ".join(f"?{v.name}" for v in self.variables)
+        return f"Project [{names}]"
+
+
+@dataclass(frozen=True)
+class DistinctNode(AlgebraNode):
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class GroupNode(AlgebraNode):
+    """GROUP BY + aggregate projections."""
+
+    group_by: Tuple[Variable, ...]
+    aggregates: Tuple[str, ...]
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = " ".join(f"?{v.name}" for v in self.group_by) or "()"
+        return f"Group [{keys}] {{{', '.join(self.aggregates)}}}"
+
+
+@dataclass(frozen=True)
+class OrderByNode(AlgebraNode):
+    keys: int
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"OrderBy ({self.keys} key{'s' if self.keys != 1 else ''})"
+
+
+@dataclass(frozen=True)
+class Slice(AlgebraNode):
+    offset: int
+    limit: Optional[int]
+    child: AlgebraNode
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        limit = "∞" if self.limit is None else str(self.limit)
+        return f"Slice [{self.offset}:{limit}]"
+
+
+# --------------------------------------------------------------------- #
+# translation
+# --------------------------------------------------------------------- #
+
+
+def translate_pattern(pattern: Pattern) -> AlgebraNode:
+    """Lower one WHERE-clause pattern to algebra."""
+    if isinstance(pattern, TriplesBlock):
+        return BGP(pattern.triples)
+    if isinstance(pattern, GroupPattern):
+        current: Optional[AlgebraNode] = None
+        filters: List[Expression] = []
+        for member in pattern.members:
+            if isinstance(member, FilterPattern):
+                filters.append(member.expression)
+                continue
+            if isinstance(member, OptionalPattern):
+                lowered = translate_pattern(member.pattern)
+                current = LeftJoin(current or BGP(()), lowered)
+                continue
+            if isinstance(member, MinusPattern):
+                lowered = translate_pattern(member.pattern)
+                current = AlgebraMinus(current or BGP(()), lowered)
+                continue
+            if isinstance(member, BindPattern):
+                current = Extend(
+                    member.variable, member.expression, current or BGP(())
+                )
+                continue
+            lowered = translate_pattern(member)
+            current = lowered if current is None else Join(current, lowered)
+        result = current or BGP(())
+        for expression in filters:
+            result = AlgebraFilter(expression, result)
+        return result
+    if isinstance(pattern, OptionalPattern):
+        return LeftJoin(BGP(()), translate_pattern(pattern.pattern))
+    if isinstance(pattern, UnionPattern):
+        current = translate_pattern(pattern.alternatives[0])
+        for alternative in pattern.alternatives[1:]:
+            current = AlgebraUnion(current, translate_pattern(alternative))
+        return current
+    if isinstance(pattern, GraphPattern):
+        return AlgebraGraph(pattern.graph, translate_pattern(pattern.pattern))
+    if isinstance(pattern, FilterPattern):
+        return AlgebraFilter(pattern.expression, BGP(()))
+    if isinstance(pattern, MinusPattern):
+        return AlgebraMinus(BGP(()), translate_pattern(pattern.pattern))
+    if isinstance(pattern, BindPattern):
+        return Extend(pattern.variable, pattern.expression, BGP(()))
+    if isinstance(pattern, ValuesPattern):
+        return Table(pattern.variables, len(pattern.rows))
+    raise TypeError(f"unknown pattern node {pattern!r}")
+
+
+def translate(query: Query) -> AlgebraNode:
+    """Lower a parsed query to its algebra tree."""
+    if isinstance(query, SelectQuery):
+        node = translate_pattern(query.where)
+        if query.is_aggregate:
+            node = GroupNode(
+                query.group_by,
+                tuple(
+                    f"?{spec.alias.name}={spec.function}"
+                    f"({'*' if spec.variable is None else '?' + spec.variable.name})"
+                    for spec in query.aggregates
+                ),
+                node,
+            )
+            node = Project(
+                tuple(query.group_by)
+                + tuple(spec.alias for spec in query.aggregates),
+                node,
+            )
+        else:
+            node = Project(query.variables, node)
+        if query.distinct:
+            node = DistinctNode(node)
+        if query.order_by:
+            node = OrderByNode(len(query.order_by), node)
+        if query.offset or query.limit is not None:
+            node = Slice(query.offset, query.limit, node)
+        return node
+    if isinstance(query, AskQuery):
+        return Slice(0, 1, translate_pattern(query.where))
+    if isinstance(query, ConstructQuery):
+        return Project((), translate_pattern(query.where))
+    raise TypeError(f"unknown query form {query!r}")
+
+
+def explain(query: Query) -> str:
+    """The indented algebra rendering of a parsed query."""
+    return translate(query).render()

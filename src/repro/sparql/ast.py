@@ -1,0 +1,281 @@
+"""Abstract syntax tree for the SPARQL subset.
+
+The parser produces these nodes; :mod:`repro.sparql.algebra` lowers them to
+the evaluation algebra.  Two node families exist:
+
+*Graph patterns* (``GroupPattern``, ``TriplesBlock``, ``OptionalPattern``,
+``UnionPattern``, ``GraphPattern``, ``FilterPattern``, ``BindPattern``,
+``ValuesPattern``, ``MinusPattern``) describe the ``WHERE`` clause.
+
+*Expressions* (``Comparison``, ``Arithmetic``, ``BoolOp``, ``Not``,
+``FunctionCall``, ``TermExpr``, ``InExpr``, ``ExistsExpr``) describe
+``FILTER`` / ``BIND`` expressions.
+
+All nodes are frozen dataclasses: the AST is a value that can be compared
+in tests and cached safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..rdf.terms import IRI, Term, Triple, Variable
+
+__all__ = [
+    "Expression",
+    "TermExpr",
+    "Comparison",
+    "Arithmetic",
+    "BoolOp",
+    "Not",
+    "FunctionCall",
+    "InExpr",
+    "ExistsExpr",
+    "Pattern",
+    "TriplesBlock",
+    "GroupPattern",
+    "OptionalPattern",
+    "UnionPattern",
+    "GraphPattern",
+    "FilterPattern",
+    "BindPattern",
+    "ValuesPattern",
+    "MinusPattern",
+    "OrderCondition",
+    "SelectQuery",
+    "AskQuery",
+    "ConstructQuery",
+    "Query",
+]
+
+
+# --------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------- #
+
+
+class Expression:
+    """Marker base class for FILTER/BIND expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TermExpr(Expression):
+    """A bare term (variable, IRI or literal) used as an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left OP right`` with OP in ``= != < <= > >=``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """``left OP right`` with OP in ``+ - * /``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class BoolOp(Expression):
+    """``left && right`` or ``left || right``."""
+
+    op: str  # "&&" or "||"
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation ``!expr``."""
+
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A builtin call like ``REGEX(?name, "^L")`` (name upper-cased)."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class InExpr(Expression):
+    """``expr [NOT] IN (e1, ..., en)``."""
+
+    operand: Expression
+    choices: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expression):
+    """``[NOT] EXISTS { pattern }``."""
+
+    pattern: "Pattern"
+    negated: bool = False
+
+
+# --------------------------------------------------------------------- #
+# graph patterns
+# --------------------------------------------------------------------- #
+
+
+class Pattern:
+    """Marker base class for WHERE-clause graph patterns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TriplesBlock(Pattern):
+    """A maximal run of triple patterns (a basic graph pattern)."""
+
+    triples: Tuple[Triple, ...]
+
+
+@dataclass(frozen=True)
+class GroupPattern(Pattern):
+    """``{ P1 . P2 ... }`` — the members joined in order."""
+
+    members: Tuple[Pattern, ...]
+
+
+@dataclass(frozen=True)
+class OptionalPattern(Pattern):
+    """``OPTIONAL { pattern }``."""
+
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class UnionPattern(Pattern):
+    """``{A} UNION {B} [UNION {C} ...]`` flattened into alternatives."""
+
+    alternatives: Tuple[Pattern, ...]
+
+
+@dataclass(frozen=True)
+class GraphPattern(Pattern):
+    """``GRAPH term { pattern }`` where term is an IRI or variable."""
+
+    graph: Union[IRI, Variable]
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class FilterPattern(Pattern):
+    """``FILTER expr`` attached to the enclosing group."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class BindPattern(Pattern):
+    """``BIND (expr AS ?var)``."""
+
+    expression: Expression
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class ValuesPattern(Pattern):
+    """Inline data: ``VALUES (?a ?b) { (1 2) (3 4) }``.
+
+    ``rows`` contains ``None`` for UNDEF cells.
+    """
+
+    variables: Tuple[Variable, ...]
+    rows: Tuple[Tuple[Optional[Term], ...], ...]
+
+
+@dataclass(frozen=True)
+class MinusPattern(Pattern):
+    """``MINUS { pattern }``."""
+
+    pattern: Pattern
+
+
+# --------------------------------------------------------------------- #
+# queries
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ORDER BY key with direction."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate projection: ``(FUNC([DISTINCT] ?v | *) AS ?alias)``.
+
+    ``variable is None`` means ``COUNT(*)``.
+    """
+
+    function: str  # COUNT | SUM | AVG | MIN | MAX
+    variable: Optional[Variable]
+    alias: Variable
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A SELECT query.
+
+    ``variables`` empty with no ``aggregates`` means ``SELECT *``.  With
+    ``aggregates`` (and optionally ``group_by``) the query is an
+    aggregation: ``variables`` then holds the grouped variables that are
+    also projected.
+    """
+
+    variables: Tuple[Variable, ...]
+    where: Pattern
+    distinct: bool = False
+    order_by: Tuple[OrderCondition, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    offset: int = 0
+    aggregates: Tuple[AggregateSpec, ...] = field(default_factory=tuple)
+    group_by: Tuple[Variable, ...] = field(default_factory=tuple)
+
+    @property
+    def is_star(self) -> bool:
+        """Whether this is ``SELECT *``."""
+        return not self.variables and not self.aggregates
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether the query projects aggregates or groups."""
+        return bool(self.aggregates) or bool(self.group_by)
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    """An ASK query (boolean result)."""
+
+    where: Pattern
+
+
+@dataclass(frozen=True)
+class ConstructQuery:
+    """A CONSTRUCT query with a triple template."""
+
+    template: Tuple[Triple, ...]
+    where: Pattern
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery]

@@ -1,0 +1,524 @@
+"""SPARQL evaluation over :class:`repro.rdf.dataset.Dataset`.
+
+The evaluator interprets the AST directly (the fragment is small enough
+that a separate algebra IR would only add indirection); what matters for
+performance is *within-BGP join ordering*, which uses the store's
+cardinality estimates and prefers patterns whose variables are already
+bound — the classic greedy selectivity heuristic.
+
+Entry points:
+
+``evaluate(query, dataset)``
+    dispatch on query form; returns a :class:`SolutionSequence`, a bool
+    (ASK) or a :class:`repro.rdf.graph.Graph` (CONSTRUCT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..rdf.dataset import Dataset
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, IRI, Literal, Term, Triple, Variable
+from .ast import (
+    AskQuery,
+    BindPattern,
+    ConstructQuery,
+    FilterPattern,
+    GraphPattern,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Pattern,
+    Query,
+    SelectQuery,
+    TriplesBlock,
+    UnionPattern,
+    ValuesPattern,
+)
+from .functions import ExpressionError, effective_boolean_value, evaluate_expression
+from .parser import parse_query
+from .results import SolutionSequence
+
+__all__ = ["evaluate", "evaluate_text", "QueryEvaluator"]
+
+Bindings = Dict[Variable, Term]
+
+#: Sentinel meaning "match the union of all graphs" (used for GRAPH ?g).
+_ALL_GRAPHS = object()
+
+
+def _substitute(term: Term, bindings: Bindings) -> Term:
+    """Replace a bound variable by its value, else return the term."""
+    if isinstance(term, Variable):
+        return bindings.get(term, term)
+    return term
+
+
+def _match_component(pattern_term: Term, actual: Term, bindings: Bindings) -> Optional[Bindings]:
+    """Unify one triple component; returns extended bindings or None."""
+    if isinstance(pattern_term, Variable):
+        bound = bindings.get(pattern_term)
+        if bound is None:
+            extended = dict(bindings)
+            extended[pattern_term] = actual
+            return extended
+        return bindings if bound == actual else None
+    return bindings if pattern_term == actual else None
+
+
+class QueryEvaluator:
+    """Evaluates parsed queries over a dataset.
+
+    The default matching scope is the dataset's *default graph*;
+    ``GRAPH <iri> { ... }`` switches to that named graph and
+    ``GRAPH ?g { ... }`` ranges over all named graphs, binding ``?g``.
+    Passing ``union_default=True`` makes the default scope the union of
+    all graphs (Jena's ``tdb:unionDefaultGraph`` behaviour), which MDM
+    uses when querying the integrated ontology.
+    """
+
+    def __init__(self, dataset: Dataset, union_default: bool = False):
+        self.dataset = dataset
+        self.union_default = union_default
+        self._union_cache: Optional[Graph] = None
+
+    # ------------------------------------------------------------------ #
+    # graph scoping
+    # ------------------------------------------------------------------ #
+
+    def _default_scope(self) -> Graph:
+        if not self.union_default:
+            return self.dataset.default_graph
+        if self._union_cache is None:
+            self._union_cache = self.dataset.union_graph()
+        return self._union_cache
+
+    # ------------------------------------------------------------------ #
+    # pattern evaluation
+    # ------------------------------------------------------------------ #
+
+    def solutions(
+        self,
+        pattern: Pattern,
+        bindings: Optional[Bindings] = None,
+        scope: Optional[Graph] = None,
+    ) -> Iterator[Bindings]:
+        """All solutions of ``pattern`` extending ``bindings``."""
+        start: Bindings = dict(bindings) if bindings else {}
+        active = scope if scope is not None else self._default_scope()
+        yield from self._eval(pattern, active, start)
+
+    def _eval(self, pattern: Pattern, graph: Graph, bindings: Bindings) -> Iterator[Bindings]:
+        if isinstance(pattern, TriplesBlock):
+            yield from self._eval_bgp(list(pattern.triples), graph, bindings)
+        elif isinstance(pattern, GroupPattern):
+            yield from self._eval_group(pattern, graph, bindings)
+        elif isinstance(pattern, OptionalPattern):
+            yield from self._eval_optional(pattern, graph, bindings)
+        elif isinstance(pattern, UnionPattern):
+            for alternative in pattern.alternatives:
+                yield from self._eval(alternative, graph, bindings)
+        elif isinstance(pattern, GraphPattern):
+            yield from self._eval_graph(pattern, bindings)
+        elif isinstance(pattern, FilterPattern):
+            if self._filter_passes(pattern, graph, bindings):
+                yield bindings
+        elif isinstance(pattern, BindPattern):
+            yield from self._eval_bind(pattern, graph, bindings)
+        elif isinstance(pattern, ValuesPattern):
+            yield from self._eval_values(pattern, bindings)
+        elif isinstance(pattern, MinusPattern):
+            # A bare MINUS with nothing on the left removes from the
+            # single empty solution.
+            yield from self._apply_minus([bindings], pattern, graph)
+        else:
+            raise TypeError(f"unknown pattern node {pattern!r}")
+
+    def _eval_group(
+        self, group: GroupPattern, graph: Graph, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        filters = [m for m in group.members if isinstance(m, FilterPattern)]
+        minuses = [m for m in group.members if isinstance(m, MinusPattern)]
+        others = [
+            m
+            for m in group.members
+            if not isinstance(m, (FilterPattern, MinusPattern))
+        ]
+        current: Iterable[Bindings] = [bindings]
+        for member in others:
+            current = self._join_member(current, member, graph)
+        for minus in minuses:
+            current = self._apply_minus(current, minus, graph)
+        if filters:
+            current = (
+                b
+                for b in current
+                if all(self._filter_passes(f, graph, b) for f in filters)
+            )
+        yield from current
+
+    def _join_member(
+        self, solutions: Iterable[Bindings], member: Pattern, graph: Graph
+    ) -> Iterator[Bindings]:
+        for solution in solutions:
+            yield from self._eval(member, graph, solution)
+
+    def _apply_minus(
+        self, solutions: Iterable[Bindings], minus: MinusPattern, graph: Graph
+    ) -> Iterator[Bindings]:
+        rhs = list(self._eval(minus.pattern, graph, {}))
+        for solution in solutions:
+            excluded = False
+            for other in rhs:
+                shared = set(solution) & set(other)
+                if shared and all(solution[v] == other[v] for v in shared):
+                    excluded = True
+                    break
+            if not excluded:
+                yield solution
+
+    def _eval_optional(
+        self, optional: OptionalPattern, graph: Graph, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        matched = False
+        for solution in self._eval(optional.pattern, graph, bindings):
+            matched = True
+            yield solution
+        if not matched:
+            yield bindings
+
+    def _eval_graph(self, pattern: GraphPattern, bindings: Bindings) -> Iterator[Bindings]:
+        target = pattern.graph
+        if isinstance(target, Variable):
+            bound = bindings.get(target)
+            if isinstance(bound, IRI):
+                if self.dataset.has_graph(bound):
+                    yield from self._eval(
+                        pattern.pattern, self.dataset.graph(bound), bindings
+                    )
+                return
+            for name in self.dataset.graph_names():
+                extended = dict(bindings)
+                extended[target] = name
+                yield from self._eval(
+                    pattern.pattern, self.dataset.graph(name), extended
+                )
+            return
+        if self.dataset.has_graph(target):
+            yield from self._eval(pattern.pattern, self.dataset.graph(target), bindings)
+
+    def _eval_bind(
+        self, bind: BindPattern, graph: Graph, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        if bind.variable in bindings:
+            raise ExpressionError(
+                f"BIND would rebind already-bound variable {bind.variable}"
+            )
+        extended = dict(bindings)
+        try:
+            extended[bind.variable] = evaluate_expression(
+                bind.expression, bindings, self._make_exists(graph)
+            )
+        except ExpressionError:
+            pass  # BIND errors leave the variable unbound
+        yield extended
+
+    def _eval_values(self, values: ValuesPattern, bindings: Bindings) -> Iterator[Bindings]:
+        for row in values.rows:
+            extended: Optional[Bindings] = dict(bindings)
+            for variable, cell in zip(values.variables, row):
+                if cell is None:
+                    continue
+                assert extended is not None
+                if variable in extended:
+                    if extended[variable] != cell:
+                        extended = None
+                        break
+                else:
+                    extended[variable] = cell
+            if extended is not None:
+                yield extended
+
+    # -- BGP with greedy selectivity ordering --------------------------- #
+
+    def _eval_bgp(
+        self, patterns: List[Triple], graph: Graph, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        if not patterns:
+            yield bindings
+            return
+        index = self._pick_next(patterns, graph, bindings)
+        chosen = patterns[index]
+        rest = patterns[:index] + patterns[index + 1 :]
+        s = _substitute(chosen.subject, bindings)
+        p = _substitute(chosen.predicate, bindings)
+        o = _substitute(chosen.object, bindings)
+        lookup = (
+            s if not isinstance(s, Variable) else None,
+            p if not isinstance(p, Variable) else None,
+            o if not isinstance(o, Variable) else None,
+        )
+        for triple in graph.triples(lookup):
+            step = _match_component(s, triple.subject, bindings)
+            if step is None:
+                continue
+            step = _match_component(p, triple.predicate, step)
+            if step is None:
+                continue
+            step = _match_component(o, triple.object, step)
+            if step is None:
+                continue
+            yield from self._eval_bgp(rest, graph, step)
+
+    @staticmethod
+    def _pick_next(patterns: List[Triple], graph: Graph, bindings: Bindings) -> int:
+        """Index of the cheapest pattern under current bindings."""
+        best_index, best_cost = 0, None
+        for i, pattern in enumerate(patterns):
+            s = _substitute(pattern.subject, bindings)
+            p = _substitute(pattern.predicate, bindings)
+            o = _substitute(pattern.object, bindings)
+            estimate = graph.estimate(
+                (
+                    s if not isinstance(s, Variable) else None,
+                    p if not isinstance(p, Variable) else None,
+                    o if not isinstance(o, Variable) else None,
+                )
+            )
+            if best_cost is None or estimate < best_cost:
+                best_index, best_cost = i, estimate
+                if best_cost == 0:
+                    break
+        return best_index
+
+    # -- filters --------------------------------------------------------- #
+
+    def _make_exists(self, graph: Graph):
+        def exists(pattern: Pattern, bindings) -> bool:
+            for _ in self._eval(pattern, graph, dict(bindings)):
+                return True
+            return False
+
+        return exists
+
+    def _filter_passes(self, flt: FilterPattern, graph: Graph, bindings: Bindings) -> bool:
+        try:
+            value = evaluate_expression(
+                flt.expression, bindings, self._make_exists(graph)
+            )
+            return effective_boolean_value(value)
+        except ExpressionError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # query forms
+    # ------------------------------------------------------------------ #
+
+    def run(self, query: Query) -> Union[SolutionSequence, bool, Graph]:
+        """Evaluate a parsed query."""
+        if isinstance(query, SelectQuery):
+            return self._run_select(query)
+        if isinstance(query, AskQuery):
+            for _ in self.solutions(query.where):
+                return True
+            return False
+        if isinstance(query, ConstructQuery):
+            return self._run_construct(query)
+        raise TypeError(f"unknown query form {query!r}")
+
+    def _run_select(self, query: SelectQuery) -> SolutionSequence:
+        raw = list(self.solutions(query.where))
+        if query.is_aggregate:
+            return self._run_aggregate_select(query, raw)
+        if query.is_star:
+            seen_vars: List[Variable] = []
+            seen_set = set()
+            for solution in raw:
+                for variable in solution:
+                    if variable not in seen_set:
+                        seen_set.add(variable)
+                        seen_vars.append(variable)
+            variables = tuple(sorted(seen_vars, key=lambda v: v.name))
+        else:
+            variables = query.variables
+        projected = [
+            {v: solution.get(v) for v in variables if solution.get(v) is not None}
+            for solution in raw
+        ]
+        if query.distinct:
+            unique: List[Bindings] = []
+            seen = set()
+            for solution in projected:
+                key = tuple(sorted(((v.name, s.n3()) for v, s in solution.items())))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(solution)
+            projected = unique
+        if query.order_by:
+            projected = self._order(projected, query)
+        if query.offset:
+            projected = projected[query.offset :]
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return SolutionSequence(variables, projected)
+
+    def _run_aggregate_select(
+        self, query: SelectQuery, raw: List[Bindings]
+    ) -> SolutionSequence:
+        """GROUP BY + COUNT/SUM/AVG/MIN/MAX evaluation."""
+        groups: Dict[Tuple, List[Bindings]] = {}
+        order: List[Tuple] = []
+        for solution in raw:
+            key = tuple(
+                solution.get(v).n3() if solution.get(v) is not None else None
+                for v in query.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(solution)
+        if not query.group_by and not groups:
+            groups[()] = []
+            order.append(())
+        out_variables = tuple(query.group_by) + tuple(
+            spec.alias for spec in query.aggregates
+        )
+        solutions_out: List[Bindings] = []
+        for key in order:
+            members = groups[key]
+            row: Bindings = {}
+            if members:
+                for variable in query.group_by:
+                    value = members[0].get(variable)
+                    if value is not None:
+                        row[variable] = value
+            for spec in query.aggregates:
+                value = self._aggregate_value(spec, members)
+                if value is not None:
+                    row[spec.alias] = value
+            solutions_out.append(row)
+        result = SolutionSequence(out_variables, solutions_out)
+        if query.order_by:
+            ordered = self._order(list(solutions_out), query)
+            result = SolutionSequence(out_variables, ordered)
+        sliced = list(result)
+        if query.offset:
+            sliced = sliced[query.offset :]
+        if query.limit is not None:
+            sliced = sliced[: query.limit]
+        return SolutionSequence(out_variables, sliced)
+
+    @staticmethod
+    def _aggregate_value(spec, members: List[Bindings]) -> Optional[Literal]:
+        from ..rdf.terms import Literal as RdfLiteral
+
+        if spec.function == "COUNT" and spec.variable is None:
+            return RdfLiteral(len(members))
+        values = [
+            m[spec.variable]
+            for m in members
+            if spec.variable is not None and m.get(spec.variable) is not None
+        ]
+        if spec.distinct:
+            seen = set()
+            unique = []
+            for value in values:
+                key = value.n3()
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        if spec.function == "COUNT":
+            return RdfLiteral(len(values))
+        numeric = [
+            v.to_python()
+            for v in values
+            if isinstance(v, RdfLiteral) and v.is_numeric
+            and not isinstance(v.to_python(), str)
+        ]
+        if spec.function in ("SUM", "AVG"):
+            if not numeric:
+                return RdfLiteral(0) if spec.function == "SUM" else None
+            total = sum(float(n) for n in numeric)
+            if spec.function == "SUM":
+                return RdfLiteral(int(total)) if total.is_integer() else RdfLiteral(total)
+            return RdfLiteral(total / len(numeric))
+        if spec.function in ("MIN", "MAX"):
+            if numeric and len(numeric) == len(values):
+                chosen = min(numeric) if spec.function == "MIN" else max(numeric)
+                return RdfLiteral(chosen) if not isinstance(chosen, float) or not chosen.is_integer() else RdfLiteral(int(chosen))
+            if not values:
+                return None
+            ordered = sorted(values, key=lambda v: v.n3())
+            return ordered[0] if spec.function == "MIN" else ordered[-1]
+        return None
+
+    def _order(self, solutions: List[Bindings], query: SelectQuery) -> List[Bindings]:
+        def sort_key(solution: Bindings):
+            keys = []
+            for condition in query.order_by:
+                try:
+                    value = evaluate_expression(condition.expression, solution, None)
+                except ExpressionError:
+                    keys.append((0, ""))
+                    continue
+                if isinstance(value, Literal) and value.is_numeric:
+                    native = value.to_python()
+                    rank = (1, float(native) if not isinstance(native, str) else 0.0)
+                else:
+                    rank = (2, str(value))
+                keys.append(rank)
+            return tuple(keys)
+
+        ordered = sorted(solutions, key=sort_key)
+        if any(c.descending for c in query.order_by):
+            # Mixed-direction ORDER BY: sort per key from the last to first.
+            for condition in reversed(query.order_by):
+                def single_key(solution, c=condition):
+                    try:
+                        value = evaluate_expression(c.expression, solution, None)
+                    except ExpressionError:
+                        return (0, "")
+                    if isinstance(value, Literal) and value.is_numeric:
+                        native = value.to_python()
+                        return (1, float(native) if not isinstance(native, str) else 0.0)
+                    return (2, str(value))
+
+                ordered = sorted(ordered, key=single_key, reverse=condition.descending)
+        return ordered
+
+    def _run_construct(self, query: ConstructQuery) -> Graph:
+        result = Graph(namespaces=self.dataset.namespaces.copy())
+        for solution in self.solutions(query.where):
+            bnode_map: Dict[BNode, BNode] = {}
+            for template in query.template:
+                s = _instantiate(template.subject, solution, bnode_map)
+                p = _instantiate(template.predicate, solution, bnode_map)
+                o = _instantiate(template.object, solution, bnode_map)
+                if s is None or p is None or o is None:
+                    continue
+                try:
+                    result.add((s, p, o))
+                except TypeError:
+                    continue  # e.g. literal subject from an odd binding
+        return result
+
+
+def _instantiate(term: Term, solution: Bindings, bnode_map: Dict[BNode, BNode]):
+    if isinstance(term, Variable):
+        return solution.get(term)
+    if isinstance(term, BNode):
+        return bnode_map.setdefault(term, BNode())
+    return term
+
+
+def evaluate(query: Query, dataset: Dataset, union_default: bool = False):
+    """Evaluate a parsed query over ``dataset``."""
+    return QueryEvaluator(dataset, union_default=union_default).run(query)
+
+
+def evaluate_text(text: str, dataset: Dataset, union_default: bool = False):
+    """Parse and evaluate SPARQL ``text`` (prefixes from the dataset bind in)."""
+    query = parse_query(text, dataset.namespaces)
+    return evaluate(query, dataset, union_default=union_default)

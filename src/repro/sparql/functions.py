@@ -1,0 +1,355 @@
+"""Evaluation of SPARQL expressions and builtin functions.
+
+Implements the effective boolean value (EBV) rules, the value-comparison
+semantics for literals (numeric promotion, string, boolean), and the
+builtin function library the parser accepts.  Expression evaluation
+errors follow SPARQL semantics: they raise :class:`ExpressionError`, which
+FILTER treats as *false* and BIND treats as *unbound*.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from decimal import Decimal
+from typing import Callable, Dict, Mapping, Optional
+
+from ..rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+from .ast import (
+    Arithmetic,
+    BoolOp,
+    Comparison,
+    ExistsExpr,
+    Expression,
+    FunctionCall,
+    InExpr,
+    Not,
+    TermExpr,
+)
+
+__all__ = ["ExpressionError", "evaluate_expression", "effective_boolean_value"]
+
+Bindings = Mapping[Variable, Term]
+
+
+class ExpressionError(ValueError):
+    """A SPARQL expression evaluation error (type error, unbound var, ...)."""
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """The SPARQL EBV of a term; raises :class:`ExpressionError` if none."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            return term.lexical in ("true", "1")
+        if term.is_numeric:
+            value = term.to_python()
+            if isinstance(value, str):  # ill-typed numeric literal
+                return False
+            return value != 0
+        if term.datatype == XSD_STRING or term.language is not None:
+            return len(term.lexical) > 0
+    raise ExpressionError(f"no effective boolean value for {term!r}")
+
+
+def _numeric(term: Term) -> float:
+    """The numeric value of a literal or raise."""
+    if isinstance(term, Literal) and term.is_numeric:
+        value = term.to_python()
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, Decimal):
+            return float(value)
+    raise ExpressionError(f"not a numeric literal: {term!r}")
+
+
+def _string_value(term: Term) -> str:
+    """The string value per SPARQL ``STR()``."""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"STR() of a blank node: {term!r}")
+
+
+def _compare(op: str, left: Term, right: Term) -> bool:
+    """SPARQL value comparison with numeric promotion."""
+    if op == "=" and left == right:
+        return True
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric and right.is_numeric:
+            a, b = _numeric(left), _numeric(right)
+        elif left.datatype == XSD_BOOLEAN and right.datatype == XSD_BOOLEAN:
+            a, b = left.lexical in ("true", "1"), right.lexical in ("true", "1")
+        elif (
+            left.datatype in (XSD_STRING,) or left.language is not None
+        ) and (right.datatype in (XSD_STRING,) or right.language is not None):
+            a, b = left.lexical, right.lexical
+        else:
+            # Same datatype: compare lexically; different: only =/!= defined.
+            if left.datatype == right.datatype:
+                a, b = left.lexical, right.lexical
+            elif op in ("=", "!="):
+                return op == "!="
+            else:
+                raise ExpressionError(
+                    f"incomparable literals {left!r} and {right!r}"
+                )
+        if op == "=":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        raise ExpressionError(f"unknown comparison {op}")
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if isinstance(left, IRI) and isinstance(right, IRI):
+        a, b = left.value, right.value
+        return {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[op]
+    raise ExpressionError(f"cannot order {left!r} and {right!r}")
+
+
+def _boolean(value: bool) -> Literal:
+    return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+
+
+def _numeric_literal(value: float) -> Literal:
+    if isinstance(value, float) and value.is_integer():
+        return Literal(int(value))
+    return Literal(value)
+
+
+def _fn_regex(args, bindings, evaluator):
+    text = _string_value(args[0])
+    pattern = _string_value(args[1])
+    flags = 0
+    if len(args) > 2:
+        flag_text = _string_value(args[2])
+        if "i" in flag_text:
+            flags |= re.IGNORECASE
+        if "s" in flag_text:
+            flags |= re.DOTALL
+        if "m" in flag_text:
+            flags |= re.MULTILINE
+    try:
+        return _boolean(re.search(pattern, text, flags) is not None)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex {pattern!r}: {exc}") from exc
+
+
+def _fn_substr(args, bindings, evaluator):
+    text = _string_value(args[0])
+    start = int(_numeric(args[1]))
+    if len(args) > 2:
+        length = int(_numeric(args[2]))
+        return Literal(text[start - 1 : start - 1 + length])
+    return Literal(text[start - 1 :])
+
+
+def _fn_replace(args, bindings, evaluator):
+    text = _string_value(args[0])
+    pattern = _string_value(args[1])
+    replacement = _string_value(args[2])
+    try:
+        return Literal(re.sub(pattern, replacement, text))
+    except re.error as exc:
+        raise ExpressionError(f"bad regex {pattern!r}: {exc}") from exc
+
+
+_SIMPLE_FUNCTIONS: Dict[str, Callable] = {
+    "STR": lambda a, *_: Literal(_string_value(a[0])),
+    "LANG": lambda a, *_: Literal(
+        a[0].language or "" if isinstance(a[0], Literal) else _raise_not_literal(a[0])
+    ),
+    "DATATYPE": lambda a, *_: IRI(a[0].datatype)
+    if isinstance(a[0], Literal)
+    else _raise_not_literal(a[0]),
+    "STRLEN": lambda a, *_: Literal(len(_string_value(a[0]))),
+    "CONTAINS": lambda a, *_: _boolean(_string_value(a[1]) in _string_value(a[0])),
+    "STRSTARTS": lambda a, *_: _boolean(
+        _string_value(a[0]).startswith(_string_value(a[1]))
+    ),
+    "STRENDS": lambda a, *_: _boolean(
+        _string_value(a[0]).endswith(_string_value(a[1]))
+    ),
+    "UCASE": lambda a, *_: Literal(_string_value(a[0]).upper()),
+    "LCASE": lambda a, *_: Literal(_string_value(a[0]).lower()),
+    "CONCAT": lambda a, *_: Literal("".join(_string_value(x) for x in a)),
+    "ISIRI": lambda a, *_: _boolean(isinstance(a[0], IRI)),
+    "ISURI": lambda a, *_: _boolean(isinstance(a[0], IRI)),
+    "ISLITERAL": lambda a, *_: _boolean(isinstance(a[0], Literal)),
+    "ISBLANK": lambda a, *_: _boolean(isinstance(a[0], BNode)),
+    "ISNUMERIC": lambda a, *_: _boolean(
+        isinstance(a[0], Literal) and a[0].is_numeric
+    ),
+    "ABS": lambda a, *_: _numeric_literal(abs(_numeric(a[0]))),
+    "CEIL": lambda a, *_: _numeric_literal(math.ceil(_numeric(a[0]))),
+    "FLOOR": lambda a, *_: _numeric_literal(math.floor(_numeric(a[0]))),
+    "ROUND": lambda a, *_: _numeric_literal(
+        math.floor(_numeric(a[0]) + 0.5)
+    ),
+    "SAMETERM": lambda a, *_: _boolean(a[0] == a[1]),
+    "LANGMATCHES": lambda a, *_: _boolean(
+        _string_value(a[1]) == "*"
+        and bool(_string_value(a[0]))
+        or _string_value(a[0]).lower().startswith(_string_value(a[1]).lower())
+        and bool(_string_value(a[1]))
+    ),
+}
+
+
+def _raise_not_literal(term: Term):
+    raise ExpressionError(f"expected a literal, got {term!r}")
+
+
+def evaluate_expression(
+    expression: Expression,
+    bindings: Bindings,
+    exists_evaluator: Optional[Callable[[object, Bindings], bool]] = None,
+) -> Term:
+    """Evaluate ``expression`` under ``bindings`` to an RDF term.
+
+    ``exists_evaluator(pattern, bindings) -> bool`` is supplied by the
+    query evaluator to support ``EXISTS``; without it an EXISTS expression
+    raises :class:`ExpressionError`.
+    """
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if isinstance(term, Variable):
+            bound = bindings.get(term)
+            if bound is None:
+                raise ExpressionError(f"unbound variable {term}")
+            return bound
+        return term
+    if isinstance(expression, Not):
+        value = evaluate_expression(expression.operand, bindings, exists_evaluator)
+        return _boolean(not effective_boolean_value(value))
+    if isinstance(expression, BoolOp):
+        # SPARQL logical ops tolerate one erroring side.
+        left_error = right_error = None
+        left_value = right_value = None
+        try:
+            left_value = effective_boolean_value(
+                evaluate_expression(expression.left, bindings, exists_evaluator)
+            )
+        except ExpressionError as exc:
+            left_error = exc
+        try:
+            right_value = effective_boolean_value(
+                evaluate_expression(expression.right, bindings, exists_evaluator)
+            )
+        except ExpressionError as exc:
+            right_error = exc
+        if expression.op == "&&":
+            if left_error is None and right_error is None:
+                return _boolean(left_value and right_value)
+            if left_error is None and left_value is False:
+                return _boolean(False)
+            if right_error is None and right_value is False:
+                return _boolean(False)
+            raise left_error or right_error  # type: ignore[misc]
+        if left_error is None and right_error is None:
+            return _boolean(left_value or right_value)
+        if left_error is None and left_value is True:
+            return _boolean(True)
+        if right_error is None and right_value is True:
+            return _boolean(True)
+        raise left_error or right_error  # type: ignore[misc]
+    if isinstance(expression, Comparison):
+        left = evaluate_expression(expression.left, bindings, exists_evaluator)
+        right = evaluate_expression(expression.right, bindings, exists_evaluator)
+        return _boolean(_compare(expression.op, left, right))
+    if isinstance(expression, Arithmetic):
+        left = _numeric(
+            evaluate_expression(expression.left, bindings, exists_evaluator)
+        )
+        right = _numeric(
+            evaluate_expression(expression.right, bindings, exists_evaluator)
+        )
+        if expression.op == "+":
+            return _numeric_literal(left + right)
+        if expression.op == "-":
+            return _numeric_literal(left - right)
+        if expression.op == "*":
+            return _numeric_literal(left * right)
+        if expression.op == "/":
+            if right == 0:
+                raise ExpressionError("division by zero")
+            return _numeric_literal(left / right)
+        raise ExpressionError(f"unknown arithmetic op {expression.op}")
+    if isinstance(expression, InExpr):
+        operand = evaluate_expression(expression.operand, bindings, exists_evaluator)
+        found = False
+        for choice in expression.choices:
+            try:
+                value = evaluate_expression(choice, bindings, exists_evaluator)
+            except ExpressionError:
+                continue
+            if _compare("=", operand, value):
+                found = True
+                break
+        return _boolean(found != expression.negated)
+    if isinstance(expression, ExistsExpr):
+        if exists_evaluator is None:
+            raise ExpressionError("EXISTS not supported in this context")
+        result = exists_evaluator(expression.pattern, bindings)
+        return _boolean(result != expression.negated)
+    if isinstance(expression, FunctionCall):
+        return _evaluate_function(expression, bindings, exists_evaluator)
+    raise ExpressionError(f"unknown expression node {expression!r}")
+
+
+def _evaluate_function(
+    call: FunctionCall, bindings: Bindings, exists_evaluator
+) -> Term:
+    name = call.name
+    if name == "BOUND":
+        arg = call.args[0]
+        if not isinstance(arg, TermExpr) or not isinstance(arg.term, Variable):
+            raise ExpressionError("BOUND expects a variable")
+        return _boolean(arg.term in bindings and bindings[arg.term] is not None)
+    if name == "COALESCE":
+        for arg in call.args:
+            try:
+                return evaluate_expression(arg, bindings, exists_evaluator)
+            except ExpressionError:
+                continue
+        raise ExpressionError("COALESCE: no argument evaluated")
+    if name == "IF":
+        condition = effective_boolean_value(
+            evaluate_expression(call.args[0], bindings, exists_evaluator)
+        )
+        branch = call.args[1] if condition else call.args[2]
+        return evaluate_expression(branch, bindings, exists_evaluator)
+    evaluated = [
+        evaluate_expression(a, bindings, exists_evaluator) for a in call.args
+    ]
+    if name == "REGEX":
+        return _fn_regex(evaluated, bindings, exists_evaluator)
+    if name == "SUBSTR":
+        return _fn_substr(evaluated, bindings, exists_evaluator)
+    if name == "REPLACE":
+        return _fn_replace(evaluated, bindings, exists_evaluator)
+    handler = _SIMPLE_FUNCTIONS.get(name)
+    if handler is None:
+        raise ExpressionError(f"unknown function {name}")
+    return handler(evaluated, bindings, exists_evaluator)

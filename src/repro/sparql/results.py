@@ -1,0 +1,152 @@
+"""SPARQL SELECT result sequences with tabular rendering.
+
+:class:`SolutionSequence` is what the evaluator returns for SELECT: an
+ordered list of variable-to-term bindings plus the projection header.  It
+renders to an aligned text table (the form MDM shows analysts, paper
+Table 1), JSON (the SPARQL 1.1 results format) and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import BNode, IRI, Literal, Term, Variable
+
+__all__ = ["SolutionSequence"]
+
+
+def _term_to_json(term: Term) -> Dict[str, str]:
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        out: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            out["xml:lang"] = term.language
+        elif term.datatype != "http://www.w3.org/2001/XMLSchema#string":
+            out["datatype"] = term.datatype
+        return out
+    raise TypeError(f"not a result term: {term!r}")
+
+
+class SolutionSequence:
+    """An ordered sequence of solutions for a fixed projection."""
+
+    def __init__(
+        self,
+        variables: Sequence[Variable],
+        solutions: Sequence[Dict[Variable, Term]],
+    ):
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self._solutions: List[Dict[Variable, Term]] = [dict(s) for s in solutions]
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+    def __bool__(self) -> bool:
+        return bool(self._solutions)
+
+    def __iter__(self) -> Iterator[Dict[Variable, Term]]:
+        return iter(self._solutions)
+
+    def __getitem__(self, index: int) -> Dict[Variable, Term]:
+        return self._solutions[index]
+
+    def rows(self) -> List[Tuple[Optional[Term], ...]]:
+        """Solutions as tuples in projection order (None when unbound)."""
+        return [
+            tuple(solution.get(v) for v in self.variables)
+            for solution in self._solutions
+        ]
+
+    def column(self, variable) -> List[Optional[Term]]:
+        """One projected column; accepts a Variable or a name string."""
+        if isinstance(variable, str):
+            variable = Variable(variable)
+        return [solution.get(variable) for solution in self._solutions]
+
+    def to_python_rows(self) -> List[Tuple[object, ...]]:
+        """Rows with literals converted to native Python values."""
+        converted: List[Tuple[object, ...]] = []
+        for row in self.rows():
+            cells: List[object] = []
+            for cell in row:
+                if cell is None:
+                    cells.append(None)
+                elif isinstance(cell, Literal):
+                    cells.append(cell.to_python())
+                elif isinstance(cell, IRI):
+                    cells.append(cell.value)
+                else:
+                    cells.append(str(cell))
+            converted.append(tuple(cells))
+        return converted
+
+    def to_table(self, max_width: int = 48) -> str:
+        """An aligned text table like the one MDM shows analysts."""
+        headers = [f"?{v.name}" for v in self.variables]
+        body: List[List[str]] = []
+        for row in self.rows():
+            rendered = []
+            for cell in row:
+                text = "" if cell is None else (
+                    cell.lexical if isinstance(cell, Literal) else str(cell)
+                )
+                if len(text) > max_width:
+                    text = text[: max_width - 1] + "…"
+                rendered.append(text)
+            body.append(rendered)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+        lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(r) for r in body)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """SPARQL 1.1 Query Results JSON."""
+        return json.dumps(
+            {
+                "head": {"vars": [v.name for v in self.variables]},
+                "results": {
+                    "bindings": [
+                        {
+                            v.name: _term_to_json(term)
+                            for v, term in solution.items()
+                            if term is not None
+                        }
+                        for solution in self._solutions
+                    ]
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def to_csv(self) -> str:
+        """CSV with one header row of variable names."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([v.name for v in self.variables])
+        for row in self.rows():
+            writer.writerow(
+                [
+                    ""
+                    if cell is None
+                    else (cell.lexical if isinstance(cell, Literal) else str(cell))
+                    for cell in row
+                ]
+            )
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"?{v.name}" for v in self.variables)
+        return f"<SolutionSequence [{names}] with {len(self)} solutions>"

@@ -1,0 +1,159 @@
+"""Tokenizer for the SPARQL subset understood by :mod:`repro.sparql`.
+
+The token stream feeds the recursive-descent parser in
+:mod:`repro.sparql.parser`.  Keywords are case-insensitive (returned
+upper-cased in ``Token.value`` when ``kind == "KEYWORD"``); IRIs, QNames,
+variables, literals and punctuation keep their source spelling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+__all__ = ["SparqlToken", "SparqlTokenizer", "SparqlSyntaxError", "KEYWORDS"]
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised on malformed SPARQL input, with position context."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SparqlToken(NamedTuple):
+    """One lexical token with its source position."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "ASK",
+        "CONSTRUCT",
+        "DESCRIBE",
+        "WHERE",
+        "FILTER",
+        "OPTIONAL",
+        "UNION",
+        "GRAPH",
+        "PREFIX",
+        "BASE",
+        "DISTINCT",
+        "REDUCED",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "VALUES",
+        "BIND",
+        "AS",
+        "GROUP",
+        "UNDEF",
+        "A",
+        "TRUE",
+        "FALSE",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "MINUS",
+        "FROM",
+        "NAMED",
+    }
+)
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("WS", r"[ \t\r\n]+"),
+    ("IRIREF", r"<[^<>\"\s{}|^`\\]*>"),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING_LONG", r'"""(?:[^"\\]|\\.|"(?!""))*"""' + r"|'''(?:[^'\\]|\\.|'(?!''))*'''"),
+    ("STRING", r'"(?:[^"\\\n]|\\.)*"' + r"|'(?:[^'\\\n]|\\.)*'"),
+    ("BNODE", r"_:[A-Za-z0-9_][A-Za-z0-9_.-]*"),
+    ("LANGTAG", r"@[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*"),
+    ("DOUBLE", r"[+-]?(?:\d+\.\d*[eE][+-]?\d+|\.?\d+[eE][+-]?\d+)"),
+    ("DECIMAL", r"[+-]?\d*\.\d+"),
+    ("INTEGER", r"[+-]?\d+"),
+    ("HATHAT", r"\^\^"),
+    ("OP", r"&&|\|\||!=|<=|>=|[=<>!+\-*/]"),
+    ("QNAME", r"(?:[A-Za-z][A-Za-z0-9_-]*)?:(?:[A-Za-z0-9_](?:[A-Za-z0-9_.-]*[A-Za-z0-9_-])?)?"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("PUNCT", r"[.;,\[\]\(\)\{\}]"),
+]
+_MASTER_RE = re.compile("|".join(f"(?P<{k}>{p})" for k, p in _TOKEN_SPEC))
+
+
+class SparqlTokenizer:
+    """Peekable token stream over SPARQL source text."""
+
+    def __init__(self, text: str):
+        self._tokens: List[SparqlToken] = []
+        line, line_start = 1, 0
+        pos = 0
+        while pos < len(text):
+            match = _MASTER_RE.match(text, pos)
+            if match is None:
+                raise SparqlSyntaxError(
+                    f"unexpected character {text[pos]!r}", line, pos - line_start + 1
+                )
+            kind = match.lastgroup or ""
+            value = match.group()
+            if kind == "NAME" and value.upper() in KEYWORDS:
+                kind, value = "KEYWORD", value.upper()
+            if kind not in ("WS", "COMMENT"):
+                self._tokens.append(
+                    SparqlToken(kind, value, line, pos - line_start + 1)
+                )
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + value.rfind("\n") + 1
+            pos = match.end()
+        self._index = 0
+        self._eof = SparqlToken("EOF", "", line, pos - line_start + 1)
+
+    def peek(self, ahead: int = 0) -> SparqlToken:
+        """The token ``ahead`` positions from the cursor (EOF beyond end)."""
+        index = self._index + ahead
+        return self._tokens[index] if index < len(self._tokens) else self._eof
+
+    def next(self) -> SparqlToken:
+        """Consume and return the next token."""
+        token = self.peek()
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> SparqlToken:
+        """Consume a token of ``kind`` (and ``value``) or raise."""
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = f"{kind} {value!r}" if value else kind
+            raise SparqlSyntaxError(
+                f"expected {wanted}, got {token.kind} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        """Whether the next token is one of the given keywords."""
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in keywords
+
+    def at_punct(self, value: str) -> bool:
+        """Whether the next token is the given punctuation."""
+        token = self.peek()
+        return token.kind == "PUNCT" and token.value == value
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        token = self.peek()
+        return SparqlSyntaxError(message, token.line, token.column)

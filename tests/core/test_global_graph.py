@@ -1,0 +1,183 @@
+"""Unit tests for the global graph (paper §2.1)."""
+
+import pytest
+
+from repro.core.errors import GlobalGraphError
+from repro.core.global_graph import GlobalGraph, UmlAssociation, UmlClass, UmlModel
+from repro.core.vocabulary import G, IDENTIFIER
+from repro.rdf.namespaces import EX, RDF, RDFS, SC
+from repro.rdf.terms import Literal
+from repro.scenarios.football import football_uml
+
+
+@pytest.fixture
+def gg():
+    g = GlobalGraph()
+    g.add_concept(EX.Player, "Player")
+    g.add_concept(SC.SportsTeam, "Team")
+    g.add_identifier(EX.playerId, EX.Player)
+    g.add_feature(EX.playerName, EX.Player)
+    g.add_identifier(EX.teamId, SC.SportsTeam)
+    g.add_feature(EX.teamName, SC.SportsTeam)
+    g.relate(EX.Player, EX.hasTeam, SC.SportsTeam)
+    return g
+
+
+class TestConstruction:
+    def test_concept_declared(self, gg):
+        assert gg.is_concept(EX.Player)
+        assert (EX.Player, RDF.type, G.Concept) in gg.graph
+
+    def test_concept_label_stored(self, gg):
+        assert (EX.Player, RDFS.label, Literal("Player")) in gg.graph
+
+    def test_concept_idempotent(self, gg):
+        size = len(gg.graph)
+        gg.add_concept(EX.Player, "Player")
+        assert len(gg.graph) == size
+
+    def test_feature_attached(self, gg):
+        assert gg.is_feature(EX.playerName)
+        assert (EX.Player, G.hasFeature, EX.playerName) in gg.graph
+
+    def test_feature_requires_declared_concept(self, gg):
+        with pytest.raises(GlobalGraphError):
+            gg.add_feature(EX.x, EX.Ghost)
+
+    def test_feature_single_concept_enforced(self, gg):
+        with pytest.raises(GlobalGraphError):
+            gg.add_feature(EX.playerName, SC.SportsTeam)
+
+    def test_feature_reattach_same_concept_ok(self, gg):
+        gg.add_feature(EX.playerName, EX.Player)  # idempotent
+
+    def test_identifier_marker(self, gg):
+        assert (EX.playerId, RDFS.subClassOf, IDENTIFIER) in gg.graph
+        assert gg.is_identifier(EX.playerId)
+        assert not gg.is_identifier(EX.playerName)
+
+    def test_relate_requires_concepts(self, gg):
+        with pytest.raises(GlobalGraphError):
+            gg.relate(EX.Player, EX.p, EX.Ghost)
+
+    def test_subclass_taxonomy(self, gg):
+        gg.add_concept(EX.Striker)
+        gg.add_subclass(EX.Striker, EX.Player)
+        assert (EX.Striker, RDFS.subClassOf, EX.Player) in gg.graph
+
+    def test_subclass_requires_concepts(self, gg):
+        with pytest.raises(GlobalGraphError):
+            gg.add_subclass(EX.Ghost, EX.Player)
+
+
+class TestQueries:
+    def test_concepts_sorted(self, gg):
+        assert gg.concepts() == sorted([EX.Player, SC.SportsTeam], key=lambda i: i.value)
+
+    def test_features_of(self, gg):
+        assert set(gg.features_of(EX.Player)) == {EX.playerId, EX.playerName}
+
+    def test_concept_of(self, gg):
+        assert gg.concept_of(EX.teamName) == SC.SportsTeam
+        assert gg.concept_of(EX.unknown) is None
+
+    def test_identifiers_of(self, gg):
+        assert gg.identifiers_of(EX.Player) == [EX.playerId]
+
+    def test_relations(self, gg):
+        relations = gg.relations()
+        assert len(relations) == 1
+        assert relations[0].predicate == EX.hasTeam
+
+    def test_relations_between(self, gg):
+        assert gg.relations_between(EX.Player, SC.SportsTeam) == [EX.hasTeam]
+        assert gg.relations_between(SC.SportsTeam, EX.Player) == []
+
+    def test_identifier_inheritance_via_chain(self, gg):
+        # a feature whose superclass chain reaches sc:identifier indirectly
+        gg.graph.add((EX.specialId, RDF.type, G.Feature))
+        gg.graph.add((EX.Player, G.hasFeature, EX.specialId))
+        gg.graph.add((EX.specialId, RDFS.subClassOf, EX.playerId))
+        assert gg.is_identifier(EX.specialId)
+
+
+class TestValidation:
+    def test_clean_graph_validates(self, gg):
+        assert gg.validate() == []
+
+    def test_orphan_feature_reported(self, gg):
+        gg.graph.add((EX.orphan, RDF.type, G.Feature))
+        issues = gg.validate()
+        assert any("belongs to no concept" in i for i in issues)
+
+    def test_concept_without_identifier_reported(self, gg):
+        gg.add_concept(EX.League)
+        gg.add_feature(EX.leagueName, EX.League)
+        issues = gg.validate()
+        assert any("no identifier" in i for i in issues)
+
+    def test_multi_concept_feature_reported(self, gg):
+        gg.graph.add((SC.SportsTeam, G.hasFeature, EX.playerName))
+        issues = gg.validate()
+        assert any("2 concepts" in i for i in issues)
+
+
+class TestUml:
+    def test_football_uml_compiles(self):
+        gg = football_uml().compile()
+        assert len(gg.concepts()) == 4
+        assert len(gg.features()) == 14 - 0  # all features of FEATURES map
+        assert gg.validate() == []
+
+    def test_uml_identifier_flag(self):
+        gg = football_uml().compile()
+        assert gg.is_identifier(EX.playerId)
+        assert not gg.is_identifier(EX.playerName)
+
+    def test_uml_associations_become_relations(self):
+        gg = football_uml().compile()
+        assert EX.hasTeam in [t.predicate for t in gg.relations()]
+
+    def test_duplicate_class_rejected(self):
+        cls = UmlClass("A", EX.A, (("id", EX.aid),), "id")
+        with pytest.raises(GlobalGraphError):
+            UmlModel(classes=[cls, cls]).compile()
+
+    def test_identifier_must_be_attribute(self):
+        cls = UmlClass("A", EX.A, (("x", EX.x),), "missing")
+        with pytest.raises(GlobalGraphError):
+            UmlModel(classes=[cls]).compile()
+
+    def test_association_unknown_class_rejected(self):
+        cls = UmlClass("A", EX.A, (("id", EX.aid),), "id")
+        model = UmlModel(
+            classes=[cls],
+            associations=[UmlAssociation("A", EX.rel, "Ghost")],
+        )
+        with pytest.raises(GlobalGraphError):
+            model.compile()
+
+    def test_attribute_iri_lookup(self):
+        cls = UmlClass("A", EX.A, (("id", EX.aid),), "id")
+        assert cls.attribute_iri("id") == EX.aid
+        with pytest.raises(KeyError):
+            cls.attribute_iri("nope")
+
+
+class TestDotExport:
+    def test_dot_colors_and_shapes(self):
+        gg = football_uml().compile()
+        dot = gg.to_dot()
+        assert '"ex:Player" [shape=box' in dot
+        assert "lightyellow" in dot
+        assert 'label="ex:hasTeam"' in dot
+
+    def test_identifier_bold_border(self):
+        gg = football_uml().compile()
+        dot = gg.to_dot()
+        assert '"ex:playerId" [shape=ellipse, style=filled, fillcolor=lightyellow, penwidth=2];' in dot
+
+    def test_highlight_contour(self):
+        gg = football_uml().compile()
+        dot = gg.to_dot(highlight=[EX.playerName])
+        assert "color=red" in dot

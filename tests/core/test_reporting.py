@@ -1,0 +1,125 @@
+"""Unit tests for the governance report."""
+
+import pytest
+
+from repro.core.reporting import governance_report, render_report
+from repro.scenarios.football import FootballScenario
+
+
+@pytest.fixture
+def scenario():
+    return FootballScenario.build(anchors_only=True)
+
+
+class TestGovernanceReport:
+    def test_shape(self, scenario):
+        report = governance_report(scenario.mdm)
+        assert report["summary"]["concepts"] == 4
+        assert report["issues"] == []
+        assert report["releases"] == 6
+        assert {s["name"] for s in report["sources"]} == {
+            "players",
+            "teams",
+            "leagues",
+            "countries",
+        }
+
+    def test_latest_release(self, scenario):
+        report = governance_report(scenario.mdm)
+        assert report["latest_release"]["wrapper"] == "w4"
+
+    def test_no_breaking_releases_initially(self, scenario):
+        report = governance_report(scenario.mdm)
+        assert all(s["breaking_releases"] == 0 for s in report["sources"])
+
+    def test_breaking_release_flagged(self, scenario):
+        scenario.release_players_v2()
+        report = governance_report(scenario.mdm)
+        players = next(s for s in report["sources"] if s["name"] == "players")
+        assert players["breaking_releases"] == 1
+
+    def test_query_dependencies_counted(self, scenario):
+        scenario.mdm.execute(scenario.walk_player_team_names())
+        report = governance_report(scenario.mdm)
+        players = next(s for s in report["sources"] if s["name"] == "players")
+        assert players["queries_depending"] >= 1
+
+    def test_saved_query_health_included(self, scenario):
+        scenario.mdm.saved_queries.save(
+            "rosters", scenario.walk_player_team_names()
+        )
+        report = governance_report(scenario.mdm)
+        assert report["saved_queries"] == {"total": 1, "ok": 1, "broken": 0}
+
+    def test_empty_mdm(self):
+        from repro.core.mdm import MDM
+
+        report = governance_report(MDM())
+        assert report["releases"] == 0
+        assert report["latest_release"] is None
+
+
+class TestRendering:
+    def test_clean_report_rendering(self, scenario):
+        text = render_report(governance_report(scenario.mdm))
+        assert "validation: clean" in text
+        assert "players: 2 wrappers" in text
+
+    def test_missing_runtime_wrapper_is_warning_not_issue(self, scenario):
+        del scenario.mdm.wrappers["w2"]
+        report = governance_report(scenario.mdm)
+        assert report["issues"] == []
+        assert any("w2" in w for w in report["runtime_warnings"])
+        text = render_report(report)
+        assert "validation: clean" in text
+        assert "not attached" in text
+
+    def test_structural_issue_rendering(self, scenario):
+        from repro.core.vocabulary import G
+        from repro.rdf.namespaces import EX, RDF
+
+        scenario.mdm.global_graph.graph.add((EX.orphan, RDF.type, G.Feature))
+        text = render_report(governance_report(scenario.mdm))
+        assert "ISSUE" in text
+        assert "orphan" in text
+
+    def test_broken_queries_rendered(self, scenario):
+        scenario.mdm.saved_queries.save(
+            "rosters", scenario.walk_player_team_names()
+        )
+        scenario.mdm.dataset.remove_graph(scenario.mdm.wrapper_iri("w2"))
+        text = render_report(governance_report(scenario.mdm))
+        assert "BROKEN" in text
+
+    def test_breaking_flag_rendered(self, scenario):
+        scenario.release_players_v2()
+        text = render_report(governance_report(scenario.mdm))
+        assert "[1 breaking]" in text
+
+
+class TestReleaseBreakingHeuristic:
+    def test_additive_wrapper_not_breaking(self, scenario):
+        # w1n (second wrapper, no changes recorded) must not be flagged.
+        release = next(
+            r
+            for r in scenario.mdm.governance.history("players")
+            if r.wrapper_name == "w1n"
+        )
+        assert not release.is_breaking
+
+    def test_rename_release_breaking(self, scenario):
+        scenario.release_players_v2()
+        release = scenario.mdm.governance.latest("players")
+        assert release.is_breaking
+
+    def test_add_only_release_not_breaking(self, scenario):
+        from repro.core.source_graph import WrapperRegistration
+        from repro.sources.wrappers import StaticWrapper
+
+        scenario.mdm.register_wrapper(
+            "players",
+            StaticWrapper("w1add", ["id", "newcol"], []),
+            changes=["add newcol"],
+        )
+        release = scenario.mdm.governance.latest("players")
+        assert not release.is_breaking

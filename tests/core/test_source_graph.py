@@ -1,0 +1,141 @@
+"""Unit tests for the source graph (paper §2.2)."""
+
+import pytest
+
+from repro.core.errors import SourceGraphError
+from repro.core.source_graph import SourceGraph
+from repro.core.vocabulary import S
+from repro.rdf.namespaces import RDF
+
+
+@pytest.fixture
+def sg():
+    return SourceGraph()
+
+
+@pytest.fixture
+def players(sg):
+    return sg.add_data_source("players", "Players API")
+
+
+class TestDataSources:
+    def test_add_source(self, sg, players):
+        assert (players, RDF.type, S.DataSource) in sg.graph
+        assert sg.data_sources() == [players]
+
+    def test_add_source_idempotent(self, sg, players):
+        again = sg.add_data_source("players")
+        assert again == players
+        assert len(sg.data_sources()) == 1
+
+    def test_empty_name_rejected(self, sg):
+        with pytest.raises(SourceGraphError):
+            sg.add_data_source("")
+
+    def test_name_sanitized_into_iri(self, sg):
+        iri = sg.add_data_source("My API v2!")
+        assert " " not in iri.value
+
+
+class TestWrapperRegistration:
+    def test_register_extracts_attributes(self, sg, players):
+        reg = sg.register_wrapper(
+            players, "w1", ["id", "pName", "height", "weight", "score", "foot", "teamId"]
+        )
+        assert reg.wrapper_name == "w1"
+        assert len(reg.attributes) == 7
+        assert reg.signature == "w1(id, pName, height, weight, score, foot, teamId)"
+        assert (reg.wrapper, RDF.type, S.Wrapper) in sg.graph
+
+    def test_register_requires_source(self, sg):
+        from repro.rdf.namespaces import EX
+
+        with pytest.raises(SourceGraphError):
+            sg.register_wrapper(EX.ghost, "w", ["a"])
+
+    def test_register_requires_attributes(self, sg, players):
+        with pytest.raises(SourceGraphError):
+            sg.register_wrapper(players, "w", [])
+
+    def test_duplicate_attributes_rejected(self, sg, players):
+        with pytest.raises(SourceGraphError):
+            sg.register_wrapper(players, "w", ["a", "a"])
+
+    def test_duplicate_wrapper_name_rejected(self, sg, players):
+        sg.register_wrapper(players, "w", ["a"])
+        with pytest.raises(SourceGraphError):
+            sg.register_wrapper(players, "w", ["b"])
+
+    def test_attribute_reuse_same_source(self, sg, players):
+        first = sg.register_wrapper(players, "w1", ["id", "name"])
+        second = sg.register_wrapper(players, "w2", ["id", "nationality"])
+        assert second.reused_attributes == ("id",)
+        assert second.attribute_iri("id") == first.attribute_iri("id")
+        assert second.attribute_iri("nationality") != first.attribute_iri("name")
+
+    def test_no_reuse_across_sources(self, sg, players):
+        teams = sg.add_data_source("teams")
+        w1 = sg.register_wrapper(players, "w1", ["id"])
+        w2 = sg.register_wrapper(teams, "w2", ["id"])
+        assert w2.reused_attributes == ()
+        assert w1.attribute_iri("id") != w2.attribute_iri("id")
+
+    def test_attribute_iri_unknown(self, sg, players):
+        reg = sg.register_wrapper(players, "w1", ["id"])
+        with pytest.raises(KeyError):
+            reg.attribute_iri("zzz")
+
+
+class TestQueries:
+    def test_wrappers_of(self, sg, players):
+        sg.register_wrapper(players, "w1", ["a"])
+        sg.register_wrapper(players, "w2", ["b"])
+        assert len(sg.wrappers_of(players)) == 2
+
+    def test_source_of(self, sg, players):
+        reg = sg.register_wrapper(players, "w1", ["a"])
+        assert sg.source_of(reg.wrapper) == players
+        from repro.rdf.namespaces import EX
+
+        assert sg.source_of(EX.ghost) is None
+
+    def test_attributes_of_and_names(self, sg, players):
+        reg = sg.register_wrapper(players, "w1", ["id", "name"])
+        names = {sg.attribute_name(a) for a in sg.attributes_of(reg.wrapper)}
+        assert names == {"id", "name"}
+
+    def test_wrapper_name_and_lookup(self, sg, players):
+        reg = sg.register_wrapper(players, "w1", ["a"])
+        assert sg.wrapper_name(reg.wrapper) == "w1"
+        assert sg.wrapper_by_name("w1") == reg.wrapper
+        assert sg.wrapper_by_name("nope") is None
+
+    def test_signature_of(self, sg, players):
+        reg = sg.register_wrapper(players, "w1", ["b", "a"])
+        assert sg.signature_of(reg.wrapper) == "w1(a, b)"  # sorted rendering
+
+
+class TestValidation:
+    def test_clean_graph_validates(self, sg, players):
+        sg.register_wrapper(players, "w1", ["a"])
+        assert sg.validate() == []
+
+    def test_orphan_wrapper_reported(self, sg):
+        from repro.rdf.namespaces import RDFS
+        from repro.rdf.terms import Literal
+        from repro.core.vocabulary import M, mint_local
+
+        w = mint_local(M, "wrapper", "orphan")
+        sg.graph.add((w, RDF.type, S.Wrapper))
+        issues = sg.validate()
+        assert any("no data source" in i for i in issues)
+        assert any("no attributes" in i for i in issues)
+
+    def test_cross_source_attribute_sharing_reported(self, sg, players):
+        teams = sg.add_data_source("teams")
+        reg = sg.register_wrapper(players, "w1", ["id"])
+        w2 = sg.register_wrapper(teams, "w2", ["other"])
+        # Illegally attach players' attribute to the teams wrapper.
+        sg.graph.add((w2.wrapper, S.hasAttribute, reg.attribute_iri("id")))
+        issues = sg.validate()
+        assert any("shared by sources" in i for i in issues)

@@ -1,0 +1,140 @@
+"""Unit tests for Mongo-style filter matching."""
+
+import pytest
+
+from repro.docstore.matching import FilterError, matches, resolve_path
+
+DOC = {
+    "name": "w1",
+    "kind": "wrapper",
+    "release": {"version": 2, "breaking": True},
+    "attributes": ["id", "pName", "teamId"],
+    "stats": [{"calls": 5}, {"calls": 9}],
+}
+
+
+class TestResolvePath:
+    def test_top_level(self):
+        assert resolve_path(DOC, "name") == ["w1"]
+
+    def test_nested(self):
+        assert resolve_path(DOC, "release.version") == [2]
+
+    def test_missing(self):
+        assert resolve_path(DOC, "release.nope") == []
+
+    def test_through_list_of_dicts(self):
+        assert resolve_path(DOC, "stats.calls") == [5, 9]
+
+    def test_list_index(self):
+        assert resolve_path(DOC, "attributes.1") == ["pName"]
+
+    def test_list_index_out_of_range(self):
+        assert resolve_path(DOC, "attributes.9") == []
+
+
+class TestImplicitEquality:
+    def test_match(self):
+        assert matches(DOC, {"name": "w1"})
+
+    def test_mismatch(self):
+        assert not matches(DOC, {"name": "w2"})
+
+    def test_nested_path(self):
+        assert matches(DOC, {"release.version": 2})
+
+    def test_list_membership(self):
+        assert matches(DOC, {"attributes": "pName"})
+        assert not matches(DOC, {"attributes": "nope"})
+
+    def test_missing_field_fails(self):
+        assert not matches(DOC, {"ghost": 1})
+
+    def test_multiple_conditions_conjunctive(self):
+        assert matches(DOC, {"name": "w1", "kind": "wrapper"})
+        assert not matches(DOC, {"name": "w1", "kind": "source"})
+
+
+class TestOperators:
+    def test_eq_ne(self):
+        assert matches(DOC, {"release.version": {"$eq": 2}})
+        assert matches(DOC, {"release.version": {"$ne": 3}})
+        assert not matches(DOC, {"release.version": {"$ne": 2}})
+
+    def test_ordering(self):
+        assert matches(DOC, {"release.version": {"$gt": 1}})
+        assert matches(DOC, {"release.version": {"$gte": 2}})
+        assert matches(DOC, {"release.version": {"$lt": 3}})
+        assert not matches(DOC, {"release.version": {"$lt": 2}})
+        assert matches(DOC, {"release.version": {"$lte": 2}})
+
+    def test_ordering_type_mismatch_false(self):
+        assert not matches(DOC, {"name": {"$gt": 5}})
+
+    def test_in_nin(self):
+        assert matches(DOC, {"kind": {"$in": ["wrapper", "source"]}})
+        assert not matches(DOC, {"kind": {"$nin": ["wrapper"]}})
+        assert matches(DOC, {"kind": {"$nin": ["source"]}})
+
+    def test_in_over_list_field(self):
+        assert matches(DOC, {"attributes": {"$in": ["teamId", "zzz"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(FilterError):
+            matches(DOC, {"kind": {"$in": "wrapper"}})
+
+    def test_exists(self):
+        assert matches(DOC, {"release": {"$exists": True}})
+        assert matches(DOC, {"ghost": {"$exists": False}})
+        assert not matches(DOC, {"ghost": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches(DOC, {"name": {"$regex": "^w\\d"}})
+        assert not matches(DOC, {"name": {"$regex": "^z"}})
+
+    def test_regex_options(self):
+        assert matches(DOC, {"name": {"$regex": "^W", "$options": "i"}})
+
+    def test_not(self):
+        assert matches(DOC, {"name": {"$not": {"$eq": "w2"}}})
+        assert not matches(DOC, {"name": {"$not": {"$eq": "w1"}}})
+
+    def test_ne_on_missing_field_vacuous(self):
+        assert matches(DOC, {"ghost": {"$ne": 5}})
+
+    def test_range_combination(self):
+        assert matches(DOC, {"release.version": {"$gte": 1, "$lte": 3}})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(FilterError):
+            matches(DOC, {"name": {"$fancy": 1}})
+
+
+class TestCombinators:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"name": "w1"}, {"kind": "wrapper"}]})
+        assert not matches(DOC, {"$and": [{"name": "w1"}, {"kind": "x"}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"name": "zzz"}, {"kind": "wrapper"}]})
+        assert not matches(DOC, {"$or": [{"name": "zzz"}, {"kind": "x"}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"name": "zzz"}, {"kind": "x"}]})
+        assert not matches(DOC, {"$nor": [{"name": "w1"}]})
+
+    def test_nested_combinators(self):
+        query = {
+            "$or": [
+                {"$and": [{"kind": "wrapper"}, {"release.breaking": True}]},
+                {"name": "zzz"},
+            ]
+        }
+        assert matches(DOC, query)
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(FilterError):
+            matches(DOC, {"$xor": []})
+
+    def test_empty_query_matches_everything(self):
+        assert matches(DOC, {})

@@ -1,0 +1,98 @@
+"""Property-based tests for the document store (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.matching import matches
+from repro.docstore.store import Collection
+
+scalars = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.sampled_from(["a", "b", "c"]),
+    st.booleans(),
+)
+documents = st.dictionaries(
+    st.sampled_from(["k", "v", "w"]), scalars, min_size=0, max_size=3
+)
+
+
+@given(st.lists(documents, max_size=15), scalars)
+@settings(max_examples=60)
+def test_equality_filter_matches_python_filter(docs, needle):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    found = collection.find({"k": needle})
+    expected = [d for d in docs if d.get("k") == needle]
+    assert len(found) == len(expected)
+    assert all(d["k"] == needle for d in found)
+
+
+@given(st.lists(documents, max_size=15), st.integers(min_value=-20, max_value=20))
+@settings(max_examples=60)
+def test_range_filter_matches_python_filter(docs, threshold):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    found = collection.find({"k": {"$gte": threshold}})
+    expected = [
+        d
+        for d in docs
+        if isinstance(d.get("k"), (int, bool))
+        and not isinstance(d.get("k"), str)
+        and d["k"] >= threshold
+    ]
+    assert len(found) == len(expected)
+
+
+@given(st.lists(documents, max_size=15))
+@settings(max_examples=60)
+def test_and_decomposes(docs):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    compound = collection.find({"$and": [{"k": {"$exists": True}}, {"v": {"$exists": True}}]})
+    sequential = [
+        d
+        for d in collection.find({"k": {"$exists": True}})
+        if matches(d, {"v": {"$exists": True}})
+    ]
+    assert len(compound) == len(sequential)
+
+
+@given(st.lists(documents, max_size=15))
+@settings(max_examples=60)
+def test_or_is_union(docs):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    union = collection.find({"$or": [{"k": "a"}, {"v": "a"}]})
+    left = {d["_id"] for d in collection.find({"k": "a"})}
+    right = {d["_id"] for d in collection.find({"v": "a"})}
+    assert {d["_id"] for d in union} == left | right
+
+
+@given(st.lists(documents, max_size=15))
+@settings(max_examples=60)
+def test_nor_is_complement_of_or(docs):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    all_ids = {d["_id"] for d in collection.find()}
+    or_ids = {d["_id"] for d in collection.find({"$or": [{"k": "a"}, {"v": "a"}]})}
+    nor_ids = {d["_id"] for d in collection.find({"$nor": [{"k": "a"}, {"v": "a"}]})}
+    assert nor_ids == all_ids - or_ids
+
+
+@given(st.lists(documents, max_size=12))
+@settings(max_examples=40)
+def test_delete_then_count_zero(docs):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    collection.delete_many({"k": {"$exists": True}})
+    assert collection.count({"k": {"$exists": True}}) == 0
+
+
+@given(st.lists(documents, max_size=12), scalars)
+@settings(max_examples=40)
+def test_update_many_sets_everywhere(docs, value):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    changed = collection.update_many({}, {"$set": {"stamp": value}})
+    assert changed == len(docs)
+    assert collection.count({"stamp": value}) == len(docs)

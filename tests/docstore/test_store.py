@@ -1,0 +1,202 @@
+"""Unit tests for the document store."""
+
+import pytest
+
+from repro.docstore.matching import FilterError
+from repro.docstore.store import Collection, DocumentStore, DuplicateKeyError
+
+
+@pytest.fixture
+def releases():
+    c = Collection("releases")
+    c.insert_many(
+        [
+            {"source": "players", "version": 1, "breaking": False},
+            {"source": "players", "version": 2, "breaking": True},
+            {"source": "teams", "version": 1, "breaking": False},
+        ]
+    )
+    return c
+
+
+class TestInsert:
+    def test_auto_id_minted(self):
+        c = Collection("x")
+        doc_id = c.insert_one({"a": 1})
+        assert doc_id.startswith("x-")
+        assert c.get(doc_id)["a"] == 1
+
+    def test_explicit_id_kept(self):
+        c = Collection("x")
+        assert c.insert_one({"_id": "mine", "a": 1}) == "mine"
+
+    def test_duplicate_id_rejected(self):
+        c = Collection("x")
+        c.insert_one({"_id": "d"})
+        with pytest.raises(DuplicateKeyError):
+            c.insert_one({"_id": "d"})
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(TypeError):
+            Collection("x").insert_one({"_id": 5})
+
+    def test_insert_copies_input(self):
+        c = Collection("x")
+        original = {"nested": {"v": 1}}
+        doc_id = c.insert_one(original)
+        original["nested"]["v"] = 99
+        assert c.get(doc_id)["nested"]["v"] == 1
+
+
+class TestFind:
+    def test_find_all(self, releases):
+        assert len(releases.find()) == 3
+
+    def test_find_filtered(self, releases):
+        assert len(releases.find({"source": "players"})) == 2
+
+    def test_find_one(self, releases):
+        doc = releases.find_one({"breaking": True})
+        assert doc is not None and doc["version"] == 2
+
+    def test_find_one_none(self, releases):
+        assert releases.find_one({"source": "nope"}) is None
+
+    def test_find_returns_copies(self, releases):
+        doc = releases.find_one({"version": 1})
+        doc["version"] = 99
+        assert releases.count({"version": 99}) == 0
+
+    def test_sort_ascending(self, releases):
+        versions = [d["version"] for d in releases.find(sort="version")]
+        assert versions == sorted(versions)
+
+    def test_sort_descending(self, releases):
+        versions = [
+            d["version"] for d in releases.find(sort="version", descending=True)
+        ]
+        assert versions == sorted(versions, reverse=True)
+
+    def test_limit(self, releases):
+        assert len(releases.find(limit=2)) == 2
+
+    def test_count(self, releases):
+        assert releases.count() == 3
+        assert releases.count({"breaking": True}) == 1
+
+    def test_distinct(self, releases):
+        assert releases.distinct("source") == ["players", "teams"]
+
+    def test_iteration(self, releases):
+        assert len(list(releases)) == 3
+
+
+class TestUpdate:
+    def test_set(self, releases):
+        changed = releases.update_one({"version": 1, "source": "players"},
+                                      {"$set": {"breaking": True}})
+        assert changed == 1
+        assert releases.count({"breaking": True}) == 2
+
+    def test_set_nested_creates_path(self, releases):
+        releases.update_one({"source": "teams"}, {"$set": {"meta.checked": True}})
+        assert releases.count({"meta.checked": True}) == 1
+
+    def test_unset(self, releases):
+        releases.update_one({"source": "teams"}, {"$unset": {"breaking": ""}})
+        doc = releases.find_one({"source": "teams"})
+        assert "breaking" not in doc
+
+    def test_push(self, releases):
+        releases.update_one({"source": "teams"}, {"$push": {"tags": "xml"}})
+        releases.update_one({"source": "teams"}, {"$push": {"tags": "v1"}})
+        assert releases.find_one({"source": "teams"})["tags"] == ["xml", "v1"]
+
+    def test_push_to_non_list_rejected(self, releases):
+        with pytest.raises(FilterError):
+            releases.update_one({"source": "teams"}, {"$push": {"version": 2}})
+
+    def test_inc(self, releases):
+        releases.update_one({"source": "teams"}, {"$inc": {"version": 5}})
+        assert releases.find_one({"source": "teams"})["version"] == 6
+
+    def test_update_many(self, releases):
+        changed = releases.update_many(
+            {"source": "players"}, {"$set": {"archived": True}}
+        )
+        assert changed == 2
+
+    def test_unknown_operator_rejected(self, releases):
+        with pytest.raises(FilterError):
+            releases.update_one({}, {"$rename": {"a": "b"}})
+
+    def test_replace_one(self, releases):
+        count = releases.replace_one({"source": "teams"}, {"source": "teams", "fresh": 1})
+        assert count == 1
+        doc = releases.find_one({"source": "teams"})
+        assert doc["fresh"] == 1 and "version" not in doc
+
+    def test_update_zero_matches(self, releases):
+        assert releases.update_one({"source": "nope"}, {"$set": {"x": 1}}) == 0
+
+
+class TestDelete:
+    def test_delete_one(self, releases):
+        assert releases.delete_one({"source": "players"}) == 1
+        assert releases.count({"source": "players"}) == 1
+
+    def test_delete_many(self, releases):
+        assert releases.delete_many({"source": "players"}) == 2
+        assert releases.count() == 1
+
+    def test_delete_zero(self, releases):
+        assert releases.delete_one({"source": "nope"}) == 0
+
+
+class TestDocumentStore:
+    def test_collection_created_on_demand(self):
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": 1})
+        assert store.collection_names() == ["a"]
+
+    def test_same_collection_returned(self):
+        store = DocumentStore()
+        assert store.collection("a") is store.collection("a")
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store.collection("a")
+        assert store.drop_collection("a") is True
+        assert store.drop_collection("a") is False
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "meta.jsonl"
+        store = DocumentStore(path)
+        store.collection("releases").insert_one({"source": "players", "v": 1})
+        store.collection("queries").insert_one({"walk": "w"})
+        store.save()
+        restored = DocumentStore(path)
+        assert restored.collection("releases").count() == 1
+        assert restored.collection("queries").find_one({})["walk"] == "w"
+
+    def test_save_requires_path(self):
+        with pytest.raises(ValueError):
+            DocumentStore().save()
+
+    def test_save_explicit_path(self, tmp_path):
+        store = DocumentStore()
+        store.collection("c").insert_one({"x": 1})
+        target = store.save(tmp_path / "out.jsonl")
+        assert target.exists()
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        store = DocumentStore(tmp_path / "missing.jsonl")
+        assert store.collection_names() == []
+
+    def test_saved_ids_survive(self, tmp_path):
+        path = tmp_path / "meta.jsonl"
+        store = DocumentStore(path)
+        doc_id = store.collection("c").insert_one({"x": 1})
+        store.save()
+        restored = DocumentStore(path)
+        assert restored.collection("c").get(doc_id)["x"] == 1

@@ -1,0 +1,137 @@
+"""Integration tests for the SUPERSEDE-style scenario."""
+
+import pytest
+
+from repro.scenarios.supersede import SUP, SupersedeScenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return SupersedeScenario.build()
+
+
+class TestSetup:
+    def test_summary(self, scenario):
+        summary = scenario.mdm.summary()
+        assert summary["concepts"] == 4
+        assert summary["sources"] == 4
+        assert summary["wrappers"] == 4
+        assert summary["mappings"] == 4
+
+    def test_validates_clean(self, scenario):
+        assert scenario.mdm.validate() == []
+
+
+class TestAnalytics:
+    def test_feedback_by_product(self, scenario):
+        outcome = scenario.mdm.execute(scenario.walk_feedback_by_product())
+        assert len(outcome.relation) == 60
+        product_names = {row[0] for row in outcome.relation.rows}
+        assert product_names <= {
+            "SmartTV-Player", "CityWatch", "FeedbackHub", "EnergyBoard"
+        }
+
+    def test_metrics_by_product(self, scenario):
+        outcome = scenario.mdm.execute(scenario.walk_metrics_by_product())
+        assert len(outcome.relation) == 80
+
+    def test_reviews_ground_truth(self, scenario):
+        outcome = scenario.mdm.execute(scenario.walk_reviews())
+        products = {1: "media", 2: "civic", 3: "devtools", 4: "iot"}
+        truth = {
+            (products[r["product_id"]], r["stars"])
+            for r in scenario.records["reviews"]
+        }
+        assert set(outcome.relation.rows) == truth
+
+
+class TestGovernanceFeatures:
+    def test_saved_queries_survive_double_evolution(self):
+        scenario = SupersedeScenario.build()
+        registry = scenario.mdm.saved_queries
+        registry.save("feedback", scenario.walk_feedback_by_product())
+        registry.save("metrics", scenario.walk_metrics_by_product())
+        registry.save("reviews", scenario.walk_reviews())
+        scenario.release_twitter_v2()
+        scenario.release_monitoring_v2()
+        report = registry.revalidate(execute=True)
+        assert all(entry.ok for entry in report)
+        by_name = {e.name: e for e in report}
+        assert by_name["feedback"].ucq_size == 2
+        assert by_name["metrics"].ucq_size == 2
+        assert by_name["reviews"].ucq_size == 1
+
+    def test_governance_report(self):
+        from repro.core.reporting import governance_report
+
+        scenario = SupersedeScenario.build()
+        scenario.release_twitter_v2()
+        report = governance_report(scenario.mdm)
+        twitter = next(s for s in report["sources"] if s["name"] == "twitter")
+        assert twitter["breaking_releases"] == 1
+        assert report["issues"] == []
+
+    def test_optional_feature_on_feedback(self):
+        from repro.scenarios.supersede import FEEDBACK, SUP
+
+        scenario = SupersedeScenario.build()
+        walk = scenario.mdm.walk_from_nodes(
+            [FEEDBACK, SUP.text]
+        ).with_optional(SUP.authorFollowers)
+        outcome = scenario.mdm.execute(walk)
+        assert len(outcome.relation) == 60
+        followers_index = outcome.relation.schema.index_of("authorFollowers")
+        assert all(
+            row[followers_index] is not None for row in outcome.relation.rows
+        )
+
+    def test_aggregation_over_outcome(self):
+        scenario = SupersedeScenario.build()
+        outcome = scenario.mdm.execute(scenario.walk_feedback_by_product())
+        agg = outcome.aggregate(
+            ["productName", "sentiment"], [("count", "*", "n")]
+        )
+        total = sum(row[2] for row in agg.rows)
+        assert total == 60
+
+    def test_metadata_sparql_aggregation(self):
+        scenario = SupersedeScenario.build()
+        result = scenario.mdm.sparql(
+            "PREFIX G: <http://www.essi.upc.edu/mdm/globalGraph#>\n"
+            "SELECT (COUNT(?f) AS ?features) WHERE { ?c G:hasFeature ?f }"
+        )
+        assert result.to_python_rows() == [(13,)]
+
+
+class TestEvolution:
+    def test_twitter_v2_unions_versions(self):
+        scenario = SupersedeScenario.build()
+        walk = scenario.walk_feedback_by_product()
+        before = set(scenario.mdm.execute(walk).relation.rows)
+        scenario.release_twitter_v2()
+        outcome = scenario.mdm.execute(walk)
+        assert outcome.rewrite.ucq_size == 2
+        assert set(outcome.relation.rows) == before
+
+    def test_monitoring_v2_with_retirement(self):
+        scenario = SupersedeScenario.build()
+        walk = scenario.walk_metrics_by_product()
+        before = set(scenario.mdm.execute(walk).relation.rows)
+        scenario.release_monitoring_v2(retire_v1=True)
+        outcome = scenario.mdm.execute(walk, on_wrapper_error="skip")
+        assert outcome.skipped_wrappers == ("wMetrics",)
+        assert set(outcome.relation.rows) == before
+
+    def test_double_evolution_stack(self):
+        scenario = SupersedeScenario.build()
+        scenario.release_twitter_v2()
+        scenario.release_monitoring_v2()
+        history = scenario.mdm.governance.history()
+        assert len(history) == 6
+        evolved = [r for r in history if r.kind == "evolution"]
+        assert {r.wrapper_name for r in evolved} == {"wFeedback2", "wMetrics2"}
+
+    def test_deterministic_build(self):
+        a = SupersedeScenario.build(seed=7)
+        b = SupersedeScenario.build(seed=7)
+        assert a.records == b.records

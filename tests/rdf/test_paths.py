@@ -1,0 +1,94 @@
+"""Unit tests for graph traversal helpers."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import EX
+from repro.rdf.paths import (
+    connected_components,
+    edge_induced_subgraph_nodes,
+    is_connected,
+    neighbours,
+    shortest_path,
+)
+from repro.rdf.terms import Literal
+
+
+@pytest.fixture
+def chain():
+    g = Graph()
+    g.add((EX.a, EX.p, EX.b))
+    g.add((EX.b, EX.p, EX.c))
+    g.add((EX.x, EX.p, EX.y))  # second component
+    g.add((EX.a, EX.label, Literal("A")))
+    return g
+
+
+class TestNeighbours:
+    def test_undirected_by_default(self, chain):
+        assert neighbours(chain, EX.b) == {EX.a, EX.c}
+
+    def test_directed(self, chain):
+        assert neighbours(chain, EX.b, undirected=False) == {EX.c}
+
+    def test_literals_excluded_by_default(self, chain):
+        assert Literal("A") not in neighbours(chain, EX.a)
+
+    def test_literals_included_on_request(self, chain):
+        assert Literal("A") in neighbours(chain, EX.a, include_literals=True)
+
+    def test_edge_filter(self, chain):
+        only_label = neighbours(
+            chain,
+            EX.a,
+            edge_filter=lambda s, p, o: p == EX.label,
+            include_literals=True,
+        )
+        assert only_label == {Literal("A")}
+
+    def test_self_excluded(self):
+        g = Graph()
+        g.add((EX.a, EX.p, EX.a))
+        assert neighbours(g, EX.a) == set()
+
+
+class TestComponents:
+    def test_two_components(self, chain):
+        components = connected_components(chain)
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 3]
+
+    def test_is_connected_false(self, chain):
+        assert not is_connected(chain)
+
+    def test_is_connected_true(self):
+        g = Graph()
+        g.add((EX.a, EX.p, EX.b))
+        assert is_connected(g)
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+
+class TestShortestPath:
+    def test_direct(self, chain):
+        assert shortest_path(chain, EX.a, EX.b) == [EX.a, EX.b]
+
+    def test_two_hops(self, chain):
+        assert shortest_path(chain, EX.a, EX.c) == [EX.a, EX.b, EX.c]
+
+    def test_same_node(self, chain):
+        assert shortest_path(chain, EX.a, EX.a) == [EX.a]
+
+    def test_unreachable(self, chain):
+        assert shortest_path(chain, EX.a, EX.x) is None
+
+    def test_respects_direction(self, chain):
+        assert shortest_path(chain, EX.c, EX.a, undirected=False) is None
+        assert shortest_path(chain, EX.c, EX.a, undirected=True) is not None
+
+
+def test_edge_induced_nodes():
+    triples = [(EX.a, EX.p, EX.b), (EX.b, EX.q, EX.c)]
+    assert edge_induced_subgraph_nodes(triples) == {EX.a, EX.b, EX.c}

@@ -1,0 +1,150 @@
+"""Property-based tests for the RDF substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BNode, IRI, Literal, Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+_local = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+    min_size=1,
+    max_size=8,
+)
+
+iris = _local.map(lambda s: IRI("http://t.example/" + s))
+bnodes = _local.map(BNode)
+subjects = st.one_of(iris, bnodes)
+
+plain_text = st.text(min_size=0, max_size=20).filter(
+    lambda s: all(ord(c) >= 32 or c in "\n\t\r" for c in s)
+)
+literals = st.one_of(
+    plain_text.map(Literal),
+    st.integers(min_value=-10**9, max_value=10**9).map(Literal),
+    st.booleans().map(Literal),
+    st.tuples(plain_text, st.sampled_from(["en", "es", "fr-be"])).map(
+        lambda t: Literal(t[0], lang=t[1])
+    ),
+)
+objects = st.one_of(iris, bnodes, literals)
+
+triples = st.builds(Triple, subjects, iris, objects)
+triple_sets = st.lists(triples, max_size=30).map(
+    lambda ts: frozenset(ts)
+)
+
+
+def graph_of(triple_set) -> Graph:
+    g = Graph()
+    g.add_all(triple_set)
+    return g
+
+
+# ---------------------------------------------------------------------- #
+# codec round-trips
+# ---------------------------------------------------------------------- #
+
+
+@given(triple_sets)
+@settings(max_examples=60)
+def test_ntriples_roundtrip(triple_set):
+    g = graph_of(triple_set)
+    assert parse_ntriples(serialize_ntriples(iter(g))) == g
+
+
+@given(triple_sets)
+@settings(max_examples=60)
+def test_turtle_roundtrip(triple_set):
+    g = graph_of(triple_set)
+    assert parse_turtle(serialize_turtle(g)) == g
+
+
+# ---------------------------------------------------------------------- #
+# graph algebra laws
+# ---------------------------------------------------------------------- #
+
+
+@given(triple_sets, triple_sets)
+@settings(max_examples=40)
+def test_union_is_commutative(a, b):
+    assert graph_of(a) | graph_of(b) == graph_of(b) | graph_of(a)
+
+
+@given(triple_sets, triple_sets)
+@settings(max_examples=40)
+def test_intersection_is_commutative(a, b):
+    assert graph_of(a) & graph_of(b) == graph_of(b) & graph_of(a)
+
+
+@given(triple_sets, triple_sets)
+@settings(max_examples=40)
+def test_difference_disjoint_from_subtrahend(a, b):
+    diff = graph_of(a) - graph_of(b)
+    gb = graph_of(b)
+    assert all(t not in gb for t in diff)
+
+
+@given(triple_sets, triple_sets)
+@settings(max_examples=40)
+def test_union_size_inclusion_exclusion(a, b):
+    ga, gb = graph_of(a), graph_of(b)
+    assert len(ga | gb) == len(ga) + len(gb) - len(ga & gb)
+
+
+@given(triple_sets)
+@settings(max_examples=40)
+def test_add_remove_inverse(triple_set):
+    g = graph_of(triple_set)
+    size = len(g)
+    extra = Triple(IRI("http://t.example/fresh"), IRI("http://t.example/p"),
+                   Literal("fresh-object-xyz"))
+    was_present = extra in g
+    g.add(extra)
+    g.remove(extra)
+    assert len(g) == (size if not was_present else size - 1) or len(g) == size
+    if not was_present:
+        assert extra not in g
+
+
+@given(triple_sets)
+@settings(max_examples=40)
+def test_pattern_union_covers_everything(triple_set):
+    g = graph_of(triple_set)
+    # Summing per-subject counts must reproduce the total size.
+    subjects_seen = set(t.subject for t in g)
+    total = sum(g.count((s, None, None)) for s in subjects_seen)
+    assert total == len(g)
+
+
+@given(triple_sets)
+@settings(max_examples=40)
+def test_estimates_are_upper_bounds_for_indexed_patterns(triple_set):
+    g = graph_of(triple_set)
+    for t in list(g)[:5]:
+        for pattern in [
+            (t.subject, None, None),
+            (None, t.predicate, None),
+            (None, None, t.object),
+            (t.subject, t.predicate, None),
+        ]:
+            assert g.estimate(pattern) == g.count(pattern)
+
+
+@given(triple_sets)
+@settings(max_examples=30)
+def test_copy_equal_but_independent(triple_set):
+    g = graph_of(triple_set)
+    clone = g.copy()
+    assert clone == g
+    marker = Triple(
+        IRI("http://t.example/marker"), IRI("http://t.example/p"), Literal("m")
+    )
+    clone.add(marker)
+    assert marker not in g or marker in clone

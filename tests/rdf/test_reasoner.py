@@ -1,0 +1,140 @@
+"""Unit tests for RDFS/OWL closure computation."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import EX, OWL, RDF, RDFS, SC
+from repro.rdf.reasoner import (
+    instances_of,
+    materialize_rdfs,
+    same_as_closure,
+    subclass_closure,
+    subproperty_closure,
+    superclass_closure,
+    types_of,
+)
+from repro.rdf.terms import Literal
+
+
+@pytest.fixture
+def taxonomy():
+    g = Graph()
+    g.add((EX.Striker, RDFS.subClassOf, EX.Forward))
+    g.add((EX.Forward, RDFS.subClassOf, EX.Player))
+    g.add((EX.Goalkeeper, RDFS.subClassOf, EX.Player))
+    g.add((EX.messi, RDF.type, EX.Striker))
+    g.add((EX.ter_stegen, RDF.type, EX.Goalkeeper))
+    return g
+
+
+class TestClosures:
+    def test_superclass_closure_reflexive_transitive(self, taxonomy):
+        assert superclass_closure(taxonomy, EX.Striker) == {
+            EX.Striker,
+            EX.Forward,
+            EX.Player,
+        }
+
+    def test_subclass_closure(self, taxonomy):
+        assert subclass_closure(taxonomy, EX.Player) == {
+            EX.Player,
+            EX.Forward,
+            EX.Striker,
+            EX.Goalkeeper,
+        }
+
+    def test_closure_of_leaf_is_self(self, taxonomy):
+        assert subclass_closure(taxonomy, EX.Striker) == {EX.Striker}
+
+    def test_closure_handles_cycles(self):
+        g = Graph()
+        g.add((EX.A, RDFS.subClassOf, EX.B))
+        g.add((EX.B, RDFS.subClassOf, EX.A))
+        assert superclass_closure(g, EX.A) == {EX.A, EX.B}
+
+    def test_subproperty_closure(self):
+        g = Graph()
+        g.add((EX.narrow, RDFS.subPropertyOf, EX.wide))
+        assert subproperty_closure(g, EX.wide) == {EX.wide, EX.narrow}
+
+    def test_identifier_marker_pattern(self):
+        # The MDM identifier convention: feature subClassOf sc:identifier.
+        g = Graph()
+        g.add((EX.teamId, RDFS.subClassOf, SC.identifier))
+        assert SC.identifier in superclass_closure(g, EX.teamId)
+
+
+class TestSameAs:
+    def test_symmetric(self):
+        g = Graph()
+        g.add((EX.a, OWL.sameAs, EX.b))
+        assert same_as_closure(g, EX.b) == {EX.a, EX.b}
+
+    def test_transitive(self):
+        g = Graph()
+        g.add((EX.a, OWL.sameAs, EX.b))
+        g.add((EX.b, OWL.sameAs, EX.c))
+        assert same_as_closure(g, EX.a) == {EX.a, EX.b, EX.c}
+
+    def test_isolated_term(self):
+        assert same_as_closure(Graph(), EX.a) == {EX.a}
+
+
+class TestTyping:
+    def test_types_of_includes_inherited(self, taxonomy):
+        assert types_of(taxonomy, EX.messi) == {EX.Striker, EX.Forward, EX.Player}
+
+    def test_instances_of_includes_subclasses(self, taxonomy):
+        assert instances_of(taxonomy, EX.Player) == {EX.messi, EX.ter_stegen}
+
+    def test_instances_of_exact_class(self, taxonomy):
+        assert instances_of(taxonomy, EX.Goalkeeper) == {EX.ter_stegen}
+
+
+class TestMaterialize:
+    def test_adds_transitive_subclass(self, taxonomy):
+        materialize_rdfs(taxonomy)
+        assert (EX.Striker, RDFS.subClassOf, EX.Player) in taxonomy
+
+    def test_propagates_types(self, taxonomy):
+        materialize_rdfs(taxonomy)
+        assert (EX.messi, RDF.type, EX.Player) in taxonomy
+
+    def test_subproperty_statement_propagation(self):
+        g = Graph()
+        g.add((EX.nick, RDFS.subPropertyOf, EX.name))
+        g.add((EX.messi, EX.nick, Literal("Leo")))
+        materialize_rdfs(g)
+        assert (EX.messi, EX.name, Literal("Leo")) in g
+
+    def test_domain_typing(self):
+        g = Graph()
+        g.add((EX.playsFor, RDFS.domain, EX.Player))
+        g.add((EX.messi, EX.playsFor, EX.barca))
+        materialize_rdfs(g)
+        assert (EX.messi, RDF.type, EX.Player) in g
+
+    def test_range_typing(self):
+        g = Graph()
+        g.add((EX.playsFor, RDFS.range, EX.Team))
+        g.add((EX.messi, EX.playsFor, EX.barca))
+        materialize_rdfs(g)
+        assert (EX.barca, RDF.type, EX.Team) in g
+
+    def test_range_does_not_type_literals(self):
+        g = Graph()
+        g.add((EX.name, RDFS.range, EX.NameType))
+        g.add((EX.messi, EX.name, Literal("Leo")))
+        materialize_rdfs(g)
+        assert g.count((None, RDF.type, EX.NameType)) == 0
+
+    def test_returns_added_count(self, taxonomy):
+        added = materialize_rdfs(taxonomy)
+        assert added > 0
+        assert materialize_rdfs(taxonomy) == 0  # already at fixpoint
+
+    def test_idempotent(self, taxonomy):
+        materialize_rdfs(taxonomy)
+        size = len(taxonomy)
+        materialize_rdfs(taxonomy)
+        assert len(taxonomy) == size

@@ -1,0 +1,123 @@
+"""Unit tests for the γ (Aggregate) operator."""
+
+import pytest
+
+from repro.relational.algebra import Aggregate, Scan
+from repro.relational.executor import Executor
+from repro.relational.relation import Relation
+from repro.relational.schema import SchemaError
+from repro.relational.sql import to_sql
+from repro.relational.types import AttrType
+
+
+@pytest.fixture
+def executor():
+    rows = [
+        {"team": "FCB", "height": 170.0, "rating": 94},
+        {"team": "FCB", "height": 180.0, "rating": 88},
+        {"team": "BAY", "height": 184.0, "rating": 92},
+        {"team": "BAY", "height": None, "rating": 87},
+    ]
+    return Executor({"players": Relation.from_dicts(rows, name="players")})
+
+
+class TestValidation:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SchemaError):
+            Aggregate(Scan("x"), (), (("median", "a", "m"),))
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SchemaError):
+            Aggregate(Scan("x"), (), (("sum", "*", "s"),))
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SchemaError):
+            Aggregate(
+                Scan("x"), ("a",), (("count", "*", "a"),)
+            )
+
+    def test_unknown_column_rejected_at_schema_time(self, executor):
+        plan = Aggregate(Scan("players"), (), (("sum", "ghost", "s"),))
+        with pytest.raises(SchemaError):
+            plan.output_schema(executor.catalog)
+
+
+class TestExecution:
+    def test_count_star_grouped(self, executor):
+        plan = Aggregate(Scan("players"), ("team",), (("count", "*", "n"),))
+        result = executor.execute(plan)
+        assert dict(result.rows) == {"FCB": 2, "BAY": 2}
+
+    def test_count_column_skips_nulls(self, executor):
+        plan = Aggregate(Scan("players"), ("team",), (("count", "height", "n"),))
+        result = executor.execute(plan)
+        assert dict(result.rows) == {"FCB": 2, "BAY": 1}
+
+    def test_sum_avg_min_max(self, executor):
+        plan = Aggregate(
+            Scan("players"),
+            ("team",),
+            (
+                ("sum", "rating", "total"),
+                ("avg", "height", "avgH"),
+                ("min", "rating", "lo"),
+                ("max", "rating", "hi"),
+            ),
+        )
+        result = executor.execute(plan)
+        by_team = {row[0]: row[1:] for row in result.rows}
+        assert by_team["FCB"] == (182, 175.0, 88, 94)
+        assert by_team["BAY"] == (179, 184.0, 87, 92)
+
+    def test_global_aggregate(self, executor):
+        plan = Aggregate(Scan("players"), (), (("count", "*", "n"),))
+        assert executor.execute(plan).rows == [(4,)]
+
+    def test_global_aggregate_empty_input(self):
+        executor = Executor(
+            {"empty": Relation.from_dicts([], attribute_order=["a"])}
+        )
+        plan = Aggregate(Scan("empty"), (), (("count", "*", "n"),))
+        assert executor.execute(plan).rows == [(0,)]
+
+    def test_all_null_group_yields_none(self, executor):
+        plan = Aggregate(Scan("players"), (), (("avg", "height", "avgH"),))
+        result = executor.execute(plan)
+        assert result.rows[0][0] == pytest.approx((170 + 180 + 184) / 3)
+
+    def test_output_schema_types(self, executor):
+        plan = Aggregate(
+            Scan("players"),
+            ("team",),
+            (("count", "*", "n"), ("avg", "height", "avgH"), ("max", "rating", "hi")),
+        )
+        schema = plan.output_schema(executor.catalog)
+        assert schema.attribute("n").type == AttrType.INTEGER
+        assert schema.attribute("avgH").type == AttrType.FLOAT
+        assert schema.attribute("hi").type == AttrType.INTEGER
+
+
+class TestRendering:
+    def test_pretty(self):
+        plan = Aggregate(Scan("p"), ("team",), (("count", "*", "n"),))
+        assert plan.pretty() == "γ_{team; n=count(*)}(p)"
+
+    def test_sql(self):
+        plan = Aggregate(Scan("p"), ("team",), (("avg", "h", "avgH"),))
+        sql = to_sql(plan)
+        assert 'AVG("h") AS "avgH"' in sql
+        assert 'GROUP BY "team"' in sql
+
+    def test_sql_global(self):
+        plan = Aggregate(Scan("p"), (), (("count", "*", "n"),))
+        assert "GROUP BY" not in to_sql(plan)
+
+
+class TestQueryOutcomeAggregate:
+    def test_outcome_helper(self):
+        from repro.scenarios.football import FootballScenario
+
+        scenario = FootballScenario.build(anchors_only=True)
+        outcome = scenario.mdm.execute(scenario.walk_player_team_names())
+        agg = outcome.aggregate(["teamName"], [("count", "*", "players")])
+        assert dict(agg.rows)["Manchester United"] == 2

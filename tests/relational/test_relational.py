@@ -1,0 +1,184 @@
+"""Unit tests for types, schemas and relations."""
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema, SchemaError
+from repro.relational.types import AttrType, coerce, common_type, infer_type
+
+
+class TestTypes:
+    def test_infer(self):
+        assert infer_type(1) == AttrType.INTEGER
+        assert infer_type(1.5) == AttrType.FLOAT
+        assert infer_type(True) == AttrType.BOOLEAN
+        assert infer_type("x") == AttrType.STRING
+        assert infer_type(None) == AttrType.ANY
+
+    def test_infer_rejects_exotic(self):
+        with pytest.raises(TypeError):
+            infer_type([1])
+
+    def test_common_type_identity(self):
+        assert common_type(AttrType.INTEGER, AttrType.INTEGER) == AttrType.INTEGER
+
+    def test_common_type_any_is_neutral(self):
+        assert common_type(AttrType.ANY, AttrType.FLOAT) == AttrType.FLOAT
+        assert common_type(AttrType.FLOAT, AttrType.ANY) == AttrType.FLOAT
+
+    def test_common_type_numeric_widening(self):
+        assert common_type(AttrType.INTEGER, AttrType.FLOAT) == AttrType.FLOAT
+
+    def test_common_type_string_is_top(self):
+        assert common_type(AttrType.INTEGER, AttrType.STRING) == AttrType.STRING
+        assert common_type(AttrType.BOOLEAN, AttrType.FLOAT) == AttrType.STRING
+
+    def test_coerce_none_passthrough(self):
+        assert coerce(None, AttrType.INTEGER) is None
+
+    def test_coerce_numeric_strings(self):
+        assert coerce("25", AttrType.INTEGER) == 25
+        assert coerce(" 2.5 ", AttrType.FLOAT) == 2.5
+
+    def test_coerce_to_string(self):
+        assert coerce(25, AttrType.STRING) == "25"
+        assert coerce(True, AttrType.STRING) == "true"
+
+    def test_coerce_float_to_int_only_when_lossless(self):
+        assert coerce(3.0, AttrType.INTEGER) == 3
+        with pytest.raises(ValueError):
+            coerce(3.5, AttrType.INTEGER)
+
+    def test_coerce_boolean(self):
+        assert coerce("yes", AttrType.BOOLEAN) is True
+        assert coerce("0", AttrType.BOOLEAN) is False
+        with pytest.raises(ValueError):
+            coerce("maybe", AttrType.BOOLEAN)
+
+    def test_coerce_garbage_raises(self):
+        with pytest.raises(ValueError):
+            coerce("abc", AttrType.INTEGER)
+
+
+class TestSchema:
+    def test_of_shorthand(self):
+        schema = RelationSchema.of("a", "b")
+        assert schema.names == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("a", "a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_index_of(self):
+        schema = RelationSchema.of("a", "b", "c")
+        assert schema.index_of("b") == 1
+
+    def test_index_of_unknown(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("a").index_of("z")
+
+    def test_contains(self):
+        assert "a" in RelationSchema.of("a")
+        assert "z" not in RelationSchema.of("a")
+
+    def test_project_reorders(self):
+        schema = RelationSchema.of("a", "b", "c").project(["c", "a"])
+        assert schema.names == ("c", "a")
+
+    def test_rename(self):
+        schema = RelationSchema.of("a", "b").rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("a").rename({"z": "x"})
+
+    def test_union_compatible(self):
+        assert RelationSchema.of("a", "b").union_compatible(RelationSchema.of("a", "b"))
+        assert not RelationSchema.of("a").union_compatible(RelationSchema.of("b"))
+
+    def test_widen(self):
+        left = RelationSchema.typed([("a", AttrType.INTEGER)])
+        right = RelationSchema.typed([("a", AttrType.FLOAT)])
+        assert left.widen(right).attributes[0].type == AttrType.FLOAT
+
+    def test_widen_incompatible_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("a").widen(RelationSchema.of("b"))
+
+    def test_join_split(self):
+        left = RelationSchema.of("id", "name")
+        right = RelationSchema.of("id", "league")
+        shared, combined = left.join_split(right)
+        assert shared == ["id"]
+        assert combined.names == ("id", "name", "league")
+
+    def test_equality_and_hash(self):
+        assert RelationSchema.of("a") == RelationSchema.of("a")
+        assert hash(RelationSchema.of("a")) == hash(RelationSchema.of("a"))
+
+
+class TestRelation:
+    def test_row_width_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(RelationSchema.of("a", "b"), [(1,)])
+
+    def test_from_dicts_infers_columns_and_types(self):
+        rel = Relation.from_dicts(
+            [{"id": 1, "name": "A"}, {"id": 2, "name": "B", "extra": True}]
+        )
+        assert rel.schema.names == ("id", "name", "extra")
+        assert rel.schema.attribute("id").type == AttrType.INTEGER
+        assert rel.rows[0] == (1, "A", None)
+
+    def test_from_dicts_fixed_order(self):
+        rel = Relation.from_dicts(
+            [{"b": 2, "a": 1}], attribute_order=["a", "b"]
+        )
+        assert rel.schema.names == ("a", "b")
+        assert rel.rows == [(1, 2)]
+
+    def test_column(self):
+        rel = Relation.from_dicts([{"a": 1}, {"a": 2}])
+        assert rel.column("a") == [1, 2]
+
+    def test_to_dicts(self):
+        rel = Relation.from_dicts([{"a": 1, "b": "x"}])
+        assert rel.to_dicts() == [{"a": 1, "b": "x"}]
+
+    def test_distinct_preserves_order(self):
+        rel = Relation(RelationSchema.of("a"), [(1,), (2,), (1,)])
+        assert rel.distinct().rows == [(1,), (2,)]
+
+    def test_sorted_nulls_first(self):
+        rel = Relation(RelationSchema.of("a"), [(2,), (None,), (1,)])
+        assert rel.sorted().rows[0] == (None,)
+
+    def test_coerced(self):
+        rel = Relation(RelationSchema.of("a"), [("1",), ("2",)])
+        target = RelationSchema.typed([("a", AttrType.INTEGER)])
+        assert rel.coerced(target).rows == [(1,), (2,)]
+
+    def test_coerced_name_mismatch(self):
+        rel = Relation(RelationSchema.of("a"), [])
+        with pytest.raises(SchemaError):
+            rel.coerced(RelationSchema.of("b"))
+
+    def test_equal_as_set(self):
+        left = Relation(RelationSchema.of("a"), [(1,), (2,)])
+        right = Relation(RelationSchema.of("a"), [(2,), (1,)])
+        assert left.equal_as_set(right)
+
+    def test_to_table(self):
+        rel = Relation.from_dicts([{"name": "Messi", "team": None}])
+        table = rel.to_table()
+        assert "name" in table and "NULL" in table
+
+    def test_empty_relation(self):
+        rel = Relation.empty(RelationSchema.of("a"))
+        assert len(rel) == 0
+        assert not rel

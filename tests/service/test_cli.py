@@ -1,0 +1,187 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "SPARQL" in out
+        assert "Lionel Messi" in out
+        assert "phase (a)" in out
+
+    def test_query_by_nodes(self, capsys):
+        code = main(
+            [
+                "query",
+                "--nodes",
+                "http://www.essi.upc.edu/example/Player",
+                "http://www.essi.upc.edu/example/playerName",
+            ]
+        )
+        assert code == 0
+        assert "Zlatan Ibrahimovic" in capsys.readouterr().out
+
+    def test_query_by_sparql(self, capsys):
+        sparql = (
+            "PREFIX ex: <http://www.essi.upc.edu/example/> "
+            "SELECT ?playerName WHERE { ?p rdf:type ex:Player . "
+            "?p ex:playerName ?playerName . ?p ex:height ?h FILTER(?h > 190) }"
+        )
+        assert main(["query", "--sparql", sparql]) == 0
+        out = capsys.readouterr().out
+        assert "Zlatan Ibrahimovic" in out
+        assert "Lionel Messi" not in out
+
+    def test_query_explain(self, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--explain",
+                    "--nodes",
+                    "http://www.essi.upc.edu/example/Player",
+                    "http://www.essi.upc.edu/example/playerName",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "phase (b)" in out and "algebra:" in out
+
+    def test_query_without_input_fails(self):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        assert "concepts: 4" in capsys.readouterr().out
+
+    def test_summary_supersede(self, capsys):
+        assert main(["summary", "--scenario", "supersede"]) == 0
+        assert "wrappers: 4" in capsys.readouterr().out
+
+    def test_validate_ok(self, capsys):
+        assert main(["validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_impact(self, capsys):
+        assert main(["impact", "players"]) == 0
+        out = capsys.readouterr().out
+        assert "w1, w1n" in out
+
+    def test_snapshot_and_summary_from_store(self, tmp_path, capsys):
+        target = str(tmp_path / "snap")
+        assert main(["snapshot", target]) == 0
+        capsys.readouterr()
+        assert main(["summary", "--store", target]) == 0
+        assert "concepts: 4" in capsys.readouterr().out
+
+    def test_evolve(self, capsys):
+        assert main(["evolve"]) == 0
+        out = capsys.readouterr().out
+        assert "UCQ grew 1 -> 2" in out
+        assert "rows identical: True" in out
+
+    def test_unknown_scenario_fails(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "--scenario", "bogus"])
+
+    def test_save_query_and_revalidate_on_snapshot(self, tmp_path, capsys):
+        store = str(tmp_path / "snap")
+        assert main(["snapshot", store]) == 0
+        assert (
+            main(
+                [
+                    "save-query",
+                    "rosters",
+                    "--store",
+                    store,
+                    "--nodes",
+                    "http://www.essi.upc.edu/example/Player",
+                    "http://www.essi.upc.edu/example/playerName",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["revalidate", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "OK     rosters" in out and "1/1 healthy" in out
+
+    def test_revalidate_reports_broken(self, tmp_path, capsys):
+        store = str(tmp_path / "snap")
+        main(["snapshot", store])
+        main(
+            [
+                "save-query",
+                "rosters",
+                "--store",
+                store,
+                "--nodes",
+                "http://www.essi.upc.edu/example/Player",
+                "http://www.essi.upc.edu/example/playerName",
+            ]
+        )
+        # Corrupt the snapshot: strip all wrapper named graphs.
+        from repro.service.persistence import load_mdm, save_mdm
+
+        mdm = load_mdm(store)
+        for wrapper in list(mdm.mappings.mapped_wrappers()):
+            mdm.dataset.remove_graph(wrapper)
+        save_mdm(mdm, store)
+        capsys.readouterr()
+        assert main(["revalidate", "--store", store]) == 1
+        assert "BROKEN rosters" in capsys.readouterr().out
+
+    def test_revalidate_no_queries(self, capsys):
+        assert main(["revalidate"]) == 0
+        assert "no saved queries" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_clean(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "governance report" in out
+        assert "validation: clean" in out
+
+    def test_report_on_snapshot(self, tmp_path, capsys):
+        store = str(tmp_path / "snap")
+        main(["snapshot", store])
+        capsys.readouterr()
+        assert main(["report", "--store", store]) == 0
+        assert "4 sources" in capsys.readouterr().out
+
+
+class TestShowCommand:
+    def test_show_text(self, capsys):
+        assert main(["show"]) == 0
+        out = capsys.readouterr().out
+        assert "ex:Player:" in out
+        assert "[id]" in out
+        assert "--ex:hasTeam-->" in out
+
+    def test_show_dot(self, capsys):
+        assert main(["show", "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph globalGraph {")
+        assert "lightblue" in out and "lightyellow" in out
+
+    def test_show_turtle(self, capsys):
+        assert main(["show", "--format", "turtle"]) == 0
+        out = capsys.readouterr().out
+        assert "G:hasFeature" in out or "hasFeature" in out

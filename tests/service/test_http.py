@@ -1,0 +1,82 @@
+"""Unit tests for the in-process router."""
+
+import pytest
+
+from repro.service.http import JsonRequest, JsonResponse, Router, ServiceError
+
+
+@pytest.fixture
+def router():
+    r = Router()
+    r.add("GET", "/items", lambda req: ["a", "b"])
+    r.add("GET", "/items/:id", lambda req: {"id": req.path_params["id"]})
+    r.add("POST", "/items", lambda req: {"created": req.body["name"]})
+    r.add("GET", "/boom", lambda req: 1 / 0)
+    def teapot(req):
+        raise ServiceError(418, "I'm a teapot")
+    r.add("GET", "/teapot", teapot)
+    return r
+
+
+class TestRouting:
+    def test_static_route(self, router):
+        response = router.dispatch("GET", "/items")
+        assert response.ok and response.body == ["a", "b"]
+
+    def test_path_params(self, router):
+        response = router.dispatch("GET", "/items/42")
+        assert response.body == {"id": "42"}
+
+    def test_method_mismatch_404(self, router):
+        assert router.dispatch("DELETE", "/items").status == 404
+
+    def test_unknown_path_404(self, router):
+        assert router.dispatch("GET", "/nope").status == 404
+
+    def test_method_case_insensitive(self, router):
+        assert router.dispatch("get", "/items").ok
+
+    def test_body_passed_through(self, router):
+        response = router.dispatch("POST", "/items", {"name": "x"})
+        assert response.body == {"created": "x"}
+
+    def test_service_error_maps_to_status(self, router):
+        response = router.dispatch("GET", "/teapot")
+        assert response.status == 418
+        assert response.body["error"] == "I'm a teapot"
+
+    def test_unhandled_exception_maps_to_500(self, router):
+        response = router.dispatch("GET", "/boom")
+        assert response.status == 500
+        assert "ZeroDivisionError" in response.body["error"]
+
+    def test_partial_path_does_not_match(self, router):
+        assert router.dispatch("GET", "/items/42/extra").status == 404
+
+    def test_routes_listing(self, router):
+        assert len(router.routes()) == 5
+
+
+class TestRequestResponse:
+    def test_require_ok(self):
+        request = JsonRequest("POST", "/x", body={"a": 1, "b": 2})
+        assert request.require("a", "b") == (1, 2)
+
+    def test_require_missing(self):
+        request = JsonRequest("POST", "/x", body={"a": 1})
+        with pytest.raises(ServiceError) as exc:
+            request.require("a", "b")
+        assert exc.value.status == 400
+
+    def test_require_non_object_body(self):
+        request = JsonRequest("POST", "/x", body=[1, 2])
+        with pytest.raises(ServiceError):
+            request.require("a")
+
+    def test_response_json(self):
+        response = JsonResponse(200, {"b": 1, "a": 2})
+        assert '"a": 2' in response.json()
+
+    def test_ok_property(self):
+        assert JsonResponse(204, None).ok
+        assert not JsonResponse(404, None).ok

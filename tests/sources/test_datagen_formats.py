@@ -1,0 +1,161 @@
+"""Unit tests for data generation and payload formats."""
+
+import pytest
+
+from repro.sources.datagen import FootballDataset
+from repro.sources.formats import (
+    decode_csv,
+    decode_json,
+    decode_xml,
+    encode_csv,
+    encode_json,
+    encode_xml,
+    flatten_record,
+    flatten_records,
+)
+
+
+class TestDatagen:
+    def test_anchor_messi_record_matches_figure2(self):
+        data = FootballDataset.anchors_only()
+        messi = data.player_by_id(6176)
+        assert messi.name == "Lionel Messi"
+        assert messi.height == 170.18
+        assert messi.weight == 159
+        assert messi.rating == 94
+        assert messi.preferred_foot == "left"
+        assert messi.team_id == 25
+
+    def test_anchor_team_matches_figure2(self):
+        team = FootballDataset.anchors_only().team_by_id(25)
+        assert team.name == "FC Barcelona"
+        assert team.short_name == "FCB"
+
+    def test_table1_anchor_players_present(self):
+        data = FootballDataset.anchors_only()
+        by_team = {
+            data.team_by_id(p.team_id).name: p.name for p in data.players
+        }
+        assert by_team["FC Barcelona"] == "Lionel Messi"
+        assert by_team["Bayern Munich"] in ("Robert Lewandowski", "Thomas Muller")
+
+    def test_generation_deterministic(self):
+        a = FootballDataset.generate(seed=5)
+        b = FootballDataset.generate(seed=5)
+        assert a.players == b.players
+        assert a.teams == b.teams
+
+    def test_generation_seed_sensitivity(self):
+        a = FootballDataset.generate(seed=5)
+        b = FootballDataset.generate(seed=6)
+        assert a.players != b.players
+
+    def test_generation_scales(self):
+        small = FootballDataset.generate(extra_teams=2, extra_players_per_team=1)
+        large = FootballDataset.generate(extra_teams=20, extra_players_per_team=5)
+        assert len(large.players) > len(small.players)
+
+    def test_lookups(self):
+        data = FootballDataset.anchors_only()
+        assert data.league_by_id(100).name == "La Liga"
+        assert data.country_by_id(1).code == "ESP"
+        with pytest.raises(KeyError):
+            data.team_by_id(123456)
+
+    def test_national_league_ground_truth(self):
+        data = FootballDataset.anchors_only()
+        names = {p.name for p in data.players_in_national_league()}
+        assert names == {"Sergio Ramos", "Thomas Muller", "Marcus Rashford"}
+
+    def test_messi_not_in_national_league(self):
+        data = FootballDataset.anchors_only()
+        names = {p.name for p in data.players_in_national_league()}
+        assert "Lionel Messi" not in names  # Argentine in La Liga
+
+
+class TestJson:
+    def test_roundtrip(self):
+        records = [{"id": 1, "name": "A"}, {"id": 2, "name": "B"}]
+        assert decode_json(encode_json(records)) == records
+
+    def test_envelope(self):
+        assert decode_json('{"data": [{"id": 1}]}') == [{"id": 1}]
+
+    def test_single_object(self):
+        assert decode_json('{"id": 1}') == [{"id": 1}]
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            decode_json("42")
+
+
+class TestXml:
+    def test_roundtrip_strings(self):
+        records = [{"id": "25", "name": "FC Barcelona", "shortName": "FCB"}]
+        assert decode_xml(encode_xml(records, item_tag="team", root_tag="teams")) == records
+
+    def test_figure2_shape(self):
+        xml = encode_xml(
+            [{"id": 25, "name": "FC Barcelona", "shortName": "FCB"}],
+            item_tag="team",
+            root_tag="teams",
+        )
+        assert "<team>" in xml and "<id>25</id>" in xml
+
+    def test_nested_dict(self):
+        records = [{"id": 1, "physique": {"height": 170, "weight": 72}}]
+        decoded = decode_xml(encode_xml(records))
+        assert decoded[0]["physique"] == {"height": "170", "weight": "72"}
+
+    def test_repeated_elements_become_list(self):
+        decoded = decode_xml("<r><i><tag>a</tag><tag>b</tag></i></r>")
+        assert decoded[0]["tag"] == ["a", "b"]
+
+    def test_none_becomes_empty(self):
+        decoded = decode_xml(encode_xml([{"a": None}]))
+        assert decoded[0]["a"] == ""
+
+    def test_bool_rendering(self):
+        decoded = decode_xml(encode_xml([{"a": True}]))
+        assert decoded[0]["a"] == "true"
+
+
+class TestCsv:
+    def test_roundtrip_strings(self):
+        records = [{"id": "1", "name": "Spain"}]
+        assert decode_csv(encode_csv(records)) == records
+
+    def test_column_union(self):
+        text = encode_csv([{"a": 1}, {"b": 2}])
+        decoded = decode_csv(text)
+        assert decoded[0] == {"a": "1", "b": ""}
+
+    def test_explicit_columns(self):
+        text = encode_csv([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0] == "b,a"
+
+    def test_empty(self):
+        assert decode_csv("") == []
+
+
+class TestFlatten:
+    def test_nested_dict(self):
+        flat = flatten_record({"a": {"b": {"c": 1}}})
+        assert flat == {"a_b_c": 1}
+
+    def test_scalar_list_joined(self):
+        assert flatten_record({"tags": ["a", "b"]}) == {"tags": "a|b"}
+
+    def test_list_of_dicts_indexed(self):
+        flat = flatten_record({"stats": [{"v": 1}, {"v": 2}]})
+        assert flat == {"stats_0_v": 1, "stats_1_v": 2}
+
+    def test_flat_record_unchanged(self):
+        record = {"id": 1, "name": "x"}
+        assert flatten_record(record) == record
+
+    def test_custom_separator(self):
+        assert flatten_record({"a": {"b": 1}}, separator=".") == {"a.b": 1}
+
+    def test_flatten_records(self):
+        assert flatten_records([{"a": {"b": 1}}]) == [{"a_b": 1}]

@@ -1,0 +1,197 @@
+"""Unit tests for the mock REST server and schema evolution operators."""
+
+import pytest
+
+from repro.sources.evolution import (
+    AddField,
+    ChangeType,
+    EndpointVersion,
+    FlattenField,
+    NestFields,
+    RemoveField,
+    RenameField,
+    release_version,
+)
+from repro.sources.formats import decode_json
+from repro.sources.restapi import Endpoint, HttpError, MockRestServer
+
+
+RECORDS = [
+    {"id": 1, "name": "A", "team_id": 10},
+    {"id": 2, "name": "B", "team_id": 10},
+    {"id": 3, "name": "C", "team_id": 11},
+]
+
+
+@pytest.fixture
+def server():
+    s = MockRestServer()
+    s.register(Endpoint("players", 1, "json", lambda: list(RECORDS)))
+    return s
+
+
+class TestServer:
+    def test_get_ok(self, server):
+        response = server.get("/v1/players")
+        assert response.ok
+        assert len(decode_json(response.body)) == 3
+
+    def test_unknown_route_404(self, server):
+        assert server.get("/v1/nope").status == 404
+
+    def test_get_or_raise(self, server):
+        with pytest.raises(HttpError) as exc:
+            server.get_or_raise("/v9/players")
+        assert exc.value.status == 404
+
+    def test_query_param_filter(self, server):
+        response = server.get("/v1/players", {"team_id": "10"})
+        assert len(decode_json(response.body)) == 2
+
+    def test_filter_no_match(self, server):
+        response = server.get("/v1/players", {"team_id": "999"})
+        assert decode_json(response.body) == []
+
+    def test_retire_gives_410(self, server):
+        server.retire("players", 1)
+        assert server.get("/v1/players").status == 410
+
+    def test_retire_unknown_raises(self, server):
+        with pytest.raises(KeyError):
+            server.retire("nope", 1)
+
+    def test_latest_version_skips_retired(self, server):
+        server.register(Endpoint("players", 2, "json", lambda: []))
+        assert server.latest_version("players") == 2
+        server.retire("players", 2)
+        assert server.latest_version("players") == 1
+
+    def test_field_restriction(self):
+        s = MockRestServer()
+        s.register(
+            Endpoint("p", 1, "json", lambda: list(RECORDS), fields=["id", "name"])
+        )
+        records = decode_json(s.get("/v1/p").body)
+        assert set(records[0]) == {"id", "name"}
+
+    def test_pagination(self):
+        s = MockRestServer()
+        s.register(Endpoint("p", 1, "json", lambda: list(RECORDS), page_size=2))
+        page1 = decode_json(s.get("/v1/p", {"page": "1"}).body)
+        page2 = decode_json(s.get("/v1/p", {"page": "2"}).body)
+        assert len(page1) == 2 and len(page2) == 1
+
+    def test_get_all_pages(self):
+        s = MockRestServer()
+        s.register(Endpoint("p", 1, "json", lambda: list(RECORDS), page_size=2))
+        responses = s.get_all_pages("/v1/p")
+        total = sum(len(decode_json(r.body)) for r in responses)
+        assert total == 3
+
+    def test_request_log(self, server):
+        server.get("/v1/players")
+        server.get("/v1/players", {"page": "2"})
+        assert len(server.request_log) == 2
+
+    def test_xml_and_csv_content_types(self):
+        s = MockRestServer()
+        s.register(Endpoint("t", 1, "xml", lambda: [{"id": 1}]))
+        s.register(Endpoint("c", 1, "csv", lambda: [{"id": 1}]))
+        assert s.get("/v1/t").content_type == "application/xml"
+        assert s.get("/v1/c").content_type == "text/csv"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            MockRestServer().register(Endpoint("x", 1, "yaml", lambda: []))
+
+    def test_url_rendering(self, server):
+        assert server.url("/v1/players") == "http://api.local/v1/players"
+
+
+class TestChangeOperators:
+    def test_rename(self):
+        assert RenameField("a", "b").apply({"a": 1}) == {"b": 1}
+
+    def test_rename_missing_noop(self):
+        assert RenameField("a", "b").apply({"x": 1}) == {"x": 1}
+
+    def test_remove(self):
+        assert RemoveField("a").apply({"a": 1, "b": 2}) == {"b": 2}
+
+    def test_add(self):
+        change = AddField("full", lambda r: f"{r['first']} {r['last']}")
+        assert change.apply({"first": "L", "last": "M"})["full"] == "L M"
+        assert not change.breaking
+
+    def test_change_type(self):
+        assert ChangeType("id", str).apply({"id": 5}) == {"id": "5"}
+
+    def test_change_type_skips_none(self):
+        assert ChangeType("id", str).apply({"id": None}) == {"id": None}
+
+    def test_nest(self):
+        out = NestFields(["h", "w"], "physique").apply({"h": 1, "w": 2, "id": 3})
+        assert out == {"id": 3, "physique": {"h": 1, "w": 2}}
+
+    def test_flatten(self):
+        out = FlattenField("physique").apply({"physique": {"h": 1}, "id": 3})
+        assert out == {"id": 3, "h": 1}
+
+    def test_flatten_with_prefix(self):
+        out = FlattenField("physique", prefix="p_").apply({"physique": {"h": 1}})
+        assert out == {"p_h": 1}
+
+    def test_original_not_mutated(self):
+        record = {"a": 1}
+        RenameField("a", "b").apply(record)
+        assert record == {"a": 1}
+
+    def test_describe_all(self):
+        for change in [
+            RenameField("a", "b"),
+            RemoveField("a"),
+            AddField("c", lambda r: 1),
+            ChangeType("a", str),
+            NestFields(["a"], "n"),
+            FlattenField("n"),
+        ]:
+            assert isinstance(change.describe(), str) and change.describe()
+
+
+class TestEndpointVersion:
+    def test_provider_applies_pipeline(self):
+        v1 = EndpointVersion("p", 1, "json", lambda: list(RECORDS))
+        v2 = v1.successor([RenameField("name", "fullName")])
+        assert "fullName" in v2.provider()[0]
+        assert "name" in v1.provider()[0]  # v1 untouched
+
+    def test_successor_increments_version(self):
+        v1 = EndpointVersion("p", 1, "json", lambda: [])
+        assert v1.successor([]).version == 2
+
+    def test_successor_chains_changes(self):
+        v1 = EndpointVersion("p", 1, "json", lambda: list(RECORDS))
+        v3 = v1.successor([RenameField("name", "n2")]).successor(
+            [RenameField("n2", "n3")]
+        )
+        assert "n3" in v3.provider()[0]
+        assert v3.changelog() == ["rename name -> n2", "rename n2 -> n3"]
+
+    def test_is_breaking(self):
+        v1 = EndpointVersion("p", 1, "json", lambda: [])
+        assert not v1.successor([AddField("x", lambda r: 1)]).is_breaking
+        assert v1.successor([RemoveField("x")]).is_breaking
+
+    def test_release_version_mounts(self):
+        server = MockRestServer()
+        v1 = EndpointVersion("p", 1, "json", lambda: list(RECORDS))
+        release_version(server, v1)
+        assert server.get("/v1/p").ok
+
+    def test_release_retires_previous(self):
+        server = MockRestServer()
+        v1 = EndpointVersion("p", 1, "json", lambda: list(RECORDS))
+        release_version(server, v1)
+        release_version(server, v1.successor([]), retire_previous=True)
+        assert server.get("/v1/p").status == 410
+        assert server.get("/v2/p").ok

@@ -1,0 +1,199 @@
+"""Unit tests for the wrapper framework."""
+
+import pytest
+
+from repro.sources.evolution import EndpointVersion, NestFields, RenameField, release_version
+from repro.sources.restapi import Endpoint, MockRestServer
+from repro.sources.wrappers import RestWrapper, StaticWrapper, Wrapper, WrapperSchemaError
+
+
+RECORDS = [
+    {"id": 1, "name": "Messi", "rating": 94, "team": {"id": 25}},
+    {"id": 2, "name": "Lewa", "rating": 92, "team": {"id": 26}},
+]
+
+
+@pytest.fixture
+def server():
+    s = MockRestServer()
+    s.register(Endpoint("players", 1, "json", lambda: [dict(r) for r in RECORDS]))
+    return s
+
+
+class TestSignature:
+    def test_signature_rendering(self):
+        w = StaticWrapper("w1", ["id", "pName"], [])
+        assert w.signature == "w1(id, pName)"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            StaticWrapper("", ["a"], [])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            StaticWrapper("w", [], [])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            StaticWrapper("w", ["a", "a"], [])
+
+    def test_base_fetch_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Wrapper("w", ["a"]).fetch()
+
+
+class TestStaticWrapper:
+    def test_rows_projected_to_signature(self):
+        w = StaticWrapper("w", ["id"], [{"id": 1, "extra": True}])
+        assert w.fetch() == [{"id": 1}]
+
+    def test_missing_keys_null(self):
+        w = StaticWrapper("w", ["id", "x"], [{"id": 1}])
+        assert w.fetch() == [{"id": 1, "x": None}]
+
+    def test_fetch_returns_copies(self):
+        w = StaticWrapper("w", ["id"], [{"id": 1}])
+        w.fetch()[0]["id"] = 99
+        assert w.fetch() == [{"id": 1}]
+
+    def test_fetch_relation(self):
+        w = StaticWrapper("w", ["id", "name"], [{"id": 1, "name": "A"}])
+        rel = w.fetch_relation()
+        assert rel.name == "w"
+        assert rel.schema.names == ("id", "name")
+
+
+class TestRestWrapper:
+    def test_identity_mapping(self, server):
+        w = RestWrapper("w", ["id", "name"], server, "/v1/players")
+        assert w.fetch() == [
+            {"id": 1, "name": "Messi"},
+            {"id": 2, "name": "Lewa"},
+        ]
+
+    def test_rename_mapping(self, server):
+        w = RestWrapper(
+            "w", ["id", "pName"], server, "/v1/players",
+            attribute_map={"pName": "name"},
+        )
+        assert w.fetch()[0]["pName"] == "Messi"
+
+    def test_flattened_nested_path(self, server):
+        w = RestWrapper(
+            "w", ["id", "teamId"], server, "/v1/players",
+            attribute_map={"teamId": "team_id"},
+        )
+        assert w.fetch()[0]["teamId"] == 25
+
+    def test_computed_attribute(self, server):
+        w = RestWrapper(
+            "w", ["id", "label"], server, "/v1/players",
+            attribute_map={"label": lambda r: f"{r['name']}#{r['id']}"},
+        )
+        assert w.fetch()[0]["label"] == "Messi#1"
+
+    def test_missing_key_strict_raises(self, server):
+        w = RestWrapper("w", ["id", "nope"], server, "/v1/players")
+        with pytest.raises(WrapperSchemaError) as exc:
+            w.fetch()
+        assert exc.value.attribute == "nope"
+
+    def test_missing_key_lenient_nulls(self, server):
+        w = RestWrapper("w", ["id", "nope"], server, "/v1/players", strict=False)
+        assert w.fetch()[0]["nope"] is None
+
+    def test_computed_failure_strict(self, server):
+        w = RestWrapper(
+            "w", ["id", "x"], server, "/v1/players",
+            attribute_map={"x": lambda r: r["ghost"]},
+        )
+        with pytest.raises(WrapperSchemaError):
+            w.fetch()
+
+    def test_http_error_wrapped(self, server):
+        w = RestWrapper("w", ["id"], server, "/v9/players")
+        with pytest.raises(WrapperSchemaError):
+            w.fetch()
+
+    def test_retired_endpoint_raises(self, server):
+        w = RestWrapper("w", ["id"], server, "/v1/players")
+        server.retire("players", 1)
+        with pytest.raises(WrapperSchemaError):
+            w.fetch()
+
+    def test_params_forwarded(self, server):
+        w = RestWrapper("w", ["id"], server, "/v1/players", params={"rating": "94"})
+        assert w.fetch() == [{"id": 1}]
+
+    def test_xml_payload(self):
+        s = MockRestServer()
+        s.register(
+            Endpoint(
+                "teams", 1, "xml",
+                lambda: [{"id": 25, "name": "FCB"}],
+                item_tag="team", root_tag="teams",
+            )
+        )
+        w = RestWrapper("w2", ["id", "name"], s, "/v1/teams")
+        assert w.fetch() == [{"id": "25", "name": "FCB"}]
+
+    def test_csv_payload(self):
+        s = MockRestServer()
+        s.register(Endpoint("c", 1, "csv", lambda: [{"id": 1, "code": "ES"}]))
+        w = RestWrapper("w", ["id", "code"], s, "/v1/c")
+        assert w.fetch() == [{"id": "1", "code": "ES"}]
+
+    def test_breaking_change_breaks_old_wrapper(self, server):
+        old = RestWrapper(
+            "w", ["id", "pName"], server, "/v1/players",
+            attribute_map={"pName": "name"},
+        )
+        assert old.fetch()  # works on v1
+        v1 = EndpointVersion("players", 1, "json", lambda: [dict(r) for r in RECORDS])
+        v2 = v1.successor([RenameField("name", "fullName")])
+        release_version(server, v2, retire_previous=True)
+        with pytest.raises(WrapperSchemaError):
+            old.fetch()
+        fixed = RestWrapper(
+            "w2", ["id", "pName"], server, "/v2/players",
+            attribute_map={"pName": "fullName"},
+        )
+        assert fixed.fetch()[0]["pName"] == "Messi"
+
+    def test_pagination_fetches_all_pages(self):
+        s = MockRestServer()
+        records = [{"id": i, "v": f"x{i}"} for i in range(25)]
+        s.register(Endpoint("items", 1, "json", lambda: records, page_size=10))
+        w = RestWrapper("wp", ["id", "v"], s, "/v1/items", paginate=True)
+        assert len(w.fetch()) == 25
+
+    def test_without_pagination_only_first_page(self):
+        s = MockRestServer()
+        records = [{"id": i} for i in range(25)]
+        s.register(Endpoint("items", 1, "json", lambda: records, page_size=10))
+        w = RestWrapper("wp", ["id"], s, "/v1/items")
+        assert len(w.fetch()) == 10
+
+    def test_pagination_exact_page_boundary(self):
+        s = MockRestServer()
+        records = [{"id": i} for i in range(20)]
+        s.register(Endpoint("items", 1, "json", lambda: records, page_size=10))
+        w = RestWrapper("wp", ["id"], s, "/v1/items", paginate=True)
+        assert len(w.fetch()) == 20
+
+    def test_pagination_on_unpaginated_endpoint(self, server):
+        w = RestWrapper("wp", ["id"], server, "/v1/players", paginate=True)
+        assert len(w.fetch()) == 2
+
+    def test_nesting_change_breaks_old_wrapper(self, server):
+        v1 = EndpointVersion("players", 1, "json", lambda: [dict(r) for r in RECORDS])
+        v2 = v1.successor([NestFields(["rating"], "stats")])
+        release_version(server, v2, retire_previous=True)
+        old = RestWrapper("w", ["id", "rating"], server, "/v2/players")
+        with pytest.raises(WrapperSchemaError):
+            old.fetch()
+        fixed = RestWrapper(
+            "w2", ["id", "rating"], server, "/v2/players",
+            attribute_map={"rating": "stats_rating"},
+        )
+        assert fixed.fetch()[0]["rating"] == 94

@@ -1,0 +1,157 @@
+"""Unit tests for SPARQL aggregation (GROUP BY + aggregate projections)."""
+
+import pytest
+
+from repro.rdf.dataset import Dataset
+from repro.rdf.namespaces import EX, RDF
+from repro.rdf.terms import Literal
+from repro.sparql.evaluator import evaluate_text
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+
+P = "PREFIX ex: <http://www.essi.upc.edu/example/>\n"
+
+
+@pytest.fixture
+def dataset():
+    ds = Dataset()
+    g = ds.default_graph
+    rows = [
+        ("Messi", "FCB", 170.18, 94),
+        ("Lewa", "BAY", 184.0, 92),
+        ("Muller", "BAY", 185.0, 87),
+        ("Zlatan", "MUN", 195.0, 90),
+    ]
+    for i, (name, team, height, rating) in enumerate(rows):
+        p = EX[f"p{i}"]
+        g.add((p, RDF.type, EX.Player))
+        g.add((p, EX.name, Literal(name)))
+        g.add((p, EX.team, Literal(team)))
+        g.add((p, EX.height, Literal(height)))
+        g.add((p, EX.rating, Literal(rating)))
+    return ds
+
+
+class TestParsing:
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        assert q.is_aggregate
+        assert q.aggregates[0].function == "COUNT"
+        assert q.aggregates[0].variable is None
+
+    def test_group_by(self):
+        q = parse_query(
+            "SELECT ?t (SUM(?h) AS ?s) WHERE { ?p <http://x/t> ?t ; "
+            "<http://x/h> ?h } GROUP BY ?t"
+        )
+        assert [v.name for v in q.group_by] == ["t"]
+
+    def test_count_distinct(self):
+        q = parse_query("SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?p ?q ?t }")
+        assert q.aggregates[0].distinct
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT (SUM(*) AS ?s) WHERE { ?s ?p ?o }")
+
+    def test_ungrouped_projection_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                "SELECT ?t (COUNT(*) AS ?n) WHERE { ?p ?q ?t }"
+            )
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT (MEDIAN(?x) AS ?m) WHERE { ?s ?p ?x }")
+
+    def test_lowercase_function_names(self):
+        q = parse_query("SELECT (count(*) AS ?n) WHERE { ?s ?p ?o }")
+        assert q.aggregates[0].function == "COUNT"
+
+
+class TestEvaluation:
+    def test_count_star_grouped(self, dataset):
+        result = evaluate_text(
+            P + "SELECT ?team (COUNT(*) AS ?n) WHERE { ?p ex:team ?team } "
+            "GROUP BY ?team",
+            dataset,
+        )
+        assert dict(result.to_python_rows()) == {"FCB": 1, "BAY": 2, "MUN": 1}
+
+    def test_global_aggregate(self, dataset):
+        result = evaluate_text(
+            P + "SELECT (COUNT(*) AS ?n) WHERE { ?p a ex:Player }", dataset
+        )
+        assert result.to_python_rows() == [(4,)]
+
+    def test_global_aggregate_empty_match(self, dataset):
+        result = evaluate_text(
+            P + "SELECT (COUNT(*) AS ?n) WHERE { ?p a ex:Referee }", dataset
+        )
+        assert result.to_python_rows() == [(0,)]
+
+    def test_sum_and_avg(self, dataset):
+        result = evaluate_text(
+            P + "SELECT ?team (AVG(?h) AS ?avgH) WHERE "
+            "{ ?p ex:team ?team ; ex:height ?h } GROUP BY ?team",
+            dataset,
+        )
+        by_team = dict(result.to_python_rows())
+        assert by_team["BAY"] == pytest.approx(184.5)
+
+    def test_min_max_numeric(self, dataset):
+        result = evaluate_text(
+            P + "SELECT (MIN(?r) AS ?lo) (MAX(?r) AS ?hi) WHERE "
+            "{ ?p ex:rating ?r }",
+            dataset,
+        )
+        assert result.to_python_rows() == [(87, 94)]
+
+    def test_min_max_strings(self, dataset):
+        result = evaluate_text(
+            P + "SELECT (MIN(?n) AS ?first) WHERE { ?p ex:name ?n }", dataset
+        )
+        assert result.to_python_rows() == [("Lewa",)]
+
+    def test_count_distinct(self, dataset):
+        result = evaluate_text(
+            P + "SELECT (COUNT(DISTINCT ?team) AS ?n) WHERE { ?p ex:team ?team }",
+            dataset,
+        )
+        assert result.to_python_rows() == [(3,)]
+
+    def test_order_by_alias(self, dataset):
+        result = evaluate_text(
+            P + "SELECT ?team (COUNT(*) AS ?n) WHERE { ?p ex:team ?team } "
+            "GROUP BY ?team ORDER BY DESC(?n) LIMIT 1",
+            dataset,
+        )
+        assert result.to_python_rows() == [("BAY", 2)]
+
+    def test_group_by_without_aggregates(self, dataset):
+        result = evaluate_text(
+            P + "SELECT ?team WHERE { ?p ex:team ?team } GROUP BY ?team",
+            dataset,
+        )
+        assert len(result) == 3
+
+    def test_sum_over_unbound_is_zero(self, dataset):
+        result = evaluate_text(
+            P + "SELECT (SUM(?ghost) AS ?s) WHERE { ?p a ex:Player "
+            "OPTIONAL { ?p ex:missing ?ghost } }",
+            dataset,
+        )
+        assert result.to_python_rows() == [(0,)]
+
+    def test_metadata_analytics_use_case(self):
+        # Counting features per concept over MDM's own metadata — the
+        # kind of introspection the steward dashboard would run.
+        from repro.scenarios.football import FootballScenario
+
+        scenario = FootballScenario.build(anchors_only=True)
+        result = scenario.mdm.sparql(
+            "PREFIX G: <http://www.essi.upc.edu/mdm/globalGraph#>\n"
+            "SELECT ?c (COUNT(?f) AS ?n) WHERE { ?c G:hasFeature ?f } "
+            "GROUP BY ?c ORDER BY DESC(?n)"
+        )
+        counts = dict(result.to_python_rows())
+        assert counts["http://www.essi.upc.edu/example/Player"] == 6

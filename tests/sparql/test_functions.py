@@ -1,0 +1,259 @@
+"""Unit tests for SPARQL expression/builtin evaluation."""
+
+import pytest
+
+from repro.rdf.terms import BNode, IRI, Literal, Variable
+from repro.sparql.ast import (
+    Arithmetic,
+    BoolOp,
+    Comparison,
+    FunctionCall,
+    InExpr,
+    Not,
+    TermExpr,
+)
+from repro.sparql.functions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate_expression,
+)
+
+X = Variable("x")
+Y = Variable("y")
+
+
+def ev(expr, bindings=None):
+    return evaluate_expression(expr, bindings or {})
+
+
+def call(name, *args):
+    return FunctionCall(name, tuple(TermExpr(a) for a in args))
+
+
+class TestEBV:
+    def test_boolean_literals(self):
+        assert effective_boolean_value(Literal(True)) is True
+        assert effective_boolean_value(Literal(False)) is False
+
+    def test_numeric_zero_false(self):
+        assert effective_boolean_value(Literal(0)) is False
+        assert effective_boolean_value(Literal(0.0)) is False
+
+    def test_numeric_nonzero_true(self):
+        assert effective_boolean_value(Literal(7)) is True
+
+    def test_string_empty_false(self):
+        assert effective_boolean_value(Literal("")) is False
+        assert effective_boolean_value(Literal("x")) is True
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("http://x/a"))
+
+    def test_ill_typed_numeric_false(self):
+        bad = Literal("abc", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert effective_boolean_value(bad) is False
+
+
+class TestComparisons:
+    def test_numeric_promotion(self):
+        expr = Comparison("=", TermExpr(Literal(5)), TermExpr(Literal(5.0)))
+        assert ev(expr).lexical == "true"
+
+    def test_numeric_ordering(self):
+        assert ev(Comparison("<", TermExpr(Literal(3)), TermExpr(Literal(4.5)))).lexical == "true"
+
+    def test_string_ordering(self):
+        assert ev(Comparison("<", TermExpr(Literal("a")), TermExpr(Literal("b")))).lexical == "true"
+
+    def test_iri_equality(self):
+        expr = Comparison("=", TermExpr(IRI("http://x/a")), TermExpr(IRI("http://x/a")))
+        assert ev(expr).lexical == "true"
+
+    def test_cross_type_equality_false(self):
+        expr = Comparison("=", TermExpr(Literal("5")), TermExpr(IRI("http://x/5")))
+        assert ev(expr).lexical == "false"
+
+    def test_incomparable_ordering_raises(self):
+        expr = Comparison("<", TermExpr(Literal("a")), TermExpr(BNode("b")))
+        with pytest.raises(ExpressionError):
+            ev(expr)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            ev(Comparison("=", TermExpr(X), TermExpr(Literal(1))))
+
+    def test_bound_variable_resolves(self):
+        result = ev(
+            Comparison(">", TermExpr(X), TermExpr(Literal(180))),
+            {X: Literal(195)},
+        )
+        assert result.lexical == "true"
+
+
+class TestLogical:
+    def test_and(self):
+        expr = BoolOp("&&", TermExpr(Literal(True)), TermExpr(Literal(False)))
+        assert ev(expr).lexical == "false"
+
+    def test_or(self):
+        expr = BoolOp("||", TermExpr(Literal(True)), TermExpr(Literal(False)))
+        assert ev(expr).lexical == "true"
+
+    def test_and_error_short_circuit(self):
+        # false && error -> false (SPARQL three-valued tolerance)
+        expr = BoolOp("&&", TermExpr(Literal(False)), TermExpr(X))
+        assert ev(expr).lexical == "false"
+
+    def test_or_error_short_circuit(self):
+        expr = BoolOp("||", TermExpr(Literal(True)), TermExpr(X))
+        assert ev(expr).lexical == "true"
+
+    def test_and_error_propagates_when_undecidable(self):
+        expr = BoolOp("&&", TermExpr(Literal(True)), TermExpr(X))
+        with pytest.raises(ExpressionError):
+            ev(expr)
+
+    def test_not(self):
+        assert ev(Not(TermExpr(Literal(False)))).lexical == "true"
+
+
+class TestArithmetic:
+    def test_operations(self):
+        for op, expected in [("+", 7), ("-", 3), ("*", 10), ("/", 2.5)]:
+            expr = Arithmetic(op, TermExpr(Literal(5)), TermExpr(Literal(2)))
+            assert ev(expr).to_python() == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError):
+            ev(Arithmetic("/", TermExpr(Literal(1)), TermExpr(Literal(0))))
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExpressionError):
+            ev(Arithmetic("+", TermExpr(Literal("a")), TermExpr(Literal(1))))
+
+
+class TestInExpr:
+    def test_in_hit(self):
+        expr = InExpr(TermExpr(Literal(2)), (TermExpr(Literal(1)), TermExpr(Literal(2))))
+        assert ev(expr).lexical == "true"
+
+    def test_in_miss(self):
+        expr = InExpr(TermExpr(Literal(9)), (TermExpr(Literal(1)),))
+        assert ev(expr).lexical == "false"
+
+    def test_not_in(self):
+        expr = InExpr(TermExpr(Literal(9)), (TermExpr(Literal(1)),), negated=True)
+        assert ev(expr).lexical == "true"
+
+
+class TestStringFunctions:
+    def test_str_of_literal_and_iri(self):
+        assert ev(call("STR", Literal(5))).lexical == "5"
+        assert ev(call("STR", IRI("http://x/a"))).lexical == "http://x/a"
+
+    def test_str_of_bnode_raises(self):
+        with pytest.raises(ExpressionError):
+            ev(call("STR", BNode("b")))
+
+    def test_strlen(self):
+        assert ev(call("STRLEN", Literal("messi"))).to_python() == 5
+
+    def test_contains_starts_ends(self):
+        assert ev(call("CONTAINS", Literal("barcelona"), Literal("celo"))).lexical == "true"
+        assert ev(call("STRSTARTS", Literal("messi"), Literal("me"))).lexical == "true"
+        assert ev(call("STRENDS", Literal("messi"), Literal("si"))).lexical == "true"
+
+    def test_ucase_lcase(self):
+        assert ev(call("UCASE", Literal("abc"))).lexical == "ABC"
+        assert ev(call("LCASE", Literal("ABC"))).lexical == "abc"
+
+    def test_concat(self):
+        assert ev(call("CONCAT", Literal("a"), Literal("b"), Literal("c"))).lexical == "abc"
+
+    def test_substr(self):
+        assert ev(call("SUBSTR", Literal("barcelona"), Literal(1), Literal(5))).lexical == "barce"
+        assert ev(call("SUBSTR", Literal("barcelona"), Literal(6))).lexical == "lona"
+
+    def test_replace(self):
+        assert ev(call("REPLACE", Literal("aXbXc"), Literal("X"), Literal("-"))).lexical == "a-b-c"
+
+    def test_regex(self):
+        assert ev(call("REGEX", Literal("Lionel"), Literal("^L"))).lexical == "true"
+        assert ev(call("REGEX", Literal("lionel"), Literal("^L"))).lexical == "false"
+
+    def test_regex_case_insensitive(self):
+        assert (
+            ev(call("REGEX", Literal("lionel"), Literal("^L"), Literal("i"))).lexical
+            == "true"
+        )
+
+    def test_regex_bad_pattern(self):
+        with pytest.raises(ExpressionError):
+            ev(call("REGEX", Literal("x"), Literal("(")))
+
+    def test_lang_and_datatype(self):
+        assert ev(call("LANG", Literal("hola", lang="es"))).lexical == "es"
+        assert ev(call("LANG", Literal("x"))).lexical == ""
+        assert ev(call("DATATYPE", Literal(5))).value.endswith("integer")
+
+
+class TestTermFunctions:
+    def test_type_predicates(self):
+        assert ev(call("ISIRI", IRI("http://x/a"))).lexical == "true"
+        assert ev(call("ISLITERAL", Literal(1))).lexical == "true"
+        assert ev(call("ISBLANK", BNode("b"))).lexical == "true"
+        assert ev(call("ISNUMERIC", Literal(1))).lexical == "true"
+        assert ev(call("ISNUMERIC", Literal("1"))).lexical == "false"
+
+    def test_sameterm(self):
+        assert ev(call("SAMETERM", Literal(1), Literal(1))).lexical == "true"
+        assert ev(call("SAMETERM", Literal(1), Literal(1.0))).lexical == "false"
+
+    def test_bound(self):
+        expr = FunctionCall("BOUND", (TermExpr(X),))
+        assert ev(expr, {X: Literal(1)}).lexical == "true"
+        assert ev(expr, {}).lexical == "false"
+
+    def test_bound_requires_variable(self):
+        with pytest.raises(ExpressionError):
+            ev(FunctionCall("BOUND", (TermExpr(Literal(1)),)))
+
+
+class TestNumericFunctions:
+    def test_abs_ceil_floor_round(self):
+        assert ev(call("ABS", Literal(-3))).to_python() == 3
+        assert ev(call("CEIL", Literal(1.2))).to_python() == 2
+        assert ev(call("FLOOR", Literal(1.8))).to_python() == 1
+        assert ev(call("ROUND", Literal(2.5))).to_python() == 3
+
+
+class TestControlFunctions:
+    def test_if(self):
+        expr = FunctionCall(
+            "IF",
+            (
+                TermExpr(Literal(True)),
+                TermExpr(Literal("yes")),
+                TermExpr(Literal("no")),
+            ),
+        )
+        assert ev(expr).lexical == "yes"
+
+    def test_coalesce(self):
+        expr = FunctionCall("COALESCE", (TermExpr(X), TermExpr(Literal("fallback"))))
+        assert ev(expr).lexical == "fallback"
+
+    def test_coalesce_all_fail(self):
+        with pytest.raises(ExpressionError):
+            ev(FunctionCall("COALESCE", (TermExpr(X),)))
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            ev(FunctionCall("NOPE", ()))
+
+    def test_exists_without_evaluator(self):
+        from repro.sparql.ast import ExistsExpr, TriplesBlock
+
+        with pytest.raises(ExpressionError):
+            ev(ExistsExpr(TriplesBlock(()), negated=False))

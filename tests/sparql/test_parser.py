@@ -1,0 +1,283 @@
+"""Unit tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.rdf.namespaces import EX, RDF, SC
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.ast import (
+    AskQuery,
+    BindPattern,
+    Comparison,
+    ConstructQuery,
+    FilterPattern,
+    FunctionCall,
+    GraphPattern,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    SelectQuery,
+    TriplesBlock,
+    UnionPattern,
+    ValuesPattern,
+)
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+from repro.sparql.tokens import SparqlTokenizer
+
+PREFIXES = "PREFIX ex: <http://www.essi.upc.edu/example/>\nPREFIX sc: <http://schema.org/>\n"
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = SparqlTokenizer("select WHERE Filter")
+        kinds = [tokens.next().value for _ in range(3)]
+        assert kinds == ["SELECT", "WHERE", "FILTER"]
+
+    def test_variables(self):
+        tokens = SparqlTokenizer("?a $b")
+        assert tokens.next().kind == "VAR"
+        assert tokens.next().kind == "VAR"
+
+    def test_operators(self):
+        text = "&& || != <= >= = < > ! + - * /"
+        tokens = SparqlTokenizer(text)
+        values = []
+        while tokens.peek().kind != "EOF":
+            values.append(tokens.next().value)
+        assert values == text.split()
+
+    def test_comment_skipped(self):
+        tokens = SparqlTokenizer("# hi\nSELECT")
+        assert tokens.next().value == "SELECT"
+
+    def test_error_position(self):
+        with pytest.raises(SparqlSyntaxError):
+            SparqlTokenizer("SELECT @@@@@")
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        q = parse_query(PREFIXES + "SELECT ?n WHERE { ?p sc:name ?n }")
+        assert isinstance(q, SelectQuery)
+        assert q.variables == (Variable("n"),)
+        block = q.where
+        assert isinstance(block, TriplesBlock)
+        assert block.triples[0].predicate == SC.name
+
+    def test_star(self):
+        q = parse_query(PREFIXES + "SELECT * WHERE { ?s ?p ?o }")
+        assert q.is_star
+
+    def test_distinct(self):
+        q = parse_query(PREFIXES + "SELECT DISTINCT ?s WHERE { ?s ?p ?o }")
+        assert q.distinct
+
+    def test_where_keyword_optional(self):
+        q = parse_query(PREFIXES + "SELECT ?s { ?s ?p ?o }")
+        assert isinstance(q, SelectQuery)
+
+    def test_limit_offset(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 OFFSET 2")
+        assert q.limit == 5
+        assert q.offset == 2
+
+    def test_order_by_variable(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s")
+        assert len(q.order_by) == 1
+        assert not q.order_by[0].descending
+
+    def test_order_by_desc(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s)")
+        assert q.order_by[0].descending
+
+    def test_select_without_vars_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(PREFIXES + "SELECT WHERE { ?s ?p ?o }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(PREFIXES + "SELECT ?s WHERE { ?s ?p ?o } nonsense")
+
+
+class TestTriplePatterns:
+    def test_a_keyword(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s a ex:Player }")
+        assert q.where.triples[0].predicate == RDF.type
+
+    def test_semicolon_and_comma(self):
+        q = parse_query(
+            PREFIXES + "SELECT ?s WHERE { ?s a ex:P ; sc:name ?n , ?m . }"
+        )
+        assert len(q.where.triples) == 3
+
+    def test_literal_objects(self):
+        q = parse_query(
+            PREFIXES + 'SELECT ?s WHERE { ?s sc:name "Messi" ; ex:score 94 ; '
+            "ex:height 170.18 ; ex:left true }"
+        )
+        objects = [t.object for t in q.where.triples]
+        assert Literal("Messi") in objects
+        assert Literal(94) in objects
+        assert Literal(True) in objects
+
+    def test_lang_and_typed_literals(self):
+        q = parse_query(
+            PREFIXES
+            + 'PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n'
+            'SELECT ?s WHERE { ?s sc:name "hola"@es ; ex:age "5"^^xsd:integer }'
+        )
+        objects = [t.object for t in q.where.triples]
+        assert Literal("hola", lang="es") in objects
+        assert Literal(5) in objects
+
+    def test_anonymous_bnode(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s ex:p [ ex:q ?v ] }")
+        assert len(q.where.triples) == 2
+
+    def test_variable_predicate(self):
+        q = parse_query(PREFIXES + "SELECT ?p WHERE { ex:a ?p ex:b }")
+        assert q.where.triples[0].predicate == Variable("p")
+
+    def test_unbound_prefix_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s nope:x ?o }")
+
+
+class TestGroupPatterns:
+    def test_filter(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s ex:h ?h FILTER(?h > 180) }")
+        group = q.where
+        assert isinstance(group, GroupPattern)
+        filters = [m for m in group.members if isinstance(m, FilterPattern)]
+        assert len(filters) == 1
+        assert isinstance(filters[0].expression, Comparison)
+
+    def test_optional(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s a ex:P OPTIONAL { ?s ex:t ?t } }")
+        assert any(isinstance(m, OptionalPattern) for m in q.where.members)
+
+    def test_union(self):
+        q = parse_query(
+            PREFIXES + "SELECT ?s WHERE { { ?s a ex:P } UNION { ?s a ex:Q } }"
+        )
+        assert isinstance(q.where, UnionPattern)
+        assert len(q.where.alternatives) == 2
+
+    def test_three_way_union(self):
+        q = parse_query(
+            PREFIXES
+            + "SELECT ?s WHERE { { ?s a ex:P } UNION { ?s a ex:Q } UNION { ?s a ex:R } }"
+        )
+        assert len(q.where.alternatives) == 3
+
+    def test_graph_iri(self):
+        q = parse_query(PREFIXES + "SELECT ?s WHERE { GRAPH ex:g { ?s ?p ?o } }")
+        assert isinstance(q.where, GraphPattern)
+        assert q.where.graph == EX.g
+
+    def test_graph_variable(self):
+        q = parse_query(PREFIXES + "SELECT ?g WHERE { GRAPH ?g { ?s ?p ?o } }")
+        assert q.where.graph == Variable("g")
+
+    def test_minus(self):
+        q = parse_query(
+            PREFIXES + "SELECT ?s WHERE { ?s a ex:P MINUS { ?s a ex:Q } }"
+        )
+        assert any(isinstance(m, MinusPattern) for m in q.where.members)
+
+    def test_bind(self):
+        q = parse_query(
+            PREFIXES + "SELECT ?v WHERE { ?s ex:h ?h BIND(?h * 2 AS ?v) }"
+        )
+        binds = [m for m in q.where.members if isinstance(m, BindPattern)]
+        assert binds[0].variable == Variable("v")
+
+    def test_values_single(self):
+        q = parse_query(PREFIXES + "SELECT ?x WHERE { VALUES ?x { ex:a ex:b } }")
+        assert isinstance(q.where, ValuesPattern)
+        assert len(q.where.rows) == 2
+
+    def test_values_multi_with_undef(self):
+        q = parse_query(
+            PREFIXES + "SELECT ?x ?y WHERE { VALUES (?x ?y) { (ex:a 1) (UNDEF 2) } }"
+        )
+        assert q.where.rows[1][0] is None
+
+    def test_values_arity_mismatch_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                PREFIXES + "SELECT ?x ?y WHERE { VALUES (?x ?y) { (ex:a) } }"
+            )
+
+
+class TestExpressions:
+    def _filter_expr(self, text):
+        q = parse_query(PREFIXES + f"SELECT ?s WHERE {{ ?s ex:v ?v FILTER({text}) }}")
+        return [m for m in q.where.members if isinstance(m, FilterPattern)][0].expression
+
+    def test_precedence_and_over_or(self):
+        expr = self._filter_expr("?v > 1 || ?v < 0 && ?v != 5")
+        assert expr.op == "||"
+
+    def test_not(self):
+        expr = self._filter_expr("!(?v = 1)")
+        from repro.sparql.ast import Not
+
+        assert isinstance(expr, Not)
+
+    def test_arithmetic_precedence(self):
+        expr = self._filter_expr("?v + 2 * 3 = 7")
+        assert isinstance(expr, Comparison)
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_function_call(self):
+        expr = self._filter_expr('REGEX(?v, "^L", "i")')
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "REGEX"
+        assert len(expr.args) == 3
+
+    def test_in_expression(self):
+        expr = self._filter_expr("?v IN (1, 2, 3)")
+        from repro.sparql.ast import InExpr
+
+        assert isinstance(expr, InExpr)
+        assert not expr.negated
+
+    def test_not_in_expression(self):
+        expr = self._filter_expr("?v NOT IN (1, 2)")
+        assert expr.negated
+
+    def test_exists(self):
+        expr = self._filter_expr("EXISTS { ?s ex:other ?w }")
+        from repro.sparql.ast import ExistsExpr
+
+        assert isinstance(expr, ExistsExpr)
+
+    def test_not_exists(self):
+        expr = self._filter_expr("NOT EXISTS { ?s ex:other ?w }")
+        assert expr.negated
+
+
+class TestOtherForms:
+    def test_ask(self):
+        q = parse_query(PREFIXES + "ASK { ?s a ex:Player }")
+        assert isinstance(q, AskQuery)
+
+    def test_ask_with_where(self):
+        q = parse_query(PREFIXES + "ASK WHERE { ?s a ex:Player }")
+        assert isinstance(q, AskQuery)
+
+    def test_construct(self):
+        q = parse_query(
+            PREFIXES + "CONSTRUCT { ?s ex:tall true } WHERE { ?s ex:h ?h }"
+        )
+        assert isinstance(q, ConstructQuery)
+        assert len(q.template) == 1
+
+    def test_describe_unsupported(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(PREFIXES + "DESCRIBE ?s WHERE { ?s ?p ?o }")
+
+    def test_base_resolution(self):
+        q = parse_query("BASE <http://b/>\nSELECT ?s WHERE { ?s <p> <o> }")
+        assert q.where.triples[0].predicate == IRI("http://b/p")
