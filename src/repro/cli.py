@@ -14,7 +14,11 @@ Usage (``python -m repro <command>``):
     build a scenario and persist it (TriG + JSONL) to a directory;
 ``evolve``
     run the governance demo: ship the breaking Players API v2 and show
-    the before/after algebra.
+    the before/after algebra;
+``trace``
+    execute an OMQ with tracing enabled and print the span tree (the
+    three rewriting phases, wrapper fetches, per-operator execution)
+    plus the EXPLAIN ANALYZE operator statistics.
 
 Snapshot-based commands (``--store DIR``) work without runtime wrappers;
 query execution needs live wrappers and therefore runs against the
@@ -167,9 +171,55 @@ def cmd_report(args) -> int:
     from .core.reporting import governance_report, render_report
 
     mdm = _mdm_for(args)
-    report = governance_report(mdm, execute_queries=args.execute)
+    report = governance_report(
+        mdm,
+        execute_queries=args.execute,
+        include_metrics=args.metrics,
+    )
     print(render_report(report))
     return 0 if not report["issues"] and not report["saved_queries"]["broken"] else 1
+
+
+def _default_walk(args, scenario):
+    """The traced walk: explicit ``--nodes``/``--sparql`` or a scenario default."""
+    mdm = scenario.mdm
+    if args.sparql or args.sparql_file:
+        text = args.sparql or open(args.sparql_file).read()
+        return walk_from_sparql(mdm.global_graph, text)
+    if args.nodes:
+        return mdm.walk_from_nodes([IRI(n) for n in args.nodes])
+    if hasattr(scenario, "walk_league_nationality"):
+        return scenario.walk_league_nationality()
+    return scenario.walk_feedback_by_product()
+
+
+def cmd_trace(args) -> int:
+    from .obs import JsonlSink, Tracer, get_tracer, set_tracer
+
+    scenario = _load_scenario(args.scenario)
+    mdm = scenario.mdm
+    walk = _default_walk(args, scenario)
+    tracer = Tracer(enabled=True)
+    if args.jsonl:
+        tracer.add_sink(JsonlSink(args.jsonl))
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        outcome = mdm.execute(walk, on_wrapper_error="skip", analyze=True)
+    finally:
+        set_tracer(previous)
+    print("walk:", walk.describe(mdm.global_graph))
+    print()
+    for span in tracer.recent():
+        print(span.tree())
+    print()
+    print(outcome.explain_analyze())
+    if outcome.skipped_wrappers:
+        print(f"\n(skipped failing wrappers: {', '.join(outcome.skipped_wrappers)})",
+              file=sys.stderr)
+    if args.jsonl:
+        print(f"\n(spans appended to {args.jsonl})", file=sys.stderr)
+    return 0
 
 
 def cmd_save_query(args) -> int:
@@ -283,7 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--scenario", default="football")
     p_report.add_argument("--store", help="snapshot directory")
     p_report.add_argument("--execute", action="store_true")
+    p_report.add_argument(
+        "--metrics", action="store_true",
+        help="append a snapshot of the process metrics registry",
+    )
     p_report.set_defaults(func=cmd_report)
+
+    p_trace = sub.add_parser(
+        "trace", help="execute an OMQ with tracing and print the span tree"
+    )
+    p_trace.add_argument("--scenario", default="football")
+    p_trace.add_argument("--nodes", nargs="*", help="global-graph node IRIs")
+    p_trace.add_argument("--sparql", help="inline SPARQL text")
+    p_trace.add_argument("--sparql-file", help="file with SPARQL text")
+    p_trace.add_argument("--jsonl", help="also append spans to this JSONL file")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_show = sub.add_parser("show", help="print the global graph")
     p_show.add_argument("--scenario", default="football")

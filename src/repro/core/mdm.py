@@ -23,12 +23,14 @@ the paper's Jena TDB + MongoDB split.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..docstore.store import DocumentStore
+from ..obs import get_metrics, get_tracer
 from ..rdf.dataset import Dataset
 from ..rdf.terms import IRI, Triple
-from ..relational.executor import Executor
+from ..relational.executor import Executor, OperatorStats
 from ..relational.relation import Relation
 from ..sources.wrappers import Wrapper, WrapperSchemaError
 from ..sparql.evaluator import evaluate_text
@@ -60,6 +62,7 @@ class QueryOutcome:
         relation: Relation,
         skipped_wrappers: Tuple[str, ...] = (),
         executor: Optional[Executor] = None,
+        operator_stats: Optional[OperatorStats] = None,
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -67,6 +70,25 @@ class QueryOutcome:
         #: ``on_wrapper_error="raise"``).
         self.skipped_wrappers = skipped_wrappers
         self._executor = executor
+        #: Per-operator execution statistics (``execute(..., analyze=True)``
+        #: or any execution while tracing is enabled); None otherwise.
+        self.operator_stats = operator_stats
+
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE-style tree: rows-in/rows-out/elapsed per operator.
+
+        Available when the outcome was produced with ``analyze=True`` (or
+        while the process tracer was enabled).
+        """
+        if self.operator_stats is None:
+            raise MdmError(
+                "explain_analyze() needs execute(walk, analyze=True)"
+            )
+        header = (
+            f"EXPLAIN ANALYZE  union of {self.rewrite.ucq_size} CQs, "
+            f"{len(self.relation)} rows"
+        )
+        return header + "\n" + self.operator_stats.pretty()
 
     def provenance(self) -> List[Dict[str, object]]:
         """Per-CQ lineage: which wrapper combination produced which rows.
@@ -214,6 +236,17 @@ class MDM:
             return self._sources_by_name[name]
         except KeyError:
             raise SourceGraphError(f"unknown data source {name!r}") from None
+
+    def source_name_of(self, source: IRI) -> Optional[str]:
+        """The registration name of a source IRI (None if unknown)."""
+        for name, iri in self._sources_by_name.items():
+            if iri == source:
+                return name
+        return None
+
+    def sources(self) -> Dict[str, IRI]:
+        """All registered sources as a ``name -> IRI`` mapping (a copy)."""
+        return dict(self._sources_by_name)
 
     def register_wrapper(
         self,
@@ -511,59 +544,85 @@ class MDM:
         self,
         walk: Walk,
         on_wrapper_error: str = "raise",
+        analyze: bool = False,
     ) -> QueryOutcome:
         """Rewrite a walk and execute the UCQ over the live wrappers.
 
         ``on_wrapper_error="skip"`` drops CQ branches whose wrappers fail
         to fetch (reporting them in the outcome) instead of raising —
         useful while a source migration is in flight.
+
+        ``analyze=True`` (implied whenever the process tracer is enabled)
+        collects per-operator rows-in/rows-out/elapsed statistics; the
+        outcome then supports :meth:`QueryOutcome.explain_analyze`.
         """
         if on_wrapper_error not in ("raise", "skip"):
             raise ValueError("on_wrapper_error must be 'raise' or 'skip'")
-        result = self.rewrite(walk)
-        executor = Executor()
-        failed: List[str] = []
-        needed = {name for q in result.queries for name in q.wrapper_names}
-        for name in sorted(needed):
-            wrapper = self.wrappers.get(name)
-            if wrapper is None:
-                raise MdmError(
-                    f"wrapper {name!r} is mapped but has no runtime object"
-                )
-            try:
-                executor.register(name, wrapper.fetch_relation())
-            except WrapperSchemaError as exc:
-                if on_wrapper_error == "raise":
-                    raise
-                failed.append(name)
-        if failed:
-            surviving = [
-                q
-                for q in result.queries
-                if not (set(q.wrapper_names) & set(failed))
-            ]
-            if not surviving:
-                raise MdmError(
-                    f"every CQ depends on a failed wrapper: {sorted(failed)}"
-                )
-            from ..relational.algebra import Distinct, Project, union_all
+        tracer = get_tracer()
+        analyze = analyze or tracer.enabled
+        started = time.perf_counter()
+        with tracer.span("execute") as root:
+            result = self.rewrite(walk)
+            executor = Executor()
+            failed: List[str] = []
+            needed = {name for q in result.queries for name in q.wrapper_names}
+            for name in sorted(needed):
+                wrapper = self.wrappers.get(name)
+                if wrapper is None:
+                    raise MdmError(
+                        f"wrapper {name!r} is mapped but has no runtime object"
+                    )
+                try:
+                    executor.register(name, wrapper.fetch_relation())
+                except WrapperSchemaError as exc:
+                    if on_wrapper_error == "raise":
+                        raise
+                    failed.append(name)
+            if failed:
+                surviving = [
+                    q
+                    for q in result.queries
+                    if not (set(q.wrapper_names) & set(failed))
+                ]
+                if not surviving:
+                    raise MdmError(
+                        f"every CQ depends on a failed wrapper: {sorted(failed)}"
+                    )
+                from ..relational.algebra import Distinct, Project, union_all
 
-            plan = Distinct(
-                union_all([Project(q.plan, result.projection) for q in surviving])
-            )
-        else:
-            plan = result.plan
-        relation = executor.execute(plan)
-        if walk.optional_features:
-            optional_columns = [
-                result.column_names[f]
-                for f in walk.optional_features
-                if result.column_names.get(f) in relation.schema
-            ]
-            relation = relation.without_subsumed(optional_columns)
-        relation = relation.sorted()
+                plan = Distinct(
+                    union_all([Project(q.plan, result.projection) for q in surviving])
+                )
+            else:
+                plan = result.plan
+            stats: Optional[OperatorStats] = None
+            if analyze:
+                relation, stats = executor.execute_analyzed(plan)
+            else:
+                relation = executor.execute(plan)
+            if walk.optional_features:
+                optional_columns = [
+                    result.column_names[f]
+                    for f in walk.optional_features
+                    if result.column_names.get(f) in relation.schema
+                ]
+                relation = relation.without_subsumed(optional_columns)
+            relation = relation.sorted()
+            root.set_tag("ucq_size", result.ucq_size)
+            root.set_tag("rows", len(relation))
+            if failed:
+                root.set_tag("skipped_wrappers", sorted(failed))
+        metrics = get_metrics()
+        metrics.counter("mdm_queries_total", "OMQs executed end-to-end.").inc()
+        metrics.histogram(
+            "mdm_execute_seconds", "End-to-end OMQ execution latency."
+        ).observe(time.perf_counter() - started)
         return QueryOutcome(
-            result, relation, tuple(sorted(failed)), executor=executor
+            result,
+            relation,
+            tuple(sorted(failed)),
+            executor=executor,
+            operator_stats=stats,
         )
 
     def sparql_query(self, text: str, on_wrapper_error: str = "raise") -> QueryOutcome:

@@ -15,12 +15,20 @@ from typing import Dict, List, Optional
 __all__ = ["governance_report", "render_report"]
 
 
-def governance_report(mdm, execute_queries: bool = False) -> Dict[str, object]:
+def governance_report(
+    mdm, execute_queries: bool = False, include_metrics: bool = False
+) -> Dict[str, object]:
     """A JSON-shaped governance snapshot of one MDM instance.
 
     ``issues`` holds *structural* metadata problems; missing runtime
     wrapper objects are reported separately as ``runtime_warnings`` —
     they are expected when inspecting a loaded snapshot offline.
+
+    ``include_metrics=True`` folds a snapshot of the process metrics
+    registry (wrapper fetch latency, rewrite-phase cost, executor
+    operator histograms, request counters) into the report under
+    ``metrics`` — combine with ``execute_queries=True`` so the saved
+    queries actually exercise the instrumented paths first.
     """
     all_issues = mdm.validate()
     runtime_warnings = [i for i in all_issues if "no runtime object" in i]
@@ -28,12 +36,7 @@ def governance_report(mdm, execute_queries: bool = False) -> Dict[str, object]:
     releases = mdm.governance.history()
     sources = []
     for source in mdm.source_graph.data_sources():
-        name = None
-        # Recover the registration name from the facade index.
-        for candidate, iri in mdm._sources_by_name.items():  # noqa: SLF001
-            if iri == source:
-                name = candidate
-                break
+        name = mdm.source_name_of(source)
         if name is None:
             continue
         impact = mdm.impact_of_source(name)
@@ -53,7 +56,7 @@ def governance_report(mdm, execute_queries: bool = False) -> Dict[str, object]:
             }
         )
     query_health = mdm.saved_queries.health_summary(execute=execute_queries)
-    return {
+    report: Dict[str, object] = {
         "summary": mdm.summary(),
         "issues": issues,
         "sources": sources,
@@ -71,6 +74,11 @@ def governance_report(mdm, execute_queries: bool = False) -> Dict[str, object]:
         "saved_queries": query_health,
         "runtime_warnings": runtime_warnings,
     }
+    if include_metrics:
+        from ..obs import get_metrics
+
+        report["metrics"] = get_metrics().snapshot()
+    return report
 
 
 def render_report(report: Dict[str, object]) -> str:
@@ -118,4 +126,30 @@ def render_report(report: Dict[str, object]) -> str:
     if warnings:
         lines.append(f"runtime  : {len(warnings)} wrapper(s) not attached "
                      "(expected for offline snapshots)")
+    metrics = report.get("metrics")
+    if metrics is not None:
+        lines.append("metrics  :")
+        if not metrics:
+            lines.append("  (no series recorded yet)")
+        for name in sorted(metrics):
+            entry = metrics[name]
+            for series in entry["series"]:
+                labels = series.get("labels") or {}
+                label_text = (
+                    "{" + ", ".join(
+                        f"{k}={v}" for k, v in sorted(labels.items())
+                    ) + "}"
+                    if labels
+                    else ""
+                )
+                if entry["type"] == "histogram":
+                    mean_ms = series["mean"] * 1000.0
+                    lines.append(
+                        f"  {name}{label_text}: count={series['count']} "
+                        f"mean={mean_ms:.3f}ms"
+                    )
+                else:
+                    lines.append(
+                        f"  {name}{label_text}: {series['value']:g}"
+                    )
     return "\n".join(lines)

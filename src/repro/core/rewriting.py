@@ -22,9 +22,11 @@ columns that inherit from ``sc:identifier``.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..obs import get_metrics, get_tracer
 from ..rdf.reasoner import subclass_closure
 from ..rdf.terms import IRI, Triple
 from ..relational.algebra import (
@@ -151,63 +153,118 @@ class Rewriter:
     # ------------------------------------------------------------------ #
 
     def rewrite(self, walk: Walk) -> RewriteResult:
-        """Run the three phases and return the UCQ plan."""
-        walk.validate(self.global_graph)
-        # Phase (a): expansion.
-        expanded = walk.expand(self.global_graph)
-        identifiers = self._identifiers(expanded)
-        relevant = self._relevant_features(expanded, identifiers)
-        columns = feature_column_names(self.global_graph, relevant)
-        views = self.mappings.views()
-        # Phase (b): intra-concept generation.
-        concept_covers: Dict[IRI, List[Tuple[MappingView, ...]]] = {}
-        for concept in expanded.sorted_concepts():
-            concept_covers[concept] = self._covers_for_concept(
-                concept, expanded, identifiers, views
-            )
-        # Phase (c): inter-concept generation.
-        queries = self._combine(expanded, identifiers, concept_covers, columns, relevant)
-        if not queries:
-            raise RewritingError(
-                "no conjunctive query survives the inter-concept phase: the "
-                "walk's relations are not covered by any wrapper combination"
-            )
-        queries = _drop_redundant(queries) if self.minimize else _dedupe(queries)
-        projected_features = sorted(
-            set(walk.features) | set(expanded.optional_features),
-            key=lambda i: i.value,
+        """Run the three phases and return the UCQ plan.
+
+        Each phase runs under a span (``phase:expansion`` /
+        ``phase:intra-concept`` / ``phase:inter-concept``) tagged with
+        candidate/pruned/emitted CQ counts, and its latency is observed
+        into the ``mdm_rewrite_phase_seconds`` histogram regardless of
+        whether tracing is enabled.
+        """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        phase_seconds = metrics.histogram(
+            "mdm_rewrite_phase_seconds",
+            "Latency of each LAV rewriting phase.",
+            labelnames=("phase",),
         )
-        projection = tuple(
-            columns[f] for f in projected_features
-        ) or tuple(columns[f] for f in expanded.sorted_features())
-        predicate = _filter_predicate(walk, columns)
-        if predicate is not None:
-            queries = [
-                ConjunctiveQuery(
-                    covers=q.covers,
-                    plan=Select(q.plan, predicate),
-                    columns=q.columns,
+        total_started = time.perf_counter()
+        with tracer.span("rewrite") as root:
+            # Phase (a): expansion.
+            started = time.perf_counter()
+            with tracer.span("phase:expansion") as span:
+                walk.validate(self.global_graph)
+                expanded = walk.expand(self.global_graph)
+                identifiers = self._identifiers(expanded)
+                relevant = self._relevant_features(expanded, identifiers)
+                columns = feature_column_names(self.global_graph, relevant)
+                views = self.mappings.views()
+                span.set_tag("concepts", len(expanded.sorted_concepts()))
+                span.set_tag(
+                    "added_identifiers",
+                    len(set(expanded.features) - set(walk.features)),
                 )
-                for q in queries
-            ]
-        # NULL-pad optional columns the CQ's wrappers do not provide, so
-        # every union branch is union-compatible.
-        padded: List[ConjunctiveQuery] = []
-        for query in queries:
-            plan_q: PlanNode = query.plan
-            for column in projection:
-                if column not in query.columns:
-                    plan_q = Extend(plan_q, column)
-            padded.append(
-                ConjunctiveQuery(
-                    covers=query.covers,
-                    plan=plan_q,
-                    columns=query.columns | set(projection),
-                )
+            phase_seconds.observe(
+                time.perf_counter() - started, phase="expansion"
             )
-        queries = padded
-        branches = [Project(q.plan, projection) for q in queries]
-        plan: PlanNode = Distinct(union_all(branches))
+            # Phase (b): intra-concept generation.
+            started = time.perf_counter()
+            with tracer.span("phase:intra-concept") as span:
+                concept_covers: Dict[IRI, List[Tuple[MappingView, ...]]] = {}
+                for concept in expanded.sorted_concepts():
+                    concept_covers[concept] = self._covers_for_concept(
+                        concept, expanded, identifiers, views
+                    )
+                span.set_tag(
+                    "covers", sum(len(c) for c in concept_covers.values())
+                )
+                span.set_tag("applicable_views", len(views))
+            phase_seconds.observe(
+                time.perf_counter() - started, phase="intra-concept"
+            )
+            # Phase (c): inter-concept generation.
+            started = time.perf_counter()
+            with tracer.span("phase:inter-concept") as span:
+                queries = self._combine(
+                    expanded, identifiers, concept_covers, columns, relevant
+                )
+                if not queries:
+                    raise RewritingError(
+                        "no conjunctive query survives the inter-concept phase: the "
+                        "walk's relations are not covered by any wrapper combination"
+                    )
+                candidate_cqs = len(queries)
+                queries = (
+                    _drop_redundant(queries) if self.minimize else _dedupe(queries)
+                )
+                projected_features = sorted(
+                    set(walk.features) | set(expanded.optional_features),
+                    key=lambda i: i.value,
+                )
+                projection = tuple(
+                    columns[f] for f in projected_features
+                ) or tuple(columns[f] for f in expanded.sorted_features())
+                predicate = _filter_predicate(walk, columns)
+                if predicate is not None:
+                    queries = [
+                        ConjunctiveQuery(
+                            covers=q.covers,
+                            plan=Select(q.plan, predicate),
+                            columns=q.columns,
+                        )
+                        for q in queries
+                    ]
+                # NULL-pad optional columns the CQ's wrappers do not provide, so
+                # every union branch is union-compatible.
+                padded: List[ConjunctiveQuery] = []
+                for query in queries:
+                    plan_q: PlanNode = query.plan
+                    for column in projection:
+                        if column not in query.columns:
+                            plan_q = Extend(plan_q, column)
+                    padded.append(
+                        ConjunctiveQuery(
+                            covers=query.covers,
+                            plan=plan_q,
+                            columns=query.columns | set(projection),
+                        )
+                    )
+                queries = padded
+                branches = [Project(q.plan, projection) for q in queries]
+                plan: PlanNode = Distinct(union_all(branches))
+                span.set_tag("candidate_cqs", candidate_cqs)
+                span.set_tag("emitted_cqs", len(queries))
+                span.set_tag("pruned_cqs", candidate_cqs - len(queries))
+            phase_seconds.observe(
+                time.perf_counter() - started, phase="inter-concept"
+            )
+            root.set_tag("ucq_size", len(queries))
+        metrics.counter(
+            "mdm_rewrite_total", "Walks rewritten into UCQ plans."
+        ).inc()
+        metrics.histogram(
+            "mdm_rewrite_seconds", "End-to-end LAV rewriting latency."
+        ).observe(time.perf_counter() - total_started)
         return RewriteResult(
             walk=walk,
             expanded_walk=expanded,

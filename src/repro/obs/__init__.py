@@ -1,0 +1,103 @@
+"""Observability for the MDM pipeline: tracing, metrics, one timing path.
+
+The governance story of the paper — stewards understanding what the
+system did to their data — needs a measurement substrate.  This package
+provides it without any third-party dependency:
+
+- :mod:`repro.obs.trace` — hierarchical :class:`Span`s with a
+  process-local :class:`Tracer` and pluggable sinks (ring buffer, JSONL);
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with Prometheus text exposition;
+- :mod:`repro.obs.timing` — the :func:`timed` decorator, the single
+  timing code path used by scenarios and benchmarks;
+- :mod:`repro.obs.selfcheck` — ``python -m repro.obs.selfcheck`` smoke
+  command asserting the instrumentation end-to-end.
+
+Tracing is zero-overhead by default: the process tracer starts disabled
+and its ``span()`` returns a shared no-op singleton.  Metrics are always
+on (cheap dict updates) so ``GET /metrics`` is populated after one query.
+
+:func:`capture` swaps in a fresh enabled tracer plus empty registry for
+the duration of a block — the isolation primitive tests and benchmark
+harnesses use::
+
+    with capture() as (tracer, registry):
+        mdm.execute(walk, analyze=True)
+    print(tracer.recent()[-1].tree())
+    print(registry.render_prometheus())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from .timing import time_block, timed
+from .trace import (
+    JsonlSink,
+    NOOP_SPAN,
+    RingSink,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "RingSink",
+    "JsonlSink",
+    "NOOP_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+    "timed",
+    "time_block",
+    "capture",
+]
+
+
+@contextmanager
+def capture(
+    jsonl: Optional[str] = None, ring_capacity: int = 256
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Fresh enabled tracer + empty registry for the duration of a block.
+
+    The previous process-local tracer and registry are restored on exit,
+    so captures nest and never leak state into unrelated code.
+    """
+    previous_tracer = get_tracer()
+    previous_metrics = get_metrics()
+    tracer = Tracer(enabled=True, ring_capacity=ring_capacity)
+    if jsonl:
+        tracer.add_sink(JsonlSink(jsonl))
+    registry = MetricsRegistry()
+    set_tracer(tracer)
+    set_metrics(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)

@@ -1,0 +1,381 @@
+"""Counters, gauges and fixed-bucket histograms with Prometheus exposition.
+
+The profiling-style metadata the governance literature asks for (per-source
+fetch latency, per-phase rewrite cost, request rates) is aggregated here in
+a :class:`MetricsRegistry`.  Metric objects are get-or-create by name so
+instrumented call sites stay one-liners::
+
+    get_metrics().counter("mdm_queries_total", "OMQ executions.").inc()
+
+:meth:`MetricsRegistry.render_prometheus` emits the text exposition format
+(``# HELP`` / ``# TYPE`` / sample lines, cumulative ``_bucket`` series with
+``le`` labels) so the ``GET /metrics`` endpoint is scrape-compatible.
+
+Standard library only; no imports from the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets in seconds — the pipeline's hot operations run
+#: in the microsecond-to-millisecond range, so the ladder starts at 10µs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.00001,
+    0.00005,
+    0.0001,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Shared bookkeeping: name, help text, label names, series map."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if len(set(labelnames)) != len(tuple(labelnames)):
+            raise ValueError(f"duplicate label names in {tuple(labelnames)}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._series: Dict[Tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Mapping[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _render_labels(self, key: Tuple[str, ...], extra: str = "") -> str:
+        parts = [
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def labels_of(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        """The label dict a series key stands for."""
+        return dict(zip(self.labelnames, key))
+
+    def series_keys(self) -> List[Tuple[str, ...]]:
+        """All label-value tuples observed so far, sorted."""
+        return sorted(self._series)
+
+    def header_lines(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.type_name}",
+        ]
+
+    def render(self) -> List[str]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing sum (per label combination)."""
+
+    type_name = "counter"
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` (must be >= 0) to the labeled series."""
+        if value < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labeled series (0.0 if never incremented)."""
+        return self._series.get(self._key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header_lines()
+        for key in self.series_keys():
+            lines.append(
+                f"{self.name}{self._render_labels(key)} "
+                f"{_format_value(self._series[key])}"
+            )
+        return lines
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "help": self.help_text,
+            "series": [
+                {"labels": self.labels_of(key), "value": self._series[key]}
+                for key in self.series_keys()
+            ],
+        }
+
+
+class Gauge(Counter):
+    """A value that can go up and down (set/inc/dec)."""
+
+    type_name = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labeled series to ``value``."""
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + value
+
+    def dec(self, value: float = 1.0, **labels: Any) -> None:
+        self.inc(-value, **labels)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "overflow", "count", "total")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.overflow = 0  # observations above the last finite bucket
+        self.count = 0
+        self.total = 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with cumulative Prometheus exposition.
+
+    Buckets are upper bounds (``le`` semantics): an observation equal to a
+    boundary lands in that boundary's bucket; observations above the last
+    finite bucket count only toward ``+Inf``.
+    """
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be strictly increasing: {bounds}")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labeled series."""
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        index = bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            series.bucket_counts[index] += 1
+        else:
+            series.overflow += 1
+        series.count += 1
+        series.total += value
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations of the labeled series."""
+        series = self._series.get(self._key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observed values of the labeled series."""
+        series = self._series.get(self._key(labels))
+        return series.total if series else 0.0
+
+    def cumulative_buckets(self, **labels: Any) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        series = self._series.get(self._key(labels))
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(
+            self.buckets, series.bucket_counts if series else [0] * len(self.buckets)
+        ):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), series.count if series else 0))
+        return out
+
+    def render(self) -> List[str]:
+        lines = self.header_lines()
+        for key in self.series_keys():
+            series = self._series[key]
+            running = 0
+            for bound, n in zip(self.buckets, series.bucket_counts):
+                running += n
+                le = self._render_labels(key, f'le="{_format_value(bound)}"')
+                lines.append(f"{self.name}_bucket{le} {running}")
+            le = self._render_labels(key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{le} {series.count}")
+            labels = self._render_labels(key)
+            lines.append(f"{self.name}_sum{labels} {_format_value(series.total)}")
+            lines.append(f"{self.name}_count{labels} {series.count}")
+        return lines
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "help": self.help_text,
+            "series": [
+                {
+                    "labels": self.labels_of(key),
+                    "count": series.count,
+                    "sum": series.total,
+                    "mean": (series.total / series.count) if series.count else 0.0,
+                }
+                for key, series in sorted(self._series.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent get-or-create registration."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.type_name}, not {cls.type_name}"
+                )
+            if tuple(labelnames) != existing.labelnames:
+                raise ValueError(
+                    f"metric {name!r} registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            return existing
+        metric = cls(name, help_text, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create a histogram (buckets fixed at first creation)."""
+        return self._get_or_create(
+            Histogram,
+            name,
+            help_text,
+            labelnames,
+            buckets=tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered metric, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered metric names in registration order."""
+        return list(self._metrics)
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-shaped dump of every metric (reports, BENCH artifacts)."""
+        return {name: metric.snapshot() for name, metric in self._metrics.items()}
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        self._metrics.clear()
+
+
+#: The process-local default registry all instrumented paths write to.
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-local metrics registry."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-local registry; returns it for chaining."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Install a fresh empty registry (test isolation helper)."""
+    return set_metrics(MetricsRegistry())

@@ -1,0 +1,78 @@
+"""The one timing code path: a decorator funnelling into metrics + traces.
+
+Instead of ad-hoc ``time.perf_counter()`` pairs scattered across scenarios
+and benchmarks, wrap the callable::
+
+    @timed("mdm_scenario_step_seconds", step="supersede_build")
+    def build(...): ...
+
+Every call observes its latency into a histogram of the given name (label
+names are the sorted keys of the static labels) and, when the process
+tracer is enabled, emits a span named after the wrapped function.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Optional
+
+from .metrics import MetricsRegistry, get_metrics
+from .trace import Tracer, get_tracer
+
+__all__ = ["timed", "time_block"]
+
+
+def timed(
+    metric: str,
+    help_text: str = "",
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    **labels: Any,
+):
+    """Decorator timing each call into histogram ``metric`` (+ a span).
+
+    ``labels`` are static label values attached to every observation;
+    pass ``registry``/``tracer`` to pin the destinations, otherwise the
+    process-local ones are resolved at call time (so tests that swap the
+    globals see the observations).
+    """
+    labelnames = tuple(sorted(labels))
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = f"timed:{fn.__qualname__}"
+        doc = help_text or f"Latency of {fn.__qualname__} calls."
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            reg = registry if registry is not None else get_metrics()
+            trc = tracer if tracer is not None else get_tracer()
+            histogram = reg.histogram(metric, doc, labelnames=labelnames)
+            with trc.span(span_name, **labels):
+                started = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    histogram.observe(time.perf_counter() - started, **labels)
+
+        return wrapper
+
+    return decorate
+
+
+@contextmanager
+def time_block(
+    metric: str,
+    help_text: str = "",
+    registry: Optional[MetricsRegistry] = None,
+    **labels: Any,
+):
+    """Context-manager form of :func:`timed` for inline blocks."""
+    reg = registry if registry is not None else get_metrics()
+    histogram = reg.histogram(metric, help_text, labelnames=tuple(sorted(labels)))
+    started = time.perf_counter()
+    try:
+        yield histogram
+    finally:
+        histogram.observe(time.perf_counter() - started, **labels)

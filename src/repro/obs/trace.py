@@ -1,0 +1,304 @@
+"""Hierarchical tracing for the OMQ pipeline.
+
+Governance is observability: a steward must be able to see *what the
+system did* to a query — which rewriting phase produced which conjunctive
+queries, which wrappers were hit and how long each relational operator
+took.  This module is the substrate: a process-local :class:`Tracer`
+handing out :class:`Span` context managers that nest, carry tags, and are
+delivered to pluggable sinks (an in-memory ring buffer and an append-only
+JSONL file) when their root completes.
+
+Zero overhead by default: a disabled tracer's :meth:`Tracer.span` returns
+a shared no-op singleton — no allocation, no clock reads — so the
+instrumented hot paths (rewriting phases, executor operators, wrapper
+fetches) cost one attribute check when tracing is off.
+
+Everything here is standard library only; nothing in :mod:`repro.obs`
+imports the rest of the package, so any layer may import it freely.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "RingSink",
+    "JsonlSink",
+    "NOOP_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+
+class Span:
+    """One timed, tagged node of a trace tree.
+
+    Use as a context manager obtained from :meth:`Tracer.span`; entering
+    starts the clock and pushes the span on the tracer's stack, exiting
+    stops it and attaches the span to its parent (or ships the finished
+    root to the tracer's sinks).
+    """
+
+    __slots__ = (
+        "name",
+        "tags",
+        "children",
+        "span_id",
+        "parent_id",
+        "started_at",
+        "duration_s",
+        "status",
+        "_tracer",
+        "_t0",
+    )
+
+    def __init__(self, name: str, tags: Dict[str, Any], tracer: "Tracer"):
+        self.name = name
+        self.tags: Dict[str, Any] = tags
+        self.children: List["Span"] = []
+        self.span_id: int = 0
+        self.parent_id: Optional[int] = None
+        self.started_at: float = 0.0
+        self.duration_s: Optional[float] = None
+        self.status: str = "ok"
+        self._tracer = tracer
+        self._t0: float = 0.0
+
+    # -- context manager ------------------------------------------------ #
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.tags.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._tracer._exit(self)
+        return False
+
+    # -- tagging & inspection ------------------------------------------- #
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        """Attach (or overwrite) one tag; chainable."""
+        self.tags[key] = value
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time in milliseconds (0.0 while the span is still open)."""
+        return (self.duration_s or 0.0) * 1000.0
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """The first descendant (or self) with ``name``, depth-first."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped rendering of the subtree (for sinks and APIs)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.started_at,
+            "duration_ms": round(self.duration_ms, 6),
+            "status": self.status,
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def tree(self) -> str:
+        """ASCII rendering of the span tree with durations and tags."""
+        lines: List[str] = []
+
+        def render(span: "Span", prefix: str, connector: str, child_prefix: str):
+            tags = " ".join(f"{k}={v}" for k, v in span.tags.items())
+            line = f"{prefix}{connector}{span.name}  [{span.duration_ms:.3f}ms]"
+            if span.status != "ok":
+                line += f"  !{span.status}"
+            if tags:
+                line += f"  {tags}"
+            lines.append(line)
+            for index, child in enumerate(span.children):
+                last = index == len(span.children) - 1
+                render(
+                    child,
+                    child_prefix,
+                    "└─ " if last else "├─ ",
+                    child_prefix + ("   " if last else "│  "),
+                )
+
+        render(self, "", "", "")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} {self.duration_ms:.3f}ms "
+            f"children={len(self.children)}>"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+
+#: The singleton no-op span — the entire cost of tracing-while-disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class RingSink:
+    """In-memory sink keeping the most recent completed root spans."""
+
+    def __init__(self, capacity: int = 256):
+        self._ring: deque = deque(maxlen=capacity)
+
+    def emit(self, span: Span) -> None:
+        self._ring.append(span)
+
+    def recent(self, n: int = 10) -> List[Span]:
+        """The last ``n`` root spans, oldest first."""
+        items = list(self._ring)
+        return items[-n:] if n >= 0 else items
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JsonlSink:
+    """Appends one JSON line per completed root span to a file."""
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    def emit(self, span: Span) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True, default=str))
+            fh.write("\n")
+
+
+class Tracer:
+    """Process-local tracer: a span stack plus sinks for finished roots.
+
+    Not thread-safe by design — the pipeline is single-threaded and the
+    paper's interactivity targets are met without locks.  Embedders that
+    shard work across threads should give each thread its own tracer.
+    """
+
+    def __init__(self, enabled: bool = False, ring_capacity: int = 256):
+        self.enabled = enabled
+        self.ring = RingSink(ring_capacity)
+        self._sinks: List[Any] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **tags: Any):
+        """A new span context manager (the no-op singleton when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(name, tags, self)
+
+    def add_sink(self, sink) -> None:
+        """Register an extra sink (``emit(span)``) for finished roots."""
+        self._sinks.append(sink)
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) ------------- #
+
+    def _enter(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        span.started_at = time.time()
+        self._stack.append(span)
+        span._t0 = time.perf_counter()
+
+    def _exit(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span._t0
+        # Pop up to and including this span; tolerate mismatched exits so a
+        # swallowed exception inside a span cannot corrupt the stack.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.ring.emit(span)
+            for sink in self._sinks:
+                sink.emit(span)
+
+    # -- inspection ----------------------------------------------------- #
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def recent(self, n: int = 10) -> List[Span]:
+        """The last ``n`` completed root spans, oldest first."""
+        return self.ring.recent(n)
+
+    def clear(self) -> None:
+        """Drop buffered roots and any dangling stack state."""
+        self.ring.clear()
+        self._stack.clear()
+
+
+#: The process-local default tracer — disabled until someone opts in.
+_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-local tracer used by all instrumented code paths."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-local tracer; returns it for chaining."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def enable_tracing(
+    jsonl: Optional[str] = None, ring_capacity: int = 256
+) -> Tracer:
+    """Install a fresh enabled tracer (optionally mirroring to JSONL)."""
+    tracer = Tracer(enabled=True, ring_capacity=ring_capacity)
+    if jsonl:
+        tracer.add_sink(JsonlSink(jsonl))
+    return set_tracer(tracer)
+
+
+def disable_tracing() -> Tracer:
+    """Install a fresh disabled tracer (instrumentation short-circuits)."""
+    return set_tracer(Tracer(enabled=False))

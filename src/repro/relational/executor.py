@@ -10,8 +10,11 @@ union cleanly.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..obs import get_metrics, get_tracer
 from .algebra import (
     Aggregate,
     Extend,
@@ -29,18 +32,100 @@ from .algebra import (
 from .relation import Relation
 from .schema import RelationSchema, SchemaError
 
-__all__ = ["Executor", "ExecutionError"]
+__all__ = ["Executor", "ExecutionError", "OperatorStats"]
 
 
 class ExecutionError(RuntimeError):
     """Raised when a plan cannot be executed (unknown scan, bad schema...)."""
 
 
+@dataclass(frozen=True)
+class OperatorStats:
+    """EXPLAIN ANALYZE facts for one executed operator node.
+
+    ``elapsed_s`` is inclusive of children (wall time of the subtree);
+    ``rows_in`` lists each child's output cardinality in child order.
+    """
+
+    label: str
+    rows_in: Tuple[int, ...]
+    rows_out: int
+    elapsed_s: float
+    children: Tuple["OperatorStats", ...] = ()
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this operator excluding its children."""
+        return max(0.0, self.elapsed_s - sum(c.elapsed_s for c in self.children))
+
+    def iter_nodes(self) -> Iterable["OperatorStats"]:
+        """This node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped rendering of the subtree."""
+        return {
+            "label": self.label,
+            "rows_in": list(self.rows_in),
+            "rows_out": self.rows_out,
+            "elapsed_ms": round(self.elapsed_s * 1000.0, 6),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def pretty(self) -> str:
+        """EXPLAIN ANALYZE-style indented tree rendering."""
+        lines: List[str] = []
+
+        def render(node: "OperatorStats", depth: int) -> None:
+            rows_in = ",".join(str(r) for r in node.rows_in) or "-"
+            lines.append(
+                f"{'  ' * depth}-> {node.label}  "
+                f"(rows_in={rows_in} rows_out={node.rows_out} "
+                f"time={node.elapsed_s * 1000.0:.3f}ms)"
+            )
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self, 0)
+        return "\n".join(lines)
+
+
+def _op_label(plan: PlanNode) -> str:
+    """Short human label for one plan node (scan names, op arity hints)."""
+    if isinstance(plan, Scan):
+        return f"Scan({plan.relation_name})"
+    if isinstance(plan, Project):
+        return f"Project[{len(plan.names)} cols]"
+    if isinstance(plan, Rename):
+        return f"Rename[{len(plan.mapping)}]"
+    if isinstance(plan, Select):
+        predicate = str(plan.predicate)
+        if len(predicate) > 40:
+            predicate = predicate[:37] + "..."
+        return f"Select[{predicate}]"
+    if isinstance(plan, Extend):
+        return f"Extend[{plan.column}]"
+    return type(plan).__name__
+
+
 class Executor:
-    """Executes plans against a registry of named base relations."""
+    """Executes plans against a registry of named base relations.
+
+    ``execute`` is the hot path and stays uninstrumented; wrap a call in
+    :meth:`execute_analyzed` to collect an :class:`OperatorStats` tree
+    (rows-in / rows-out / elapsed per operator — EXPLAIN ANALYZE), which
+    also emits per-operator spans when the process tracer is enabled.
+    """
 
     def __init__(self, relations: Optional[Dict[str, Relation]] = None):
         self._relations: Dict[str, Relation] = {}
+        #: While analyzing: a stack of child-stat accumulators, innermost
+        #: last.  None in the unobserved fast path.
+        self._analyze_stack: Optional[List[List[OperatorStats]]] = None
+        #: Stats tree of the last ``execute_analyzed`` call.
+        self.last_stats: Optional[OperatorStats] = None
         if relations:
             for name, relation in relations.items():
                 self.register(name, relation)
@@ -76,6 +161,62 @@ class Executor:
 
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return the result relation."""
+        if self._analyze_stack is None:
+            return self._dispatch(plan)
+        return self._execute_instrumented(plan)
+
+    def execute_analyzed(self, plan: PlanNode) -> Tuple[Relation, OperatorStats]:
+        """Evaluate ``plan`` collecting per-operator statistics.
+
+        Returns ``(relation, stats)`` where ``stats`` is the root of an
+        :class:`OperatorStats` tree mirroring the plan shape.  The tree is
+        also kept on :attr:`last_stats`.  Nested/recursive calls restore
+        the previous instrumentation state, so provenance re-execution of
+        UCQ branches does not corrupt an outer analysis.
+        """
+        previous = self._analyze_stack
+        root_frame: List[OperatorStats] = []
+        self._analyze_stack = [root_frame]
+        try:
+            relation = self.execute(plan)
+        finally:
+            self._analyze_stack = previous
+        stats = root_frame[0]
+        self.last_stats = stats
+        return relation, stats
+
+    def _execute_instrumented(self, plan: PlanNode) -> Relation:
+        """One analyzed operator: time it, record stats, emit a span."""
+        assert self._analyze_stack is not None
+        label = _op_label(plan)
+        children: List[OperatorStats] = []
+        self._analyze_stack.append(children)
+        span = get_tracer().span(f"op:{label}")
+        started = time.perf_counter()
+        with span:
+            try:
+                relation = self._dispatch(plan)
+            finally:
+                self._analyze_stack.pop()
+            elapsed = time.perf_counter() - started
+            stats = OperatorStats(
+                label=label,
+                rows_in=tuple(child.rows_out for child in children),
+                rows_out=len(relation),
+                elapsed_s=elapsed,
+                children=tuple(children),
+            )
+            span.set_tag("rows_in", list(stats.rows_in))
+            span.set_tag("rows_out", stats.rows_out)
+        self._analyze_stack[-1].append(stats)
+        get_metrics().histogram(
+            "mdm_executor_operator_seconds",
+            "Inclusive latency of relational operators (analyzed runs).",
+            labelnames=("op",),
+        ).observe(elapsed, op=type(plan).__name__)
+        return relation
+
+    def _dispatch(self, plan: PlanNode) -> Relation:
         if isinstance(plan, Scan):
             return self.relation(plan.relation_name)
         if isinstance(plan, Project):

@@ -22,6 +22,11 @@ Querying (analyst):
     ``POST /query``                      {"nodes": [iri, ...], "execute"?: bool}
     ``GET  /metadata/trig``              the TriG snapshot
 
+Observability (operator):
+    ``GET  /metrics``                    Prometheus text exposition
+    ``GET  /traces/recent``              recent root spans (?limit=N)
+    ``POST /obs/tracing``                {"enabled": bool} toggles tracing
+
 Wrapper rows posted through the service back a
 :class:`repro.sources.wrappers.StaticWrapper`; programmatic embedders
 attach live :class:`RestWrapper` objects through the facade instead.
@@ -94,6 +99,9 @@ class MdmService:
         add("GET", "/report", self._get_report)
         add("GET", "/metadata/trig", self._get_trig)
         add("GET", "/summary", self._get_summary)
+        add("GET", "/metrics", self._get_metrics)
+        add("GET", "/traces/recent", self._get_recent_traces)
+        add("POST", "/obs/tracing", self._post_tracing)
 
     def _post_concept(self, request: JsonRequest) -> Dict[str, Any]:
         (iri_text,) = request.require("iri")
@@ -363,7 +371,45 @@ class MdmService:
         from ..core.reporting import governance_report
 
         execute = request.query.get("execute", "false").lower() == "true"
-        return dict(governance_report(self.mdm, execute_queries=execute))
+        metrics = request.query.get("metrics", "false").lower() == "true"
+        return dict(
+            governance_report(
+                self.mdm, execute_queries=execute, include_metrics=metrics
+            )
+        )
+
+    def _get_metrics(self, request: JsonRequest) -> str:
+        """Prometheus text exposition of the process metrics registry."""
+        from ..obs import get_metrics
+
+        return get_metrics().render_prometheus()
+
+    def _get_recent_traces(self, request: JsonRequest) -> Dict[str, Any]:
+        """The most recent completed root spans (``?limit=N``, default 10)."""
+        from ..obs import get_tracer
+
+        try:
+            limit = int(request.query.get("limit", "10"))
+        except ValueError:
+            raise ServiceError(400, "limit must be an integer") from None
+        tracer = get_tracer()
+        return {
+            "enabled": tracer.enabled,
+            "traces": [span.to_dict() for span in tracer.recent(limit)],
+        }
+
+    def _post_tracing(self, request: JsonRequest) -> Dict[str, Any]:
+        """Toggle tracing for this process: ``{"enabled": true|false}``.
+
+        Flips the flag on the *current* tracer in place so the recent-span
+        ring and any attached sinks survive the toggle.
+        """
+        from ..obs import get_tracer
+
+        (enabled,) = request.require("enabled")
+        tracer = get_tracer()
+        tracer.enabled = bool(enabled)
+        return {"enabled": tracer.enabled}
 
     def _get_trig(self, request: JsonRequest) -> Dict[str, Any]:
         return {"trig": self.mdm.to_trig()}

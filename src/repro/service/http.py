@@ -15,8 +15,11 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..obs import get_metrics, get_tracer
 
 __all__ = ["JsonRequest", "JsonResponse", "Router", "ServiceError"]
 
@@ -73,6 +76,9 @@ Handler = Callable[[JsonRequest], Any]
 class _Route:
     def __init__(self, method: str, pattern: str, handler: Handler):
         self.method = method.upper()
+        #: The original pattern (e.g. ``/sources/:name/wrappers``) — the
+        #: low-cardinality label value for per-route metrics.
+        self.pattern = pattern
         self.handler = handler
         self.param_names: List[str] = []
         regex_parts: List[str] = []
@@ -114,7 +120,19 @@ class Router:
 
         Handler return values become 200 bodies; :class:`ServiceError`
         maps to its status; other exceptions map to 500 with the message.
+
+        Every dispatch feeds the per-route request counter and latency
+        histogram (``mdm_http_requests_total`` /
+        ``mdm_http_request_seconds``, labeled by the route *pattern*, not
+        the raw path, to keep cardinality bounded) and runs under an
+        ``http:<METHOD> <pattern>`` span when tracing is enabled.
         """
+        metrics = get_metrics()
+        requests_total = metrics.counter(
+            "mdm_http_requests_total",
+            "HTTP-style requests dispatched, by route and status.",
+            labelnames=("method", "route", "status"),
+        )
         for route in self._routes:
             params = route.match(method, path)
             if params is None:
@@ -126,13 +144,34 @@ class Router:
                 query=dict(query or {}),
                 body=body,
             )
-            try:
-                result = route.handler(request)
-            except ServiceError as exc:
-                return JsonResponse(exc.status, {"error": exc.message})
-            except Exception as exc:  # noqa: BLE001 — service boundary
-                return JsonResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
-            return JsonResponse(200, result)
+            started = time.perf_counter()
+            with get_tracer().span(
+                f"http:{route.method} {route.pattern}"
+            ) as span:
+                try:
+                    result = route.handler(request)
+                    response = JsonResponse(200, result)
+                except ServiceError as exc:
+                    response = JsonResponse(exc.status, {"error": exc.message})
+                except Exception as exc:  # noqa: BLE001 — service boundary
+                    response = JsonResponse(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                span.set_tag("status", response.status)
+            requests_total.inc(
+                method=route.method,
+                route=route.pattern,
+                status=str(response.status),
+            )
+            metrics.histogram(
+                "mdm_http_request_seconds",
+                "Latency of HTTP-style request handling.",
+                labelnames=("route",),
+            ).observe(time.perf_counter() - started, route=route.pattern)
+            return response
+        requests_total.inc(
+            method=method.upper(), route="<unmatched>", status="404"
+        )
         return JsonResponse(404, {"error": f"no route for {method} {path}"})
 
     def routes(self) -> List[Tuple[str, str]]:

@@ -18,9 +18,11 @@ scenario while MDM's LAV rewriting routes around it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs import get_metrics, get_tracer
 from ..relational.relation import Relation
 from .formats import decode_csv, decode_json, decode_xml, flatten_record
 from .restapi import HttpError, MockRestServer, Response
@@ -69,10 +71,40 @@ class Wrapper:
         raise NotImplementedError
 
     def fetch_relation(self) -> Relation:
-        """The current rows as a typed :class:`Relation` named after the wrapper."""
-        return Relation.from_dicts(
-            self.fetch(), attribute_order=list(self.attributes), name=self.name
-        )
+        """The current rows as a typed :class:`Relation` named after the wrapper.
+
+        This is the pipeline's access path, so it is the instrumentation
+        point: fetch latency and row counts flow into the
+        ``mdm_wrapper_fetch_seconds`` / ``mdm_wrapper_rows_total`` series,
+        failures into ``mdm_wrapper_errors_total``, and a ``fetch:<name>``
+        span is emitted when the process tracer is enabled.
+        """
+        metrics = get_metrics()
+        started = time.perf_counter()
+        with get_tracer().span(f"fetch:{self.name}", wrapper=self.name) as span:
+            try:
+                rows = self.fetch()
+            except Exception:
+                metrics.counter(
+                    "mdm_wrapper_errors_total",
+                    "Wrapper fetches that raised.",
+                    labelnames=("wrapper",),
+                ).inc(wrapper=self.name)
+                raise
+            metrics.histogram(
+                "mdm_wrapper_fetch_seconds",
+                "Latency of wrapper fetches.",
+                labelnames=("wrapper",),
+            ).observe(time.perf_counter() - started, wrapper=self.name)
+            metrics.counter(
+                "mdm_wrapper_rows_total",
+                "Rows delivered by wrapper fetches.",
+                labelnames=("wrapper",),
+            ).inc(len(rows), wrapper=self.name)
+            span.set_tag("rows", len(rows))
+            return Relation.from_dicts(
+                rows, attribute_order=list(self.attributes), name=self.name
+            )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.signature}>"

@@ -1,0 +1,159 @@
+"""End-to-end observability: spans and metrics from real OMQ executions."""
+
+import re
+
+import pytest
+
+from repro.obs import capture
+from repro.rdf.namespaces import EX
+from repro.scenarios.football import COUNTRY, LEAGUE, PLAYER, TEAM, FootballScenario
+from repro.service.api import MdmService
+
+LEAGUE_NATIONALITY_NODES = [
+    n.value for n in (PLAYER, EX.playerName, TEAM, LEAGUE, COUNTRY)
+]
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+Inf|-?[0-9][0-9.e+-]*)$"
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return FootballScenario.build(anchors_only=True)
+
+
+class TestPipelineSpans:
+    def test_execute_produces_the_full_span_tree(self, scenario):
+        walk = scenario.walk_league_nationality()
+        with capture() as (tracer, _registry):
+            outcome = scenario.mdm.execute(walk)
+            roots = tracer.recent()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "execute"
+        names = [s.name for s in root.iter_spans()]
+        # All three rewriting phases, nested under the rewrite span.
+        rewrite = root.find("rewrite")
+        assert rewrite is not None
+        for phase in ("phase:expansion", "phase:intra-concept",
+                      "phase:inter-concept"):
+            assert phase in [c.name for c in rewrite.children]
+        # One fetch span per wrapper that contributed.
+        fetch_spans = [s for s in names if s.startswith("fetch:")]
+        assert len(fetch_spans) >= 2
+        # Per-operator spans from the executor.
+        assert any(s.startswith("op:Scan") for s in names)
+        assert any(s.startswith("op:") and "Join" in s for s in names)
+        assert root.tags["rows"] == len(outcome.relation.rows)
+
+    def test_phase_spans_carry_rewrite_counts(self, scenario):
+        walk = scenario.walk_league_nationality()
+        with capture() as (tracer, _registry):
+            outcome = scenario.mdm.execute(walk)
+            inter = tracer.recent()[0].find("phase:inter-concept")
+        assert inter.tags["emitted_cqs"] == outcome.rewrite.ucq_size
+        assert inter.tags["candidate_cqs"] >= inter.tags["emitted_cqs"]
+        assert inter.tags["pruned_cqs"] == (
+            inter.tags["candidate_cqs"] - inter.tags["emitted_cqs"]
+        )
+
+    def test_operator_stats_report_row_flow(self, scenario):
+        walk = scenario.walk_league_nationality()
+        with capture():
+            outcome = scenario.mdm.execute(walk, analyze=True)
+        stats = outcome.operator_stats
+        assert stats is not None
+        assert stats.rows_out == len(outcome.relation.rows)
+        scans = [n for n in stats.iter_nodes() if n.label.startswith("Scan")]
+        assert scans and all(s.rows_in == () for s in scans)
+        text = outcome.explain_analyze()
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "rows_out=" in text
+
+    def test_tracing_off_means_no_spans_and_same_rows(self, scenario):
+        walk = scenario.walk_league_nationality()
+        with capture() as (tracer, _registry):
+            traced = scenario.mdm.execute(walk)
+        plain = scenario.mdm.execute(walk)
+        assert set(plain.relation.rows) == set(traced.relation.rows)
+        assert plain.operator_stats is None
+
+
+class TestPipelineMetrics:
+    def test_one_query_populates_the_core_series(self, scenario):
+        walk = scenario.walk_league_nationality()
+        with capture() as (_tracer, registry):
+            scenario.mdm.execute(walk)
+            names = registry.names()
+            assert "mdm_rewrite_phase_seconds" in names
+            assert "mdm_rewrite_total" in names
+            assert "mdm_wrapper_fetch_seconds" in names
+            assert "mdm_execute_seconds" in names
+            assert "mdm_queries_total" in names
+            phase_hist = registry.get("mdm_rewrite_phase_seconds")
+            for phase in ("expansion", "intra-concept", "inter-concept"):
+                assert phase_hist.count(phase=phase) == 1
+
+    def test_wrapper_rows_match_fetches(self, scenario):
+        walk = scenario.walk_league_nationality()
+        with capture() as (_tracer, registry):
+            scenario.mdm.execute(walk)
+            rows_total = registry.get("mdm_wrapper_rows_total")
+            assert sum(
+                s["value"]
+                for s in rows_total.snapshot()["series"]
+            ) > 0
+
+
+class TestServiceMetricsEndpoint:
+    def test_metrics_endpoint_serves_parseable_prometheus(self, scenario):
+        with capture():
+            service = MdmService(scenario.mdm)
+            response = service.request(
+                "POST", "/query", {"nodes": LEAGUE_NATIONALITY_NODES}
+            )
+            assert response.ok
+            metrics = service.request("GET", "/metrics")
+            assert metrics.ok
+            text = metrics.body
+        assert isinstance(text, str)
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert SAMPLE_LINE.match(line), line
+        # Request, rewrite-phase and wrapper-fetch series after one query.
+        assert 'mdm_http_requests_total{method="POST",route="/query"' in text
+        assert 'mdm_rewrite_phase_seconds_bucket{phase="expansion"' in text
+        assert "mdm_wrapper_fetch_seconds_bucket" in text
+
+    def test_recent_traces_endpoint(self, scenario):
+        with capture():
+            service = MdmService(scenario.mdm)
+            service.request(
+                "POST", "/query", {"nodes": LEAGUE_NATIONALITY_NODES}
+            )
+            response = service.request("GET", "/traces/recent", query={"limit": "5"})
+            assert response.ok
+            assert response.body["enabled"] is True
+            traces = response.body["traces"]
+        assert traces, "expected at least one root span"
+        assert any(
+            span["name"].startswith("http:POST /query") for span in traces
+        )
+
+    def test_recent_traces_rejects_bad_limit(self, scenario):
+        with capture():
+            service = MdmService(scenario.mdm)
+            response = service.request(
+                "GET", "/traces/recent", query={"limit": "many"}
+            )
+        assert response.status == 400
+
+    def test_tracing_toggle_endpoint(self, scenario):
+        with capture() as (tracer, _registry):
+            service = MdmService(scenario.mdm)
+            off = service.request("POST", "/obs/tracing", {"enabled": False})
+            assert off.ok and tracer.enabled is False
+            on = service.request("POST", "/obs/tracing", {"enabled": True})
+            assert on.ok and tracer.enabled is True

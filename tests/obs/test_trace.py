@@ -1,0 +1,223 @@
+"""Unit tests for the span/tracer layer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    JsonlSink,
+    RingSink,
+    Span,
+    Tracer,
+    capture,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert root.children[0].parent_id == root.span_id
+
+    def test_root_span_lands_in_ring(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("only-roots-emitted"):
+            with tracer.span("inner"):
+                pass
+        roots = tracer.recent()
+        assert [s.name for s in roots] == ["only-roots-emitted"]
+
+    def test_duration_and_status(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("ok"):
+            pass
+        span = tracer.recent()[0]
+        assert span.status == "ok"
+        assert span.duration_s is not None and span.duration_s >= 0.0
+        assert span.duration_ms == pytest.approx(span.duration_s * 1000.0)
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.recent()[0]
+        assert span.status == "error"
+        assert span.tags["error"] == "ValueError: nope"
+
+    def test_iter_and_find(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert [s.name for s in a.iter_spans()] == ["a", "b", "c"]
+        assert a.find("c").name == "c"
+        assert a.find("missing") is None
+
+    def test_set_tag_is_chainable(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("t") as span:
+            assert span.set_tag("k", 1) is span
+        assert tracer.recent()[0].tags["k"] == 1
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current is None
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", query="q1") as root:
+            with tracer.span("leaf"):
+                pass
+        payload = json.loads(json.dumps(root.to_dict()))
+        assert payload["name"] == "root"
+        assert payload["tags"] == {"query": "q1"}
+        assert [c["name"] for c in payload["children"]] == ["leaf"]
+        assert payload["children"][0]["parent_id"] == payload["span_id"]
+
+    def test_tree_renders_guides_and_tags(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("last", rows=3):
+                pass
+        text = tracer.recent()[0].tree()
+        assert "├─ first" in text
+        assert "└─ last" in text
+        assert "rows=3" in text
+
+    def test_jsonl_sink_appends_one_object_per_root(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(enabled=True)
+        tracer.add_sink(JsonlSink(path))
+        for name in ("one", "two"):
+            with tracer.span(name):
+                pass
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+
+
+class TestRingSink:
+    def test_capacity_evicts_oldest(self):
+        ring = RingSink(capacity=2)
+        tracer = Tracer(enabled=True)
+        spans = []
+        for name in ("a", "b", "c"):
+            with tracer.span(name) as s:
+                spans.append(s)
+        for span in spans:
+            ring.emit(span)
+        assert [s.name for s in ring.recent()] == ["b", "c"]
+        assert len(ring) == 2
+
+    def test_tracer_ring_capacity(self):
+        tracer = Tracer(enabled=True, ring_capacity=1)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.recent()] == ["second"]
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", big="tag")
+        assert span is NOOP_SPAN
+        # Same object every call: no per-call allocation on the hot path.
+        assert tracer.span("other") is NOOP_SPAN
+
+    def test_noop_supports_the_span_protocol(self):
+        with NOOP_SPAN as span:
+            assert span.set_tag("k", "v") is NOOP_SPAN
+        tracer = Tracer(enabled=False)
+        with tracer.span("outer"):
+            pass
+        assert tracer.recent() == []
+
+    def test_disabled_tracer_emits_nothing_even_nested(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            tracer.enabled = False
+            inner = tracer.span("inner")
+            assert inner is NOOP_SPAN
+            tracer.enabled = True
+        assert [s.name for s in tracer.recent()] == ["outer"]
+
+
+class TestGlobals:
+    def test_set_get_round_trip(self):
+        previous = get_tracer()
+        try:
+            mine = Tracer(enabled=True)
+            assert set_tracer(mine) is mine
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+
+    def test_enable_disable_tracing(self, tmp_path):
+        previous = get_tracer()
+        try:
+            tracer = enable_tracing(jsonl=tmp_path / "t.jsonl")
+            assert tracer.enabled
+            assert get_tracer() is tracer
+            with get_tracer().span("via-global"):
+                pass
+            assert (tmp_path / "t.jsonl").exists()
+            assert not disable_tracing().enabled
+        finally:
+            set_tracer(previous)
+
+    def test_capture_restores_previous_globals(self):
+        before = get_tracer()
+        with capture() as (tracer, registry):
+            assert get_tracer() is tracer
+            assert tracer.enabled
+            with tracer.span("inside"):
+                pass
+            assert registry.names() == []
+        assert get_tracer() is before
+
+
+class TestMismatchTolerance:
+    def test_out_of_order_exit_does_not_crash(self):
+        tracer = Tracer(enabled=True)
+        a = tracer.span("a")
+        a.__enter__()
+        b = tracer.span("b")
+        b.__enter__()
+        # Exit the outer one first: tracer must not raise or wedge.
+        a.__exit__(None, None, None)
+        b.__exit__(None, None, None)
+        with tracer.span("after"):
+            pass
+        assert "after" in [s.name for s in tracer.recent()]
+
+
+def test_span_repr_mentions_name():
+    tracer = Tracer(enabled=True)
+    with tracer.span("repr-me") as span:
+        pass
+    assert "repr-me" in repr(span)
+    assert isinstance(span, Span)

@@ -185,3 +185,71 @@ class TestShowCommand:
         assert main(["show", "--format", "turtle"]) == 0
         out = capsys.readouterr().out
         assert "G:hasFeature" in out or "hasFeature" in out
+
+
+class TestTraceCommand:
+    def test_trace_prints_span_tree_and_explain(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        # The three rewriting phases of the span tree.
+        assert "phase:expansion" in out
+        assert "phase:intra-concept" in out
+        assert "phase:inter-concept" in out
+        # Wrapper fetches and per-operator row flow.
+        assert "fetch:w1" in out
+        assert "rows_out=" in out
+        assert "op:Scan" in out
+        assert "EXPLAIN ANALYZE" in out
+
+    def test_trace_restores_previous_tracer(self):
+        from repro.obs import get_tracer
+
+        before = get_tracer()
+        assert main(["trace"]) == 0
+        assert get_tracer() is before
+
+    def test_trace_with_nodes(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--nodes",
+                "http://www.essi.upc.edu/example/Player",
+                "http://www.essi.upc.edu/example/playerName",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execute" in out and "rewrite" in out
+
+    def test_trace_jsonl_appends_spans(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        assert main(["trace", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        lines = path.read_text().strip().splitlines()
+        names = [json.loads(line)["name"] for line in lines]
+        assert "execute" in names
+
+    def test_trace_supersede_default_walk(self, capsys):
+        assert main(["trace", "--scenario", "supersede"]) == 0
+        out = capsys.readouterr().out
+        assert "phase:inter-concept" in out
+
+
+class TestReportMetricsFlag:
+    def test_report_metrics_section(self, capsys):
+        assert main(["report", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics  :" in out
+
+    def test_report_metrics_after_trace_shows_series(self, capsys):
+        from repro.obs import capture
+
+        with capture():
+            main(["trace"])
+            capsys.readouterr()
+            assert main(["report", "--metrics"]) == 0
+            out = capsys.readouterr().out
+        assert "mdm_rewrite_phase_seconds{phase=expansion}" in out
+        assert "mdm_queries_total" in out
