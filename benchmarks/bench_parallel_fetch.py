@@ -1,0 +1,139 @@
+"""Parallel federated fetch vs serial, and the rewrite-cache hit ratio.
+
+The executor's promise for the ROADMAP's "heavy traffic" target: with N
+wrappers each costing ~50ms of simulated source latency, a bounded fetch
+pool should answer in roughly one latency quantum instead of N.  This
+bench measures both modes on the same synthetic union, plus the rewrite
+cache's hit ratio over repeated OMQs, and persists the numbers to
+``benchmarks/BENCH_parallel.json`` so the perf trajectory accumulates.
+
+The ≥2× speedup expectation is *logged*, not asserted — wall-clock under
+CI load is not a correctness property.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.mdm import MDM
+from repro.rdf.namespaces import Namespace
+from repro.sources.wrappers import StaticWrapper
+
+BENCH_PARALLEL_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+PAR = Namespace("http://parallel.bench/")
+
+N_WRAPPERS = 6
+SIMULATED_LATENCY_S = 0.05
+REPETITIONS = 3
+CACHE_QUERIES = 10
+
+
+class SlowWrapper(StaticWrapper):
+    """A wrapper with fixed simulated source latency."""
+
+    def __init__(self, name, attributes, rows, delay_s):
+        super().__init__(name, attributes, rows)
+        self.delay_s = delay_s
+
+    def fetch(self):
+        time.sleep(self.delay_s)
+        return super().fetch()
+
+
+def build_union_mdm(max_fetch_workers):
+    """One concept served by ``N_WRAPPERS`` interchangeable slow wrappers."""
+    mdm = MDM(max_fetch_workers=max_fetch_workers)
+    mdm.add_concept(PAR.Thing)
+    mdm.add_identifier(PAR.thingId, PAR.Thing)
+    mdm.add_feature(PAR.thingName, PAR.Thing)
+    mdm.register_source("slow")
+    for i in range(N_WRAPPERS):
+        rows = [
+            {"id": f"w{i}-{k}", "name": f"w{i} thing {k}"} for k in range(5)
+        ]
+        mdm.register_wrapper(
+            "slow",
+            SlowWrapper(f"w{i}", ["id", "name"], rows, SIMULATED_LATENCY_S),
+        )
+        mdm.define_mapping(
+            f"w{i}", {"id": PAR.thingId, "name": PAR.thingName}
+        )
+    return mdm
+
+
+def best_of(mdm, walk, repetitions):
+    """Fastest of ``repetitions`` cold-plan executions, in seconds."""
+    timings = []
+    for _ in range(repetitions):
+        mdm.rewrite_cache.clear()
+        started = time.perf_counter()
+        outcome = mdm.execute(walk)
+        timings.append(time.perf_counter() - started)
+        assert len(outcome.relation) == N_WRAPPERS * 5
+    return min(timings)
+
+
+@pytest.mark.slow
+def test_parallel_fetch_beats_serial_and_cache_hits():
+    serial_mdm = build_union_mdm(max_fetch_workers=1)
+    parallel_mdm = build_union_mdm(max_fetch_workers=8)
+    serial_walk = serial_mdm.walk_from_nodes([PAR.Thing, PAR.thingName])
+    parallel_walk = parallel_mdm.walk_from_nodes([PAR.Thing, PAR.thingName])
+
+    serial_s = best_of(serial_mdm, serial_walk, REPETITIONS)
+    parallel_s = best_of(parallel_mdm, parallel_walk, REPETITIONS)
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+
+    # Rewrite-cache hit ratio over a burst of identical OMQs.  Counters
+    # are cumulative across the timing runs above, so diff around the
+    # burst to report the burst's own ratio.
+    parallel_mdm.rewrite_cache.clear()
+    before = parallel_mdm.rewrite_cache.stats()
+    for _ in range(CACHE_QUERIES):
+        parallel_mdm.execute(parallel_walk)
+    after = parallel_mdm.rewrite_cache.stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    cache = {
+        "capacity": after["capacity"],
+        "size": after["size"],
+        "hits": hits,
+        "misses": misses,
+        "evictions": after["evictions"] - before["evictions"],
+        "hit_rate": round(hits / (hits + misses), 6) if hits + misses else 0.0,
+    }
+
+    summary = {
+        "wrappers": N_WRAPPERS,
+        "rows_per_wrapper": 5,
+        "simulated_latency_s": SIMULATED_LATENCY_S,
+        "repetitions": REPETITIONS,
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "parallel_workers": 8,
+        "speedup": round(speedup, 3),
+        "meets_2x_target": speedup >= 2.0,
+        "cache_queries": CACHE_QUERIES,
+        "rewrite_cache": cache,
+    }
+    BENCH_PARALLEL_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    emit(
+        f"Parallel fetch — {N_WRAPPERS} wrappers × "
+        f"{SIMULATED_LATENCY_S * 1000:.0f}ms simulated latency",
+        f"serial: {serial_s * 1000:.1f}ms; parallel(8): "
+        f"{parallel_s * 1000:.1f}ms; speedup: {speedup:.2f}x "
+        f"(target ≥2x: {'MET' if speedup >= 2.0 else 'MISSED — logged only'})\n"
+        f"rewrite cache over {CACHE_QUERIES} identical OMQs: "
+        f"{cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.0%})",
+    )
+    # Correctness is gated; wall-clock is logged above, not asserted.
+    assert (BENCH_PARALLEL_PATH).exists()
+    # The burst after the clear() misses once, then hits every time.
+    assert cache["hits"] >= CACHE_QUERIES - 1

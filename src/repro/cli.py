@@ -77,9 +77,25 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _apply_execution_flags(mdm, args) -> None:
+    """Fold --fetch-workers/--retry-* CLI flags into the MDM instance."""
+    policy = None
+    attempts = getattr(args, "retry_attempts", None)
+    timeout = getattr(args, "retry_timeout", None)
+    if attempts is not None or timeout is not None:
+        from .sources.wrappers import RetryPolicy
+
+        policy = RetryPolicy(attempts=attempts or 1, timeout_s=timeout)
+    mdm.configure_execution(
+        max_fetch_workers=getattr(args, "fetch_workers", None),
+        retry_policy=policy,
+    )
+
+
 def cmd_query(args) -> int:
     scenario = _load_scenario(args.scenario)
     mdm = scenario.mdm
+    _apply_execution_flags(mdm, args)
     if args.sparql or args.sparql_file:
         text = args.sparql or open(args.sparql_file).read()
         walk = walk_from_sparql(mdm.global_graph, text)
@@ -198,6 +214,7 @@ def cmd_trace(args) -> int:
 
     scenario = _load_scenario(args.scenario)
     mdm = scenario.mdm
+    _apply_execution_flags(mdm, args)
     walk = _default_walk(args, scenario)
     tracer = Tracer(enabled=True)
     if args.jsonl:
@@ -267,6 +284,25 @@ def cmd_evolve(args) -> int:
     return 0
 
 
+def _add_execution_flags(parser) -> None:
+    parser.add_argument(
+        "--fetch-workers",
+        type=int,
+        help="bound on concurrent wrapper fetches (default: "
+        "$MDM_FETCH_WORKERS or 4)",
+    )
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        help="fetch attempts per wrapper before giving up (default 1)",
+    )
+    parser.add_argument(
+        "--retry-timeout",
+        type=float,
+        help="per-attempt wrapper fetch timeout in seconds",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -284,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--sparql", help="inline SPARQL text")
     p_query.add_argument("--sparql-file", help="file with SPARQL text")
     p_query.add_argument("--explain", action="store_true")
+    _add_execution_flags(p_query)
     p_query.set_defaults(func=cmd_query)
 
     for name, func in (
@@ -347,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--sparql", help="inline SPARQL text")
     p_trace.add_argument("--sparql-file", help="file with SPARQL text")
     p_trace.add_argument("--jsonl", help="also append spans to this JSONL file")
+    _add_execution_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
     p_show = sub.add_parser("show", help="print the global graph")

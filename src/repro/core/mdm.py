@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..docstore.store import DocumentStore
@@ -32,7 +33,7 @@ from ..rdf.dataset import Dataset
 from ..rdf.terms import IRI, Triple
 from ..relational.executor import Executor, OperatorStats
 from ..relational.relation import Relation
-from ..sources.wrappers import Wrapper, WrapperSchemaError
+from ..sources.wrappers import RetryPolicy, Wrapper
 from ..sparql.evaluator import evaluate_text
 from .errors import MappingError, MdmError, SourceGraphError
 from .global_graph import GlobalGraph, UmlModel
@@ -63,6 +64,7 @@ class QueryOutcome:
         skipped_wrappers: Tuple[str, ...] = (),
         executor: Optional[Executor] = None,
         operator_stats: Optional[OperatorStats] = None,
+        fetch_attempts: Optional[Mapping[str, int]] = None,
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -73,6 +75,14 @@ class QueryOutcome:
         #: Per-operator execution statistics (``execute(..., analyze=True)``
         #: or any execution while tracing is enabled); None otherwise.
         self.operator_stats = operator_stats
+        #: Fetch attempts spent per wrapper (1 = first-try success; absent
+        #: wrappers were not needed by this query's UCQ).
+        self.fetch_attempts: Dict[str, int] = dict(fetch_attempts or {})
+
+    @property
+    def partial(self) -> bool:
+        """True when failed wrappers degraded the union (CQs were dropped)."""
+        return bool(self.skipped_wrappers)
 
     def explain_analyze(self) -> str:
         """EXPLAIN ANALYZE-style tree: rows-in/rows-out/elapsed per operator.
@@ -164,10 +174,21 @@ class QueryOutcome:
         )
 
 
+#: Default size of the federated fetch thread pool (env-overridable).
+DEFAULT_FETCH_WORKERS = int(os.environ.get("MDM_FETCH_WORKERS", "4"))
+
+
 class MDM:
     """The Metadata Management System."""
 
-    def __init__(self, metadata_path: Optional[os.PathLike] = None):
+    def __init__(
+        self,
+        metadata_path: Optional[os.PathLike] = None,
+        *,
+        max_fetch_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        rewrite_cache_size: int = 128,
+    ):
         self.dataset = Dataset(namespaces=mdm_namespace_manager())
         self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
         self.source_graph = SourceGraph(self.dataset.graph(M.sourceGraph))
@@ -180,10 +201,67 @@ class MDM:
         #: Runtime wrapper objects by name (the executable side of S:Wrapper).
         self.wrappers: Dict[str, Wrapper] = {}
         self._sources_by_name: Dict[str, IRI] = {}
+        #: Upper bound on concurrent wrapper fetches per query (1 = serial).
+        self.max_fetch_workers = (
+            max_fetch_workers if max_fetch_workers is not None else DEFAULT_FETCH_WORKERS
+        )
+        if self.max_fetch_workers < 1:
+            raise ValueError("max_fetch_workers must be >= 1")
+        #: Retry policy applied to every wrapper fetch during execution.
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Metadata generation: bumped on every ontology/source/mapping
+        #: mutation; the rewrite cache keys plans by it so evolution can
+        #: never serve a stale UCQ.
+        self._generation = 0
+        from .rewrite_cache import RewriteCache
+
+        #: LRU cache of rewrite plans keyed by (canonical walk, generation).
+        self.rewrite_cache = RewriteCache(rewrite_cache_size)
         from .registry import QueryRegistry
 
         #: Saved analytical processes (named walks) with revalidation.
         self.saved_queries = QueryRegistry(self)
+
+    # ------------------------------------------------------------------ #
+    # metadata generation & execution configuration
+    # ------------------------------------------------------------------ #
+
+    @property
+    def generation(self) -> int:
+        """The current metadata generation (monotonic counter)."""
+        return self._generation
+
+    def bump_generation(self) -> int:
+        """Advance the metadata generation (cached rewrites become cold).
+
+        Called internally by every mutating registration; exposed for
+        embedders that mutate the graphs directly.
+        """
+        self._generation += 1
+        return self._generation
+
+    def configure_execution(
+        self,
+        max_fetch_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> Dict[str, object]:
+        """Adjust the fetch pool / retry policy; returns the live config."""
+        if max_fetch_workers is not None:
+            if max_fetch_workers < 1:
+                raise ValueError("max_fetch_workers must be >= 1")
+            self.max_fetch_workers = max_fetch_workers
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        return self.execution_config()
+
+    def execution_config(self) -> Dict[str, object]:
+        """The live execution configuration (JSON-shaped)."""
+        return {
+            "max_fetch_workers": self.max_fetch_workers,
+            "retry": self.retry_policy.describe(),
+            "generation": self._generation,
+            "rewrite_cache": self.rewrite_cache.stats(),
+        }
 
     # ------------------------------------------------------------------ #
     # (a) global graph definition
@@ -191,28 +269,33 @@ class MDM:
 
     def add_concept(self, concept: IRI, label: Optional[str] = None) -> IRI:
         """Declare a concept in the global graph."""
+        self.bump_generation()
         return self.global_graph.add_concept(concept, label)
 
     def add_feature(
         self, feature: IRI, concept: IRI, label: Optional[str] = None
     ) -> IRI:
         """Attach a (non-identifier) feature to a concept."""
+        self.bump_generation()
         return self.global_graph.add_feature(feature, concept, label)
 
     def add_identifier(
         self, feature: IRI, concept: IRI, label: Optional[str] = None
     ) -> IRI:
         """Attach an identifier feature (``rdfs:subClassOf sc:identifier``)."""
+        self.bump_generation()
         return self.global_graph.add_identifier(feature, concept, label)
 
     def relate(self, source: IRI, prop: IRI, target: IRI) -> Triple:
         """Relate two concepts with a user-defined property."""
+        self.bump_generation()
         return self.global_graph.relate(source, prop, target)
 
     def load_uml(self, model: UmlModel) -> GlobalGraph:
         """Compile a UML model (Figure 1) into this MDM's global graph."""
         compiled = model.compile()
         self.global_graph.graph.add_all(iter(compiled.graph))
+        self.bump_generation()
         return self.global_graph
 
     # ------------------------------------------------------------------ #
@@ -221,6 +304,7 @@ class MDM:
 
     def register_source(self, name: str, label: Optional[str] = None) -> IRI:
         """Declare a data source; returns its IRI (idempotent)."""
+        self.bump_generation()
         iri = self.source_graph.add_data_source(name, label)
         self._sources_by_name[name] = iri
         self.metadata.collection("sources").replace_one(
@@ -271,6 +355,7 @@ class MDM:
         self.wrappers[wrapper.name] = wrapper
         resolved_kind = kind or (KIND_EVOLUTION if previous else KIND_NEW_SOURCE)
         self.governance.record(source_name, registration, resolved_kind, changes)
+        self.bump_generation()
         return registration
 
     def wrapper_iri(self, wrapper_name: str) -> IRI:
@@ -454,6 +539,7 @@ class MDM:
         for s, p, o in edges:
             subgraph.append(Triple(s, p, o))
         self.mappings.define(wrapper, subgraph, same_as)
+        self.bump_generation()
         return self.mappings.view(wrapper)
 
     def suggest_mapping(self, wrapper_name: str) -> MappingSuggestion:
@@ -514,6 +600,7 @@ class MDM:
             if triple not in subgraph:
                 subgraph.append(triple)
         self.mappings.define(wrapper, subgraph, same_as)
+        self.bump_generation()
         return self.mappings.view(wrapper)
 
     # ------------------------------------------------------------------ #
@@ -526,9 +613,27 @@ class MDM:
         walk.validate(self.global_graph)
         return walk
 
-    def rewrite(self, walk: Walk) -> RewriteResult:
-        """Run the three-phase LAV rewriting for a walk."""
-        result = self.rewriter.rewrite(walk)
+    def rewrite(self, walk: Walk, use_cache: bool = True) -> RewriteResult:
+        """Run the three-phase LAV rewriting for a walk.
+
+        Plans are served from :attr:`rewrite_cache` when an entry exists
+        for the walk *at the current metadata generation* — any wrapper,
+        mapping or ontology registration since the plan was cached makes
+        it cold, so evolution never replays a stale UCQ.  The query is
+        logged to the metadata store either way (impact analysis counts
+        posed queries, not rewriting work).
+
+        A traced run bypasses the cache: the whole point of tracing is
+        to see the per-phase spans, and a cache hit would elide them.
+        """
+        use_cache = use_cache and not get_tracer().enabled
+        result = None
+        if use_cache:
+            result = self.rewrite_cache.get(walk, self._generation)
+        if result is None:
+            result = self.rewriter.rewrite(walk)
+            if use_cache:
+                self.rewrite_cache.put(walk, self._generation, result)
         self.metadata.collection("queries").insert_one(
             {
                 "walk": walk.describe(self.global_graph),
@@ -548,37 +653,48 @@ class MDM:
     ) -> QueryOutcome:
         """Rewrite a walk and execute the UCQ over the live wrappers.
 
-        ``on_wrapper_error="skip"`` drops CQ branches whose wrappers fail
-        to fetch (reporting them in the outcome) instead of raising —
-        useful while a source migration is in flight.
+        ``on_wrapper_error="skip"`` (alias: ``"partial"``) drops CQ
+        branches whose wrappers fail to fetch (reporting them in the
+        outcome, whose :attr:`QueryOutcome.partial` flag flips to True)
+        instead of raising — useful while a source migration is in flight.
+
+        Leaf wrappers of the UCQ are deduplicated (a wrapper shared by
+        several CQs is fetched once per query) and fetched concurrently
+        through a bounded thread pool of :attr:`max_fetch_workers`
+        threads, each fetch governed by :attr:`retry_policy`.  When the
+        process tracer is enabled the fetches run serially instead: the
+        tracer is deliberately single-threaded (see :mod:`repro.obs`),
+        and a coherent span tree is worth more to a traced run than
+        fetch overlap.
 
         ``analyze=True`` (implied whenever the process tracer is enabled)
         collects per-operator rows-in/rows-out/elapsed statistics; the
         outcome then supports :meth:`QueryOutcome.explain_analyze`.
         """
-        if on_wrapper_error not in ("raise", "skip"):
-            raise ValueError("on_wrapper_error must be 'raise' or 'skip'")
+        if on_wrapper_error not in ("raise", "skip", "partial"):
+            raise ValueError(
+                "on_wrapper_error must be 'raise', 'skip' or 'partial'"
+            )
         tracer = get_tracer()
         analyze = analyze or tracer.enabled
         started = time.perf_counter()
         with tracer.span("execute") as root:
             result = self.rewrite(walk)
             executor = Executor()
-            failed: List[str] = []
             needed = {name for q in result.queries for name in q.wrapper_names}
-            for name in sorted(needed):
-                wrapper = self.wrappers.get(name)
-                if wrapper is None:
-                    raise MdmError(
-                        f"wrapper {name!r} is mapped but has no runtime object"
-                    )
-                try:
-                    executor.register(name, wrapper.fetch_relation())
-                except WrapperSchemaError as exc:
-                    if on_wrapper_error == "raise":
-                        raise
-                    failed.append(name)
+            relations, attempts, errors = self._fetch_wrappers(
+                sorted(needed), serial=tracer.enabled
+            )
+            if errors and on_wrapper_error == "raise":
+                raise errors[min(errors)]
+            failed: List[str] = sorted(errors)
+            for name in sorted(relations):
+                executor.register(name, relations[name])
             if failed:
+                get_metrics().counter(
+                    "mdm_query_partial_total",
+                    "OMQs answered partially after wrapper failures.",
+                ).inc()
                 surviving = [
                     q
                     for q in result.queries
@@ -610,6 +726,7 @@ class MDM:
             relation = relation.sorted()
             root.set_tag("ucq_size", result.ucq_size)
             root.set_tag("rows", len(relation))
+            root.set_tag("fetch_attempts", sum(attempts.values()))
             if failed:
                 root.set_tag("skipped_wrappers", sorted(failed))
         metrics = get_metrics()
@@ -623,7 +740,54 @@ class MDM:
             tuple(sorted(failed)),
             executor=executor,
             operator_stats=stats,
+            fetch_attempts=attempts,
         )
+
+    def _fetch_wrappers(
+        self, names: Sequence[str], serial: bool = False
+    ) -> Tuple[Dict[str, Relation], Dict[str, int], Dict[str, Exception]]:
+        """Fetch the (deduplicated) wrappers ``names`` under the retry policy.
+
+        Runs through a bounded :class:`ThreadPoolExecutor` unless
+        ``serial`` is set or only one worker/wrapper is involved.
+        Returns ``(relations, attempts, errors)`` keyed by wrapper name;
+        ``errors`` holds the terminal exception per failed wrapper —
+        any ``Exception`` counts, because ``fetch()`` is source-side
+        code whose failures must be degradable to a partial result.
+        """
+        for name in names:
+            if self.wrappers.get(name) is None:
+                raise MdmError(
+                    f"wrapper {name!r} is mapped but has no runtime object"
+                )
+        policy = self.retry_policy
+        relations: Dict[str, Relation] = {}
+        attempts: Dict[str, int] = {}
+        errors: Dict[str, Exception] = {}
+
+        def fetch_one(name: str) -> Tuple[Relation, int]:
+            return self.wrappers[name].fetch_relation_retrying(policy)
+
+        workers = min(self.max_fetch_workers, len(names))
+        if serial or workers <= 1:
+            for name in names:
+                try:
+                    relations[name], attempts[name] = fetch_one(name)
+                except Exception as exc:  # noqa: BLE001 — mode decides
+                    errors[name] = exc
+                    attempts[name] = getattr(exc, "attempts", 1)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="mdm-fetch"
+            ) as pool:
+                futures = {name: pool.submit(fetch_one, name) for name in names}
+                for name in names:
+                    try:
+                        relations[name], attempts[name] = futures[name].result()
+                    except Exception as exc:  # noqa: BLE001 — mode decides
+                        errors[name] = exc
+                        attempts[name] = getattr(exc, "attempts", 1)
+        return relations, attempts, errors
 
     def sparql_query(self, text: str, on_wrapper_error: str = "raise") -> QueryOutcome:
         """Pose an OMQ written as SPARQL text (the expert-analyst path).

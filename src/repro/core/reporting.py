@@ -78,6 +78,7 @@ def governance_report(
         from ..obs import get_metrics
 
         report["metrics"] = get_metrics().snapshot()
+        report["rewrite_cache"] = mdm.rewrite_cache.stats()
     return report
 
 
@@ -126,6 +127,14 @@ def render_report(report: Dict[str, object]) -> str:
     if warnings:
         lines.append(f"runtime  : {len(warnings)} wrapper(s) not attached "
                      "(expected for offline snapshots)")
+    cache = report.get("rewrite_cache")
+    if cache is not None:
+        lines.append(
+            f"rewrites : cache {cache['size']}/{cache['capacity']} entries, "
+            f"{cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {cache['hit_rate']:.0%}), "
+            f"{cache['evictions']} evictions"
+        )
     metrics = report.get("metrics")
     if metrics is not None:
         lines.append("metrics  :")

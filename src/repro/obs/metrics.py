@@ -17,6 +17,7 @@ Standard library only; no imports from the rest of :mod:`repro`.
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -88,6 +89,10 @@ class Metric:
         self.help_text = help_text
         self.labelnames: Tuple[str, ...] = tuple(labelnames)
         self._series: Dict[Tuple[str, ...], Any] = {}
+        # Parallel wrapper fetches record retries/latency from worker
+        # threads; read-modify-write on a series is not atomic under the
+        # GIL, so every mutation takes this lock.
+        self._lock = threading.Lock()
 
     def _key(self, labels: Mapping[str, Any]) -> Tuple[str, ...]:
         if set(labels) != set(self.labelnames):
@@ -137,7 +142,8 @@ class Counter(Metric):
         if value < 0:
             raise ValueError("counters can only increase")
         key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + value
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
 
     def value(self, **labels: Any) -> float:
         """Current value of the labeled series (0.0 if never incremented)."""
@@ -170,11 +176,13 @@ class Gauge(Counter):
 
     def set(self, value: float, **labels: Any) -> None:
         """Set the labeled series to ``value``."""
-        self._series[self._key(labels)] = float(value)
+        with self._lock:
+            self._series[self._key(labels)] = float(value)
 
     def inc(self, value: float = 1.0, **labels: Any) -> None:
         key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + value
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
 
     def dec(self, value: float = 1.0, **labels: Any) -> None:
         self.inc(-value, **labels)
@@ -218,16 +226,17 @@ class Histogram(Metric):
     def observe(self, value: float, **labels: Any) -> None:
         """Record one observation into the labeled series."""
         key = self._key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = _HistogramSeries(len(self.buckets))
-        index = bisect_left(self.buckets, value)
-        if index < len(self.buckets):
-            series.bucket_counts[index] += 1
-        else:
-            series.overflow += 1
-        series.count += 1
-        series.total += value
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            index = bisect_left(self.buckets, value)
+            if index < len(self.buckets):
+                series.bucket_counts[index] += 1
+            else:
+                series.overflow += 1
+            series.count += 1
+            series.total += value
 
     def count(self, **labels: Any) -> int:
         """Number of observations of the labeled series."""

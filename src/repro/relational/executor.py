@@ -414,4 +414,11 @@ class Executor:
         widened = left.schema.widen(right.schema)
         left_rows = left.coerced(widened).rows
         right_rows = right.coerced(widened).rows
-        return Relation(widened, left_rows + right_rows)
+        # Sort the merged branches so union output (and the downstream
+        # first-occurrence dedupe) is identical regardless of which CQ
+        # branch's wrapper fetch finished first under concurrency.
+        rows = sorted(
+            left_rows + right_rows,
+            key=lambda row: tuple((v is not None, str(v)) for v in row),
+        )
+        return Relation(widened, rows)

@@ -19,13 +19,15 @@ LAV mappings (steward):
     ``GET  /wrappers/:name/suggestion``  semi-automatic accommodation
 
 Querying (analyst):
-    ``POST /query``                      {"nodes": [iri, ...], "execute"?: bool}
+    ``POST /query``                      {"nodes": [iri, ...], "execute"?: bool, "on_wrapper_error"?: "raise"|"skip"|"partial"}
     ``GET  /metadata/trig``              the TriG snapshot
 
 Observability (operator):
     ``GET  /metrics``                    Prometheus text exposition
     ``GET  /traces/recent``              recent root spans (?limit=N)
     ``POST /obs/tracing``                {"enabled": bool} toggles tracing
+    ``GET  /config/execution``           fetch-pool size, retry policy, cache stats
+    ``POST /config/execution``           {"max_fetch_workers"?: int, "retry"?: {...}}
 
 Wrapper rows posted through the service back a
 :class:`repro.sources.wrappers.StaticWrapper`; programmatic embedders
@@ -102,6 +104,8 @@ class MdmService:
         add("GET", "/metrics", self._get_metrics)
         add("GET", "/traces/recent", self._get_recent_traces)
         add("POST", "/obs/tracing", self._post_tracing)
+        add("GET", "/config/execution", self._get_execution_config)
+        add("POST", "/config/execution", self._post_execution_config)
 
     def _post_concept(self, request: JsonRequest) -> Dict[str, Any]:
         (iri_text,) = request.require("iri")
@@ -251,15 +255,19 @@ class MdmService:
             raise ServiceError(400, "nodes must be a non-empty list of IRIs")
         walk = self.mdm.walk_from_nodes([_iri(n, "walk node") for n in nodes])
         execute = bool(request.body.get("execute", True))
+        on_error = request.body.get("on_wrapper_error", "raise")
+        outcome = None
         try:
             if execute:
-                outcome = self.mdm.execute(walk)
+                outcome = self.mdm.execute(walk, on_wrapper_error=on_error)
                 rewrite = outcome.rewrite
                 rows = [list(r) for r in outcome.relation.rows]
                 columns = list(outcome.relation.schema.names)
             else:
                 rewrite = self.mdm.rewrite(walk)
                 rows, columns = None, list(rewrite.projection)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from exc
         except MdmError as exc:
             raise ServiceError(422, str(exc)) from exc
         payload: Dict[str, Any] = {
@@ -270,6 +278,10 @@ class MdmService:
         }
         if rows is not None:
             payload["rows"] = rows
+        if outcome is not None:
+            payload["partial"] = outcome.partial
+            if outcome.partial:
+                payload["skipped_wrappers"] = list(outcome.skipped_wrappers)
         return payload
 
     def _post_sparql_query(self, request: JsonRequest) -> Dict[str, Any]:
@@ -410,6 +422,53 @@ class MdmService:
         tracer = get_tracer()
         tracer.enabled = bool(enabled)
         return {"enabled": tracer.enabled}
+
+    def _get_execution_config(self, request: JsonRequest) -> Dict[str, Any]:
+        return self.mdm.execution_config()
+
+    def _post_execution_config(self, request: JsonRequest) -> Dict[str, Any]:
+        """Tune the fetch pool and retry policy at runtime.
+
+        Body: ``{"max_fetch_workers"?: int, "retry"?: {"attempts"?,
+        "timeout_s"?, "backoff_base_s"?, "backoff_multiplier"?,
+        "max_backoff_s"?}}`` — omitted parts keep their current value.
+        """
+        from ..sources.wrappers import RetryPolicy
+
+        body = request.body
+        policy = None
+        retry = body.get("retry")
+        if retry is not None:
+            if not isinstance(retry, dict):
+                raise ServiceError(400, "retry must be an object")
+            current = self.mdm.retry_policy
+            try:
+                timeout = retry.get("timeout_s", current.timeout_s)
+                policy = RetryPolicy(
+                    attempts=int(retry.get("attempts", current.attempts)),
+                    timeout_s=None if timeout is None else float(timeout),
+                    backoff_base_s=float(
+                        retry.get("backoff_base_s", current.backoff_base_s)
+                    ),
+                    backoff_multiplier=float(
+                        retry.get(
+                            "backoff_multiplier", current.backoff_multiplier
+                        )
+                    ),
+                    max_backoff_s=float(
+                        retry.get("max_backoff_s", current.max_backoff_s)
+                    ),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, f"invalid retry policy: {exc}") from exc
+        try:
+            self.mdm.configure_execution(
+                max_fetch_workers=body.get("max_fetch_workers"),
+                retry_policy=policy,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return self.mdm.execution_config()
 
     def _get_trig(self, request: JsonRequest) -> Dict[str, Any]:
         return {"trig": self.mdm.to_trig()}

@@ -18,6 +18,7 @@ scenario while MDM's LAV rewriting routes around it.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -27,7 +28,16 @@ from ..relational.relation import Relation
 from .formats import decode_csv, decode_json, decode_xml, flatten_record
 from .restapi import HttpError, MockRestServer, Response
 
-__all__ = ["Wrapper", "RestWrapper", "StaticWrapper", "WrapperSchemaError", "AttributeSpec"]
+__all__ = [
+    "Wrapper",
+    "RestWrapper",
+    "StaticWrapper",
+    "WrapperSchemaError",
+    "WrapperFetchError",
+    "WrapperTimeoutError",
+    "RetryPolicy",
+    "AttributeSpec",
+]
 
 Record = Dict[str, Any]
 
@@ -46,6 +56,89 @@ class WrapperSchemaError(RuntimeError):
         )
         self.wrapper_name = wrapper_name
         self.attribute = attribute
+
+
+class WrapperFetchError(RuntimeError):
+    """A wrapper fetch failed terminally after exhausting its retry policy."""
+
+    def __init__(self, wrapper_name: str, attempts: int, cause: BaseException):
+        super().__init__(
+            f"wrapper {wrapper_name!r}: fetch failed after {attempts} "
+            f"attempt(s): {type(cause).__name__}: {cause}"
+        )
+        self.wrapper_name = wrapper_name
+        self.attempts = attempts
+        self.cause = cause
+
+
+class WrapperTimeoutError(WrapperFetchError):
+    """One fetch attempt exceeded the policy's per-attempt timeout."""
+
+    def __init__(self, wrapper_name: str, timeout_s: float, attempt: int):
+        RuntimeError.__init__(
+            self,
+            f"wrapper {wrapper_name!r}: fetch attempt {attempt} exceeded "
+            f"{timeout_s:g}s timeout",
+        )
+        self.wrapper_name = wrapper_name
+        self.attempts = attempt
+        self.timeout_s = timeout_s
+        self.cause = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout policy for wrapper fetches.
+
+    Attempts are capped at ``attempts``; each attempt may be bounded by
+    ``timeout_s`` (None = unbounded).  Between attempts the policy sleeps
+    ``backoff_base_s * backoff_multiplier**(attempt-1)`` capped at
+    ``max_backoff_s``, plus ``jitter(attempt)`` when a jitter hook is
+    given — the hook keeps backoff deterministic under test (pass e.g.
+    ``lambda attempt: 0.0``) while real deployments can plug randomness.
+    ``sleep`` is injectable for the same reason.
+
+    The default policy (one attempt, no timeout) is semantically the
+    plain ``fetch()`` call: the original exception propagates unwrapped.
+    """
+
+    attempts: int = 1
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: Optional[Callable[[int], float]] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("per-attempt timeout must be positive")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep duration after failed attempt number ``attempt`` (1-based)."""
+        delay = min(
+            self.backoff_base_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter is not None:
+            delay += self.jitter(attempt)
+        return max(0.0, delay)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-shaped view (CLI/service configuration echoes)."""
+        return {
+            "attempts": self.attempts,
+            "timeout_s": self.timeout_s,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_multiplier": self.backoff_multiplier,
+            "max_backoff_s": self.max_backoff_s,
+        }
 
 
 class Wrapper:
@@ -70,26 +163,113 @@ class Wrapper:
         """The current rows as dicts keyed exactly by the signature."""
         raise NotImplementedError
 
-    def fetch_relation(self) -> Relation:
+    def _fetch_bounded(self, timeout_s: Optional[float], attempt: int) -> List[Record]:
+        """One fetch attempt, bounded by ``timeout_s`` when given.
+
+        The bounded variant runs the fetch in a daemon thread and abandons
+        it on timeout (the thread finishes in the background); sources here
+        are in-process, so an abandoned attempt holds no scarce resources.
+        """
+        if timeout_s is None:
+            return self.fetch()
+        result: Dict[str, Any] = {}
+
+        def attempt_fetch() -> None:
+            try:
+                result["rows"] = self.fetch()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                result["error"] = exc
+
+        worker = threading.Thread(
+            target=attempt_fetch, name=f"fetch-{self.name}", daemon=True
+        )
+        worker.start()
+        worker.join(timeout_s)
+        if worker.is_alive():
+            raise WrapperTimeoutError(self.name, timeout_s, attempt)
+        if "error" in result:
+            raise result["error"]
+        return result["rows"]
+
+    def fetch_retrying(
+        self, policy: Optional["RetryPolicy"] = None
+    ) -> Tuple[List[Record], int]:
+        """``fetch()`` under a :class:`RetryPolicy`; returns ``(rows, attempts)``.
+
+        Each failed attempt short of the cap increments
+        ``mdm_wrapper_retry_total``; exhausting the policy increments
+        ``mdm_wrapper_failure_total`` and raises
+        :class:`WrapperFetchError` (or the original exception unwrapped
+        when the policy allows a single untimed attempt, preserving the
+        strict-fetch contract existing callers rely on).
+        """
+        policy = policy or RetryPolicy()
+        metrics = get_metrics()
+        if policy.attempts == 1 and policy.timeout_s is None:
+            try:
+                return self.fetch(), 1
+            except Exception:
+                metrics.counter(
+                    "mdm_wrapper_failure_total",
+                    "Wrapper fetches that failed terminally after retries.",
+                    labelnames=("wrapper",),
+                ).inc(wrapper=self.name)
+                raise
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.attempts + 1):
+            try:
+                return self._fetch_bounded(policy.timeout_s, attempt), attempt
+            except Exception as exc:  # noqa: BLE001 — policy decides
+                last_error = exc
+                if attempt < policy.attempts:
+                    metrics.counter(
+                        "mdm_wrapper_retry_total",
+                        "Wrapper fetch attempts that failed and were retried.",
+                        labelnames=("wrapper",),
+                    ).inc(wrapper=self.name)
+                    policy.sleep(policy.backoff_s(attempt))
+        metrics.counter(
+            "mdm_wrapper_failure_total",
+            "Wrapper fetches that failed terminally after retries.",
+            labelnames=("wrapper",),
+        ).inc(wrapper=self.name)
+        assert last_error is not None
+        if isinstance(last_error, WrapperTimeoutError):
+            raise last_error
+        raise WrapperFetchError(
+            self.name, policy.attempts, last_error
+        ) from last_error
+
+    def fetch_relation(self, retry: Optional["RetryPolicy"] = None) -> Relation:
         """The current rows as a typed :class:`Relation` named after the wrapper.
 
         This is the pipeline's access path, so it is the instrumentation
         point: fetch latency and row counts flow into the
         ``mdm_wrapper_fetch_seconds`` / ``mdm_wrapper_rows_total`` series,
         failures into ``mdm_wrapper_errors_total``, and a ``fetch:<name>``
-        span is emitted when the process tracer is enabled.
+        span is emitted when the process tracer is enabled.  ``retry``
+        applies a :class:`RetryPolicy` around the raw ``fetch()``; the
+        span is tagged with the attempt count.
         """
+        relation, _ = self.fetch_relation_retrying(retry)
+        return relation
+
+    def fetch_relation_retrying(
+        self, retry: Optional["RetryPolicy"] = None
+    ) -> Tuple[Relation, int]:
+        """:meth:`fetch_relation` returning ``(relation, attempts_used)``."""
         metrics = get_metrics()
         started = time.perf_counter()
         with get_tracer().span(f"fetch:{self.name}", wrapper=self.name) as span:
             try:
-                rows = self.fetch()
-            except Exception:
+                rows, attempts = self.fetch_retrying(retry)
+            except Exception as exc:
                 metrics.counter(
                     "mdm_wrapper_errors_total",
                     "Wrapper fetches that raised.",
                     labelnames=("wrapper",),
                 ).inc(wrapper=self.name)
+                span.set_tag("attempts", getattr(exc, "attempts", 1))
                 raise
             metrics.histogram(
                 "mdm_wrapper_fetch_seconds",
@@ -102,8 +282,12 @@ class Wrapper:
                 labelnames=("wrapper",),
             ).inc(len(rows), wrapper=self.name)
             span.set_tag("rows", len(rows))
-            return Relation.from_dicts(
-                rows, attribute_order=list(self.attributes), name=self.name
+            span.set_tag("attempts", attempts)
+            return (
+                Relation.from_dicts(
+                    rows, attribute_order=list(self.attributes), name=self.name
+                ),
+                attempts,
             )
 
     def __repr__(self) -> str:

@@ -1,0 +1,135 @@
+"""Differential testing: LAV rewriting vs the GAV baseline, same answers.
+
+Both systems integrate the *same* wrappers over the *same* ontology, so
+on any walk they can both express, the result relations must be equal up
+to row and column order.  The LAV pipeline (three-phase rewriting → UCQ →
+federated execution) is the system under test; :class:`GavSystem`'s
+one-shot unfolding is the oracle — it shares the relational executor but
+none of the rewriting machinery, so agreement is meaningful.
+
+GAV's unfolding derives join column names from attribute names, so walks
+are kept to at most one edge (two concepts) on the synthetic chain —
+longer chains would collide on ``join_next_id``.  The football scenario
+exercises a richer multi-wrapper walk through its hand-built GAV.
+"""
+
+import random
+
+import pytest
+
+from repro.core.gav_baseline import GavSystem
+from repro.rdf.terms import Triple
+from repro.scenarios.football import FootballScenario
+from repro.scenarios.synthetic import SYN, chain_mdm
+from repro.sources.wrappers import StaticWrapper
+
+
+def canonical(relation):
+    """(sorted column names, sorted tuples reordered by column name)."""
+    columns = list(relation.schema.names)
+    order = sorted(range(len(columns)), key=lambda i: columns[i])
+    rows = sorted(
+        tuple(str(row[i]) for i in order) for row in relation.rows
+    )
+    return [columns[i] for i in order], rows
+
+
+def assert_same_relation(lav_relation, gav_relation):
+    lav_columns, lav_rows = canonical(lav_relation)
+    gav_columns, gav_rows = canonical(gav_relation)
+    assert lav_columns == gav_columns
+    assert lav_rows == gav_rows
+
+
+def build_chain_gav(mdm, n_concepts):
+    """GAV definitions mirroring ``chain_mdm``'s LAV mappings."""
+    gav = GavSystem(mdm.global_graph)
+    for i in range(n_concepts):
+        gav.register_wrapper(mdm.wrappers[f"w{i}"])
+        gav.define_feature(SYN[f"id{i}"], f"w{i}", "id")
+        gav.define_feature(SYN[f"val{i}"], f"w{i}", "val")
+        if i < n_concepts - 1:
+            gav.define_edge(
+                Triple(SYN[f"C{i}"], SYN[f"r{i}"], SYN[f"C{i+1}"]),
+                f"w{i}",
+                "next",
+                f"w{i+1}",
+                "id",
+            )
+    return gav
+
+
+def random_chain_walks(mdm, concepts, rng, samples):
+    """Seeded random 1- or 2-concept walks fetching the val features."""
+    walks = []
+    for _ in range(samples):
+        length = rng.choice([1, 2]) if len(concepts) > 1 else 1
+        start = rng.randrange(len(concepts) - length + 1)
+        nodes = []
+        for i in range(start, start + length):
+            nodes.append(concepts[i])
+            nodes.append(SYN[f"val{i}"])
+        walks.append(mdm.walk_from_nodes(nodes))
+    return walks
+
+
+class TestChainDifferential:
+    @pytest.mark.parametrize("n_concepts,seed", [(3, 7), (5, 11), (6, 23)])
+    def test_random_walks_agree(self, n_concepts, seed):
+        mdm, concepts, _, _ = chain_mdm(n_concepts, rows_per_concept=12)
+        gav = build_chain_gav(mdm, n_concepts)
+        rng = random.Random(seed)
+        for walk in random_chain_walks(mdm, concepts, rng, samples=6):
+            outcome = mdm.execute(walk)
+            assert_same_relation(outcome.relation, gav.execute(walk))
+
+    def test_agreement_survives_a_supersede_step(self):
+        """A breaking release superseding w0: LAV accommodates with a new
+        mapping, GAV hand-migrates — and the two must still agree."""
+        mdm, concepts, ground, links = chain_mdm(3, rows_per_concept=10)
+        gav = build_chain_gav(mdm, 3)
+        walk = mdm.walk_from_nodes(
+            [concepts[0], SYN["val0"], concepts[1], SYN["val1"]]
+        )
+        assert_same_relation(mdm.execute(walk).relation, gav.execute(walk))
+
+        # The source ships w0v2 with a renamed signature (the supersede).
+        rows_v2 = [
+            {"ident": r["id"], "value": r["val"], "successor": links[0][r["id"]]}
+            for r in ground[0]
+        ]
+        w0v2 = StaticWrapper("w0v2", ["ident", "value", "successor"], rows_v2)
+        mdm.register_wrapper("s0", w0v2)
+        mdm.define_mapping(
+            "w0v2",
+            {"ident": SYN["id0"], "value": SYN["val0"], "successor": SYN["id1"]},
+            edges=[(concepts[0], SYN["r0"], concepts[1])],
+        )
+        gav.migrate_wrapper(
+            "w0", w0v2, {"id": "ident", "val": "value", "next": "successor"}
+        )
+
+        outcome = mdm.execute(walk)
+        # The LAV union now covers the walk through both releases.
+        ucq_wrappers = {
+            name for q in outcome.rewrite.queries for name in q.wrapper_names
+        }
+        assert "w0v2" in ucq_wrappers
+        assert_same_relation(outcome.relation, gav.execute(walk))
+
+    def test_single_concept_walks_agree(self):
+        mdm, concepts, _, _ = chain_mdm(4, rows_per_concept=15)
+        gav = build_chain_gav(mdm, 4)
+        for i, concept in enumerate(concepts):
+            walk = mdm.walk_from_nodes([concept, SYN[f"val{i}"]])
+            assert_same_relation(mdm.execute(walk).relation, gav.execute(walk))
+
+
+class TestFootballDifferential:
+    def test_player_team_walk_agrees(self):
+        scenario = FootballScenario.build(anchors_only=True)
+        gav = scenario.build_gav()
+        walk = scenario.walk_player_team_names()
+        outcome = scenario.mdm.execute(walk)
+        assert_same_relation(outcome.relation, gav.execute(walk))
+        assert len(outcome.relation) == 6

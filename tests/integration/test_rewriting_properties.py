@@ -211,3 +211,109 @@ def test_optional_feature_partial_coverage(rows, covered, seed):
         assert len(variants) == 1  # subsumption removed NULL shadows
         expected = f"o{record['id']}" if record["id"] in covered_ids else None
         assert variants[0][opt_index] == expected
+
+
+# --------------------------------------------------------------------- #
+# rewrite-cache coherence under evolution
+# --------------------------------------------------------------------- #
+
+
+@given(
+    n_concepts=st.integers(min_value=1, max_value=3),
+    rows=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_cache_hit_equals_fresh_rewrite(n_concepts, rows, seed):
+    """A cached plan must be indistinguishable from rewriting again."""
+    mdm, concepts, ground, links = build_chain_mdm(n_concepts, rows, seed)
+    nodes = list(concepts) + [NS[f"val{i}"] for i in range(n_concepts)]
+    walk = mdm.walk_from_nodes(nodes)
+    first = mdm.rewrite(walk)
+    cached = mdm.rewrite(walk)
+    assert cached is first  # served from the cache, not recomputed
+    fresh = mdm.rewrite(walk, use_cache=False)
+    assert fresh is not cached
+    assert fresh.sparql == cached.sparql
+    assert fresh.ucq_size == cached.ucq_size
+    assert [q.wrapper_names for q in fresh.queries] == [
+        q.wrapper_names for q in cached.queries
+    ]
+    # And the cached plan executes to the ground truth.
+    outcome = mdm.execute(walk)
+    assert set(outcome.relation.rows) == expected_chain_rows(
+        ground, links, n_concepts
+    )
+
+
+@given(
+    n_concepts=st.integers(min_value=1, max_value=3),
+    rows=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_registering_a_wrapper_invalidates_the_cached_plan(
+    n_concepts, rows, seed
+):
+    """rewrite → register wrapper → rewrite must not serve the stale UCQ:
+    the generation counter makes the old entry unreachable."""
+    mdm, concepts, ground, links = build_chain_mdm(n_concepts, rows, seed)
+    nodes = list(concepts) + [NS[f"val{i}"] for i in range(n_concepts)]
+    walk = mdm.walk_from_nodes(nodes)
+    stale = mdm.rewrite(walk)
+    generation_before = mdm.generation
+    # Evolution: source 0 ships a second wrapper version (same data).
+    rows0 = mdm.wrappers["w0"].fetch()
+    attributes = list(mdm.wrappers["w0"].attributes)
+    mdm.register_wrapper("s0", StaticWrapper("w0v2", attributes, rows0))
+    assert mdm.generation > generation_before
+    suggestion = mdm.suggest_mapping("w0v2")
+    mapping_edges = []
+    if n_concepts > 1:
+        mapping_edges.append((concepts[0], NS["r0"], concepts[1]))
+    mdm.apply_suggestion(suggestion, extra_edges=mapping_edges)
+    fresh = mdm.rewrite(walk)
+    assert fresh is not stale  # the stale plan was not served
+    assert fresh.ucq_size > stale.ucq_size  # the union grew with the release
+    assert "w0v2" in {
+        name for q in fresh.queries for name in q.wrapper_names
+    }
+    # The grown plan is itself cached at the new generation.
+    assert mdm.rewrite(walk) is fresh
+    assert set(mdm.execute(walk).relation.rows) == expected_chain_rows(
+        ground, links, n_concepts
+    )
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_ontology_edits_also_invalidate(rows, seed):
+    """Adding a feature to the global graph bumps the generation too —
+    any metadata mutation makes cached plans cold."""
+    mdm, concepts, ground, links = build_chain_mdm(1, rows, seed)
+    walk = mdm.walk_from_nodes([concepts[0], NS["val0"]])
+    stale = mdm.rewrite(walk)
+    before = mdm.generation
+    mdm.add_feature(NS["extra0"], concepts[0])
+    assert mdm.generation > before
+    fresh = mdm.rewrite(walk)
+    assert fresh is not stale
+    assert fresh.sparql == stale.sparql  # unrelated edit: same plan, recomputed
+
+
+def test_cache_capacity_is_bounded():
+    """The LRU never holds more than its capacity, whatever the churn."""
+    mdm, concepts, _, _ = build_chain_mdm(1, 2, seed=1)
+    mdm.rewrite_cache.capacity = 2
+    walks = [
+        mdm.walk_from_nodes([concepts[0], NS["id0"]]),
+        mdm.walk_from_nodes([concepts[0], NS["val0"]]),
+        mdm.walk_from_nodes([concepts[0], NS["id0"], NS["val0"]]),
+    ]
+    for walk in walks:
+        mdm.rewrite(walk)
+    assert len(mdm.rewrite_cache) == 2
+    assert mdm.rewrite_cache.stats()["evictions"] >= 1

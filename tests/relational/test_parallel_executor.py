@@ -1,0 +1,419 @@
+"""Concurrent federated execution: pool fetches, retries, partial results.
+
+The doubles here simulate the three ways a real wrapper misbehaves —
+slowness (:class:`SlowWrapper`), transient failure (:class:`FlakyWrapper`)
+and permanent failure (:class:`DeadWrapper`) — and the tests prove the
+executor's concurrency is real (a barrier only N simultaneous fetches can
+pass), bounded, retried per policy, and degraded to partial results
+instead of an exception when asked.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import MdmError
+from repro.core.mdm import MDM
+from repro.obs import MetricsRegistry, set_metrics
+from repro.rdf.namespaces import EX
+from repro.sources.wrappers import (
+    RetryPolicy,
+    StaticWrapper,
+    WrapperFetchError,
+    WrapperTimeoutError,
+)
+
+
+# --------------------------------------------------------------------- #
+# test doubles
+# --------------------------------------------------------------------- #
+
+
+class SlowWrapper(StaticWrapper):
+    """Sleeps before answering; counts fetches."""
+
+    def __init__(self, name, attributes, rows, delay_s=0.0):
+        super().__init__(name, attributes, rows)
+        self.delay_s = delay_s
+        self.fetch_count = 0
+
+    def fetch(self):
+        self.fetch_count += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return super().fetch()
+
+
+class BarrierWrapper(StaticWrapper):
+    """Only answers once ``parties`` fetches are in flight simultaneously.
+
+    threading.Barrier is the strongest concurrency proof available: if
+    the executor fetched serially, the first fetch would block forever
+    (here: until the barrier timeout breaks it).
+    """
+
+    def __init__(self, name, attributes, rows, barrier):
+        super().__init__(name, attributes, rows)
+        self.barrier = barrier
+
+    def fetch(self):
+        self.barrier.wait(timeout=5.0)
+        return super().fetch()
+
+
+class FlakyWrapper(StaticWrapper):
+    """Fails the first ``fail_times`` fetches, then succeeds."""
+
+    def __init__(self, name, attributes, rows, fail_times):
+        super().__init__(name, attributes, rows)
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def fetch(self):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise RuntimeError(f"transient outage #{self.calls}")
+        return super().fetch()
+
+
+class DeadWrapper(StaticWrapper):
+    """Always fails."""
+
+    def __init__(self, name, attributes):
+        super().__init__(name, attributes, [])
+        self.calls = 0
+
+    def fetch(self):
+        self.calls += 1
+        raise RuntimeError("permanently down")
+
+
+class HangingWrapper(StaticWrapper):
+    """Sleeps far longer than any per-attempt timeout under test."""
+
+    def __init__(self, name, attributes, hang_s=10.0):
+        super().__init__(name, attributes, [])
+        self.hang_s = hang_s
+
+    def fetch(self):
+        time.sleep(self.hang_s)
+        return super().fetch()
+
+
+# --------------------------------------------------------------------- #
+# fixtures
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def isolated_metrics():
+    """A fresh metrics registry for the duration of one test."""
+    from repro.obs import get_metrics
+
+    previous = get_metrics()
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+
+
+def union_mdm(wrappers, **mdm_kwargs):
+    """An MDM whose UCQ unions one CQ per wrapper over a single concept."""
+    mdm = MDM(**mdm_kwargs)
+    mdm.add_concept(EX.Thing, "Thing")
+    mdm.add_identifier(EX.thingId, EX.Thing)
+    mdm.add_feature(EX.thingName, EX.Thing)
+    mdm.register_source("things")
+    for wrapper in wrappers:
+        mdm.register_wrapper("things", wrapper)
+        mdm.define_mapping(
+            wrapper.name, {"id": EX.thingId, "name": EX.thingName}
+        )
+    return mdm
+
+
+def name_walk(mdm):
+    return mdm.walk_from_nodes([EX.Thing, EX.thingName])
+
+
+def rows_for(prefix, n=2):
+    return [
+        {"id": f"{prefix}-{i}", "name": f"{prefix} thing {i}"}
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# concurrency
+# --------------------------------------------------------------------- #
+
+
+class TestConcurrentFetch:
+    def test_fetches_overlap_when_pool_is_wide_enough(self):
+        barrier = threading.Barrier(4)
+        wrappers = [
+            BarrierWrapper(f"w{i}", ["id", "name"], rows_for(f"w{i}"), barrier)
+            for i in range(4)
+        ]
+        mdm = union_mdm(wrappers, max_fetch_workers=4)
+        outcome = mdm.execute(name_walk(mdm))
+        # All four fetches met at the barrier — serial execution would
+        # have broken it (BrokenBarrierError) instead of returning rows.
+        assert len(outcome.relation) == 8
+        assert not outcome.partial
+
+    def test_serial_pool_breaks_the_barrier(self):
+        barrier = threading.Barrier(4)
+        wrappers = [
+            BarrierWrapper(f"w{i}", ["id", "name"], rows_for(f"w{i}"), barrier)
+            for i in range(4)
+        ]
+        mdm = union_mdm(wrappers, max_fetch_workers=1)
+        with pytest.raises(threading.BrokenBarrierError):
+            mdm.execute(name_walk(mdm))
+
+    def test_parallel_and_serial_agree(self):
+        def build(workers):
+            return union_mdm(
+                [
+                    SlowWrapper(
+                        f"w{i}", ["id", "name"], rows_for(f"w{i}", 3), 0.01
+                    )
+                    for i in range(5)
+                ],
+                max_fetch_workers=workers,
+            )
+
+        serial = build(1)
+        parallel = build(8)
+        rows_serial = serial.execute(name_walk(serial)).relation.rows
+        rows_parallel = parallel.execute(name_walk(parallel)).relation.rows
+        assert rows_serial == rows_parallel
+
+    def test_shared_wrapper_fetched_once_per_query(self):
+        """A wrapper appearing in several CQs of the union fetches once."""
+        mdm = MDM(max_fetch_workers=4)
+        mdm.add_concept(EX.Thing, "Thing")
+        mdm.add_identifier(EX.thingId, EX.Thing)
+        mdm.add_concept(EX.Other, "Other")
+        mdm.add_identifier(EX.otherId, EX.Other)
+        mdm.add_feature(EX.otherName, EX.Other)
+        mdm.relate(EX.Thing, EX.linksTo, EX.Other)
+        mdm.register_source("things")
+        shared = SlowWrapper("wshared", ["id", "oid"], [{"id": "t", "oid": "o"}])
+        mdm.register_wrapper("things", shared)
+        mdm.define_mapping(
+            "wshared",
+            {"id": EX.thingId, "oid": EX.otherId},
+            edges=[(EX.Thing, EX.linksTo, EX.Other)],
+        )
+        for name in ("wa", "wb"):
+            w = StaticWrapper(
+                name, ["oid", "oname"], [{"oid": "o", "oname": f"{name}!"}]
+            )
+            mdm.register_wrapper("things", w)
+            mdm.define_mapping(
+                name, {"oid": EX.otherId, "oname": EX.otherName}
+            )
+        walk = mdm.walk_from_nodes([EX.Thing, EX.Other, EX.otherName])
+        outcome = mdm.execute(walk)
+        ucq_wrappers = [
+            name
+            for q in outcome.rewrite.queries
+            for name in q.wrapper_names
+        ]
+        assert ucq_wrappers.count("wshared") >= 2
+        assert shared.fetch_count == 1
+        assert outcome.fetch_attempts["wshared"] == 1
+
+    def test_worker_bound_is_validated(self):
+        with pytest.raises(ValueError):
+            MDM(max_fetch_workers=0)
+        mdm = union_mdm([StaticWrapper("w0", ["id", "name"], [])])
+        with pytest.raises(ValueError):
+            mdm.configure_execution(max_fetch_workers=-2)
+
+
+class TestDeterminism:
+    @pytest.mark.slow
+    def test_same_query_20_times_is_byte_identical(self):
+        """Regression: thread completion order must not leak into output."""
+        wrappers = [
+            SlowWrapper(
+                f"w{i}",
+                ["id", "name"],
+                rows_for(f"w{i}", 4),
+                # Staggered delays shuffle completion order across runs.
+                delay_s=0.001 * ((i * 7) % 5),
+            )
+            for i in range(6)
+        ]
+        mdm = union_mdm(wrappers, max_fetch_workers=8)
+        walk = name_walk(mdm)
+        renderings = {
+            mdm.execute(walk).to_table().encode("utf-8") for _ in range(20)
+        }
+        assert len(renderings) == 1
+
+
+# --------------------------------------------------------------------- #
+# retries / backoff / timeout
+# --------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_flaky_wrapper_recovers_and_counts_attempts(self, isolated_metrics):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=4,
+            backoff_base_s=0.01,
+            backoff_multiplier=2.0,
+            sleep=sleeps.append,
+        )
+        flaky = FlakyWrapper("wf", ["id", "name"], rows_for("wf"), fail_times=2)
+        rows, attempts = flaky.fetch_retrying(policy)
+        assert attempts == 3
+        assert len(rows) == 2
+        assert sleeps == [0.01, 0.02]
+        retry_counter = isolated_metrics.counter(
+            "mdm_wrapper_retry_total", "", labelnames=("wrapper",)
+        )
+        assert retry_counter.value(wrapper="wf") == 2
+
+    def test_jitter_hook_shapes_backoff_deterministically(self):
+        policy = RetryPolicy(
+            attempts=3,
+            backoff_base_s=0.1,
+            backoff_multiplier=2.0,
+            jitter=lambda attempt: attempt * 0.001,
+            sleep=lambda s: None,
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.101)
+        assert policy.backoff_s(2) == pytest.approx(0.202)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(
+            attempts=10,
+            backoff_base_s=1.0,
+            backoff_multiplier=10.0,
+            max_backoff_s=2.5,
+            sleep=lambda s: None,
+        )
+        assert policy.backoff_s(5) == pytest.approx(2.5)
+
+    def test_exhausted_retries_raise_wrapper_fetch_error(self, isolated_metrics):
+        dead = DeadWrapper("wd", ["id", "name"])
+        policy = RetryPolicy(attempts=3, sleep=lambda s: None)
+        with pytest.raises(WrapperFetchError) as exc:
+            dead.fetch_retrying(policy)
+        assert exc.value.wrapper_name == "wd"
+        assert exc.value.attempts == 3
+        assert dead.calls == 3
+        failure_counter = isolated_metrics.counter(
+            "mdm_wrapper_failure_total", "", labelnames=("wrapper",)
+        )
+        assert failure_counter.value(wrapper="wd") == 1
+
+    def test_per_attempt_timeout_is_enforced(self):
+        hanging = HangingWrapper("wh", ["id", "name"], hang_s=10.0)
+        policy = RetryPolicy(attempts=2, timeout_s=0.05, sleep=lambda s: None)
+        started = time.perf_counter()
+        with pytest.raises(WrapperTimeoutError) as exc:
+            hanging.fetch_retrying(policy)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0  # two bounded attempts, not 2 × 10s hangs
+        assert exc.value.wrapper_name == "wh"
+
+    def test_single_attempt_policy_is_transparent(self):
+        """The default policy must preserve the legacy exception contract."""
+        dead = DeadWrapper("wd", ["id", "name"])
+        with pytest.raises(RuntimeError, match="permanently down"):
+            dead.fetch_retrying(RetryPolicy())
+        assert dead.calls == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-0.1)
+
+
+# --------------------------------------------------------------------- #
+# partial results
+# --------------------------------------------------------------------- #
+
+
+class TestPartialResults:
+    def build(self, **mdm_kwargs):
+        self.dead = DeadWrapper("wdead", ["id", "name"])
+        wrappers = [
+            StaticWrapper("wa", ["id", "name"], rows_for("wa")),
+            StaticWrapper("wb", ["id", "name"], rows_for("wb")),
+            self.dead,
+        ]
+        return union_mdm(wrappers, **mdm_kwargs)
+
+    def test_failed_wrapper_degrades_to_partial_outcome(self, isolated_metrics):
+        mdm = self.build(
+            max_fetch_workers=4,
+            retry_policy=RetryPolicy(attempts=2, sleep=lambda s: None),
+        )
+        outcome = mdm.execute(name_walk(mdm), on_wrapper_error="partial")
+        assert outcome.partial is True
+        assert outcome.skipped_wrappers == ("wdead",)
+        assert self.dead.calls == 2  # the retry policy was honoured
+        assert outcome.fetch_attempts["wdead"] == 2
+        names = {row[0] for row in outcome.relation.rows}
+        assert names == {f"wa thing {i}" for i in range(2)} | {
+            f"wb thing {i}" for i in range(2)
+        }
+        partial_counter = isolated_metrics.counter(
+            "mdm_query_partial_total", ""
+        )
+        assert partial_counter.value() == 1
+
+    def test_skip_is_an_alias_for_partial(self):
+        mdm = self.build(max_fetch_workers=4)
+        outcome = mdm.execute(name_walk(mdm), on_wrapper_error="skip")
+        assert outcome.partial is True
+        assert outcome.skipped_wrappers == ("wdead",)
+
+    def test_raise_mode_raises_the_wrapped_error(self):
+        mdm = self.build(
+            max_fetch_workers=4,
+            retry_policy=RetryPolicy(attempts=2, sleep=lambda s: None),
+        )
+        with pytest.raises(WrapperFetchError) as exc:
+            mdm.execute(name_walk(mdm))
+        assert exc.value.wrapper_name == "wdead"
+
+    def test_all_wrappers_failing_still_raises_in_partial_mode(self):
+        mdm = union_mdm(
+            [DeadWrapper("wd1", ["id", "name"]), DeadWrapper("wd2", ["id", "name"])],
+            max_fetch_workers=4,
+        )
+        with pytest.raises(MdmError, match="every CQ depends"):
+            mdm.execute(name_walk(mdm), on_wrapper_error="partial")
+
+    def test_invalid_mode_is_rejected(self):
+        mdm = self.build()
+        with pytest.raises(ValueError):
+            mdm.execute(name_walk(mdm), on_wrapper_error="explode")
+
+    def test_timeout_degrades_to_partial_too(self):
+        hanging = HangingWrapper("whang", ["id", "name"], hang_s=10.0)
+        mdm = union_mdm(
+            [StaticWrapper("wa", ["id", "name"], rows_for("wa")), hanging],
+            max_fetch_workers=4,
+            retry_policy=RetryPolicy(
+                attempts=2, timeout_s=0.05, sleep=lambda s: None
+            ),
+        )
+        outcome = mdm.execute(name_walk(mdm), on_wrapper_error="partial")
+        assert outcome.partial
+        assert outcome.skipped_wrappers == ("whang",)
