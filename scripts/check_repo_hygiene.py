@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail if compiled-Python artifacts are tracked by git.
+
+``__pycache__`` directories and ``.pyc`` files snuck into one commit
+already; this check keeps them from coming back.  Run directly::
+
+    python scripts/check_repo_hygiene.py
+
+or through the pytest collection gate in ``tests/test_repo_hygiene.py``.
+Exits 0 when clean, 1 with an offending-path listing otherwise.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Tracked-path fragments that must never appear in the index.
+FORBIDDEN_FRAGMENTS = ("__pycache__/",)
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
+
+
+def tracked_files(repo_root: Path = REPO_ROOT) -> list:
+    """All paths in the git index (empty list when git is unavailable)."""
+    try:
+        completed = subprocess.run(
+            ["git", "ls-files", "-z"],
+            cwd=repo_root,
+            capture_output=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    raw = completed.stdout.decode("utf-8", errors="replace")
+    return [p for p in raw.split("\0") if p]
+
+
+def hygiene_violations(paths) -> list:
+    """The subset of ``paths`` that violates the hygiene rules."""
+    violations = []
+    for path in paths:
+        if any(fragment in path for fragment in FORBIDDEN_FRAGMENTS) or path.endswith(
+            FORBIDDEN_SUFFIXES
+        ):
+            violations.append(path)
+    return sorted(violations)
+
+
+def main() -> int:
+    offenders = hygiene_violations(tracked_files())
+    if offenders:
+        print("tracked compiled-Python artifacts (git rm --cached them):")
+        for path in offenders:
+            print(f"  {path}")
+        return 1
+    print("repo hygiene: clean (no tracked __pycache__/.pyc)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

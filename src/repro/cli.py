@@ -78,7 +78,7 @@ def cmd_demo(args) -> int:
 
 
 def _apply_execution_flags(mdm, args) -> None:
-    """Fold --fetch-workers/--retry-* CLI flags into the MDM instance."""
+    """Fold --fetch-workers/--retry-*/--no-optimize flags into the MDM."""
     policy = None
     attempts = getattr(args, "retry_attempts", None)
     timeout = getattr(args, "retry_timeout", None)
@@ -89,6 +89,7 @@ def _apply_execution_flags(mdm, args) -> None:
     mdm.configure_execution(
         max_fetch_workers=getattr(args, "fetch_workers", None),
         retry_policy=policy,
+        optimize=False if getattr(args, "no_optimize", False) else None,
     )
 
 
@@ -300,6 +301,12 @@ def _add_execution_flags(parser) -> None:
         "--retry-timeout",
         type=float,
         help="per-attempt wrapper fetch timeout in seconds",
+    )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="execute the UCQ as rewritten, skipping the logical plan "
+        "optimizer (default: optimize, or $MDM_OPTIMIZE)",
     )
 
 

@@ -32,6 +32,7 @@ from ..obs import get_metrics, get_tracer
 from ..rdf.dataset import Dataset
 from ..rdf.terms import IRI, Triple
 from ..relational.executor import Executor, OperatorStats
+from ..relational.optimizer import OptimizationStats, PlanOptimizer
 from ..relational.relation import Relation
 from ..sources.wrappers import RetryPolicy, Wrapper
 from ..sparql.evaluator import evaluate_text
@@ -65,6 +66,11 @@ class QueryOutcome:
         executor: Optional[Executor] = None,
         operator_stats: Optional[OperatorStats] = None,
         fetch_attempts: Optional[Mapping[str, int]] = None,
+        naive_plan=None,
+        executed_plan=None,
+        optimization: Optional[OptimizationStats] = None,
+        subplan_hits: int = 0,
+        subplan_misses: int = 0,
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -78,6 +84,25 @@ class QueryOutcome:
         #: Fetch attempts spent per wrapper (1 = first-try success; absent
         #: wrappers were not needed by this query's UCQ).
         self.fetch_attempts: Dict[str, int] = dict(fetch_attempts or {})
+        #: The UCQ plan as emitted by the LAV rewriting (pre-optimization).
+        self.naive_plan = naive_plan
+        #: The plan that was actually executed (== naive_plan when the
+        #: logical optimizer is off or changed nothing).
+        self.executed_plan = executed_plan
+        #: What the logical optimizer did (None when it was off).
+        self.optimization = optimization
+        #: Shared-subplan memo reuse during this query's execution.
+        self.subplan_hits = subplan_hits
+        self.subplan_misses = subplan_misses
+
+    @property
+    def optimized(self) -> bool:
+        """True when the logical optimizer rewrote the executed plan."""
+        return (
+            self.optimization is not None
+            and self.executed_plan is not None
+            and self.executed_plan is not self.naive_plan
+        )
 
     @property
     def partial(self) -> bool:
@@ -94,11 +119,33 @@ class QueryOutcome:
             raise MdmError(
                 "explain_analyze() needs execute(walk, analyze=True)"
             )
-        header = (
+        lines = [
             f"EXPLAIN ANALYZE  union of {self.rewrite.ucq_size} CQs, "
             f"{len(self.relation)} rows"
-        )
-        return header + "\n" + self.operator_stats.pretty()
+        ]
+        if self.optimization is not None and self.naive_plan is not None:
+            lines.append(f"Plan (rewritten):  {self.naive_plan.pretty()}")
+            if self.optimized:
+                lines.append(
+                    f"Plan (optimized):  {self.executed_plan.pretty()}"
+                )
+            summary = self.optimization
+            rules = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(summary.rules.items())
+            )
+            lines.append(
+                f"Optimizer: {summary.total} rule applications in "
+                f"{summary.elapsed_s * 1000.0:.3f}ms over {summary.passes} "
+                f"passes" + (f" ({rules})" if rules else "")
+            )
+        if self.subplan_hits or self.subplan_misses:
+            lines.append(
+                f"Shared subplans: {self.subplan_hits} memo hits / "
+                f"{self.subplan_misses} misses"
+            )
+        lines.append(self.operator_stats.pretty())
+        return "\n".join(lines)
 
     def provenance(self) -> List[Dict[str, object]]:
         """Per-CQ lineage: which wrapper combination produced which rows.
@@ -177,6 +224,14 @@ class QueryOutcome:
 #: Default size of the federated fetch thread pool (env-overridable).
 DEFAULT_FETCH_WORKERS = int(os.environ.get("MDM_FETCH_WORKERS", "4"))
 
+#: Default for the logical plan optimizer (``MDM_OPTIMIZE=0`` disables).
+DEFAULT_OPTIMIZE = os.environ.get("MDM_OPTIMIZE", "1").strip().lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
 
 class MDM:
     """The Metadata Management System."""
@@ -188,6 +243,7 @@ class MDM:
         max_fetch_workers: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
         rewrite_cache_size: int = 128,
+        optimize: Optional[bool] = None,
     ):
         self.dataset = Dataset(namespaces=mdm_namespace_manager())
         self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
@@ -209,6 +265,8 @@ class MDM:
             raise ValueError("max_fetch_workers must be >= 1")
         #: Retry policy applied to every wrapper fetch during execution.
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Run the logical plan optimizer on every UCQ before execution.
+        self.optimize = DEFAULT_OPTIMIZE if optimize is None else bool(optimize)
         #: Metadata generation: bumped on every ontology/source/mapping
         #: mutation; the rewrite cache keys plans by it so evolution can
         #: never serve a stale UCQ.
@@ -244,14 +302,17 @@ class MDM:
         self,
         max_fetch_workers: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        optimize: Optional[bool] = None,
     ) -> Dict[str, object]:
-        """Adjust the fetch pool / retry policy; returns the live config."""
+        """Adjust the fetch pool / retry / optimizer; returns the live config."""
         if max_fetch_workers is not None:
             if max_fetch_workers < 1:
                 raise ValueError("max_fetch_workers must be >= 1")
             self.max_fetch_workers = max_fetch_workers
         if retry_policy is not None:
             self.retry_policy = retry_policy
+        if optimize is not None:
+            self.optimize = bool(optimize)
         return self.execution_config()
 
     def execution_config(self) -> Dict[str, object]:
@@ -259,6 +320,7 @@ class MDM:
         return {
             "max_fetch_workers": self.max_fetch_workers,
             "retry": self.retry_policy.describe(),
+            "optimize": self.optimize,
             "generation": self._generation,
             "rewrite_cache": self.rewrite_cache.stats(),
         }
@@ -711,11 +773,23 @@ class MDM:
                 )
             else:
                 plan = result.plan
+            naive_plan = plan
+            optimization: Optional[OptimizationStats] = None
+            if self.optimize:
+                plan, optimization = self._optimize_plan(
+                    plan,
+                    executor,
+                    {name: len(rel) for name, rel in relations.items()},
+                )
             stats: Optional[OperatorStats] = None
+            hits_before = executor.subplan_hits
+            misses_before = executor.subplan_misses
             if analyze:
                 relation, stats = executor.execute_analyzed(plan)
             else:
                 relation = executor.execute(plan)
+            subplan_hits = executor.subplan_hits - hits_before
+            subplan_misses = executor.subplan_misses - misses_before
             if walk.optional_features:
                 optional_columns = [
                     result.column_names[f]
@@ -734,6 +808,16 @@ class MDM:
         metrics.histogram(
             "mdm_execute_seconds", "End-to-end OMQ execution latency."
         ).observe(time.perf_counter() - started)
+        if subplan_hits or subplan_misses:
+            subplan_counter = metrics.counter(
+                "mdm_subplan_cache_total",
+                "Shared-subplan memo lookups during UCQ execution.",
+                labelnames=("result",),
+            )
+            if subplan_hits:
+                subplan_counter.inc(subplan_hits, result="hit")
+            if subplan_misses:
+                subplan_counter.inc(subplan_misses, result="miss")
         return QueryOutcome(
             result,
             relation,
@@ -741,7 +825,35 @@ class MDM:
             executor=executor,
             operator_stats=stats,
             fetch_attempts=attempts,
+            naive_plan=naive_plan,
+            executed_plan=plan,
+            optimization=optimization,
+            subplan_hits=subplan_hits,
+            subplan_misses=subplan_misses,
         )
+
+    @staticmethod
+    def _optimize_plan(
+        plan,
+        executor: Executor,
+        row_counts: Mapping[str, int],
+    ):
+        """Run the logical optimizer; fall back to the naive plan on error.
+
+        An optimizer bug must degrade to the unoptimized (correct) plan
+        rather than failing the query — the failure is counted so it is
+        visible in /metrics instead of silent.
+        """
+        try:
+            optimizer = PlanOptimizer(executor.catalog, row_counts)
+            return optimizer.optimize(plan)
+        except Exception:  # noqa: BLE001 — optimization is best-effort
+            get_metrics().counter(
+                "mdm_optimizer_failures_total",
+                "Logical optimizations that failed and fell back to the "
+                "naive plan.",
+            ).inc()
+            return plan, None
 
     def _fetch_wrappers(
         self, names: Sequence[str], serial: bool = False

@@ -27,7 +27,26 @@ from .algebra import (
     union_all,
 )
 from .executor import ExecutionError, Executor
-from .expressions import And, Cmp, Col, Const, Expr, IsNull, NotExpr, Or
+from .expressions import (
+    And,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    IsNull,
+    NotExpr,
+    Or,
+    conjoin,
+    conjuncts,
+    rename_columns,
+)
+from .optimizer import (
+    CardinalityEstimator,
+    OptimizationStats,
+    PlanOptimizer,
+    flatten_union,
+    plan_key,
+)
 from .relation import Relation
 from .schema import Attribute, RelationSchema, SchemaError
 from .sql import to_sql
@@ -66,5 +85,13 @@ __all__ = [
     "Or",
     "NotExpr",
     "IsNull",
+    "conjuncts",
+    "conjoin",
+    "rename_columns",
+    "PlanOptimizer",
+    "OptimizationStats",
+    "CardinalityEstimator",
+    "plan_key",
+    "flatten_union",
     "to_sql",
 ]

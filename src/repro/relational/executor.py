@@ -29,6 +29,7 @@ from .algebra import (
     Select,
     Union,
 )
+from .optimizer import plan_key
 from .relation import Relation
 from .schema import RelationSchema, SchemaError
 
@@ -52,6 +53,9 @@ class OperatorStats:
     rows_out: int
     elapsed_s: float
     children: Tuple["OperatorStats", ...] = ()
+    #: True when this node's result came from the shared-subplan memo
+    #: (the subtree was not re-executed; it has no children stats).
+    memoized: bool = False
 
     @property
     def self_s(self) -> float:
@@ -71,6 +75,7 @@ class OperatorStats:
             "rows_in": list(self.rows_in),
             "rows_out": self.rows_out,
             "elapsed_ms": round(self.elapsed_s * 1000.0, 6),
+            "memoized": self.memoized,
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -80,10 +85,11 @@ class OperatorStats:
 
         def render(node: "OperatorStats", depth: int) -> None:
             rows_in = ",".join(str(r) for r in node.rows_in) or "-"
+            memo = " [memoized]" if node.memoized else ""
             lines.append(
                 f"{'  ' * depth}-> {node.label}  "
                 f"(rows_in={rows_in} rows_out={node.rows_out} "
-                f"time={node.elapsed_s * 1000.0:.3f}ms)"
+                f"time={node.elapsed_s * 1000.0:.3f}ms){memo}"
             )
             for child in node.children:
                 render(child, depth + 1)
@@ -92,8 +98,28 @@ class OperatorStats:
         return "\n".join(lines)
 
 
-def _op_label(plan: PlanNode) -> str:
-    """Short human label for one plan node (scan names, op arity hints)."""
+def _count_union_branches(plan: Union) -> int:
+    """Number of non-Union leaves under a (possibly nested) union."""
+    count = 0
+    stack: List[PlanNode] = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Union):
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            count += 1
+    return count
+
+
+def _op_label(plan: PlanNode, catalog: Optional[Catalog] = None) -> str:
+    """Short human label for one plan node (scan names, op arity hints).
+
+    With a ``catalog``, joins and unions get structural detail — the join
+    columns (or ``×`` for a cross product), the union's branch arity —
+    so an EXPLAIN ANALYZE tree distinguishes e.g. the three different
+    joins of a chain walk instead of printing ``NaturalJoin`` thrice.
+    """
     if isinstance(plan, Scan):
         return f"Scan({plan.relation_name})"
     if isinstance(plan, Project):
@@ -107,7 +133,43 @@ def _op_label(plan: PlanNode) -> str:
         return f"Select[{predicate}]"
     if isinstance(plan, Extend):
         return f"Extend[{plan.column}]"
+    if isinstance(plan, NaturalJoin):
+        if catalog is not None:
+            try:
+                shared, _ = plan.left.output_schema(catalog).join_split(
+                    plan.right.output_schema(catalog)
+                )
+            except SchemaError:
+                shared = None
+            if shared is not None:
+                condition = ",".join(shared) if shared else "×"
+                return f"NaturalJoin[{condition}]"
+        return "NaturalJoin"
+    if isinstance(plan, EquiJoin):
+        condition = ",".join(f"{l}={r}" for l, r in plan.pairs)
+        return f"EquiJoin[{condition}]"
+    if isinstance(plan, Union):
+        return f"Union[{_count_union_branches(plan)} branches]"
+    if isinstance(plan, Aggregate):
+        groups = ",".join(plan.group_by) or "∅"
+        metrics = ",".join(
+            f"{function}({column})" for function, column, _ in plan.metrics
+        )
+        return f"Aggregate[by {groups}; {metrics}]"
     return type(plan).__name__
+
+
+def _union_sort_key(row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Canonical row sort key: per cell, NULLs first, then textual order.
+
+    Flattened ``(not_null, str, not_null, str, ...)`` — within one union
+    all rows have the same width, so lexicographic comparison of the
+    flat tuples equals comparison of the nested per-cell pairs while
+    building one tuple per row instead of one per cell.
+    """
+    return tuple(
+        part for value in row for part in (value is not None, str(value))
+    )
 
 
 class Executor:
@@ -117,15 +179,35 @@ class Executor:
     :meth:`execute_analyzed` to collect an :class:`OperatorStats` tree
     (rows-in / rows-out / elapsed per operator — EXPLAIN ANALYZE), which
     also emits per-operator spans when the process tracer is enabled.
+
+    With ``memoize_shared`` (the default), each top-level ``execute``
+    call keeps a memo keyed by the canonical structural hash of every
+    non-Scan subtree it evaluates: sibling CQ branches of a UCQ that
+    share a join subtree execute it once and reuse the result relation.
+    The memo lives only for the duration of one top-level call, so base
+    relations registered between calls are always observed.  Cumulative
+    reuse counts are exposed as :attr:`subplan_hits` /
+    :attr:`subplan_misses`.
     """
 
-    def __init__(self, relations: Optional[Dict[str, Relation]] = None):
+    def __init__(
+        self,
+        relations: Optional[Dict[str, Relation]] = None,
+        memoize_shared: bool = True,
+    ):
         self._relations: Dict[str, Relation] = {}
         #: While analyzing: a stack of child-stat accumulators, innermost
         #: last.  None in the unobserved fast path.
         self._analyze_stack: Optional[List[List[OperatorStats]]] = None
         #: Stats tree of the last ``execute_analyzed`` call.
         self.last_stats: Optional[OperatorStats] = None
+        self.memoize_shared = memoize_shared
+        #: Per-top-level-call memo (plan key → result); None when idle.
+        self._memo: Optional[Dict[str, Relation]] = None
+        self._memo_key_cache: Dict[int, str] = {}
+        #: Cumulative shared-subplan reuse counters (across calls).
+        self.subplan_hits = 0
+        self.subplan_misses = 0
         if relations:
             for name, relation in relations.items():
                 self.register(name, relation)
@@ -161,9 +243,40 @@ class Executor:
 
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return the result relation."""
-        if self._analyze_stack is None:
-            return self._dispatch(plan)
-        return self._execute_instrumented(plan)
+        fresh_memo = self.memoize_shared and self._memo is None
+        if fresh_memo:
+            self._memo = {}
+            self._memo_key_cache = {}
+        try:
+            if self._analyze_stack is None:
+                return self._dispatch_memo(plan)
+            return self._execute_instrumented(plan)
+        finally:
+            if fresh_memo:
+                self._memo = None
+                self._memo_key_cache = {}
+
+    def _memo_lookup(self, plan: PlanNode) -> Tuple[Optional[str], Optional[Relation]]:
+        """(memo key, cached relation) for ``plan``; (None, None) if unmemoizable."""
+        if self._memo is None or isinstance(plan, Scan):
+            # Scans are dictionary lookups already — not worth a hash.
+            return None, None
+        key = plan_key(plan, self._memo_key_cache)
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.subplan_hits += 1
+        else:
+            self.subplan_misses += 1
+        return key, hit
+
+    def _dispatch_memo(self, plan: PlanNode) -> Relation:
+        key, hit = self._memo_lookup(plan)
+        if hit is not None:
+            return hit
+        relation = self._dispatch(plan)
+        if key is not None:
+            self._memo[key] = relation
+        return relation
 
     def execute_analyzed(self, plan: PlanNode) -> Tuple[Relation, OperatorStats]:
         """Evaluate ``plan`` collecting per-operator statistics.
@@ -188,7 +301,19 @@ class Executor:
     def _execute_instrumented(self, plan: PlanNode) -> Relation:
         """One analyzed operator: time it, record stats, emit a span."""
         assert self._analyze_stack is not None
-        label = _op_label(plan)
+        label = _op_label(plan, self.catalog)
+        memo_key, hit = self._memo_lookup(plan)
+        if hit is not None:
+            stats = OperatorStats(
+                label=label,
+                rows_in=(),
+                rows_out=len(hit),
+                elapsed_s=0.0,
+                children=(),
+                memoized=True,
+            )
+            self._analyze_stack[-1].append(stats)
+            return hit
         children: List[OperatorStats] = []
         self._analyze_stack.append(children)
         span = get_tracer().span(f"op:{label}")
@@ -209,6 +334,8 @@ class Executor:
             span.set_tag("rows_in", list(stats.rows_in))
             span.set_tag("rows_out", stats.rows_out)
         self._analyze_stack[-1].append(stats)
+        if memo_key is not None and self._memo is not None:
+            self._memo[memo_key] = relation
         get_metrics().histogram(
             "mdm_executor_operator_seconds",
             "Inclusive latency of relational operators (analyzed runs).",
@@ -416,9 +543,9 @@ class Executor:
         right_rows = right.coerced(widened).rows
         # Sort the merged branches so union output (and the downstream
         # first-occurrence dedupe) is identical regardless of which CQ
-        # branch's wrapper fetch finished first under concurrency.
-        rows = sorted(
-            left_rows + right_rows,
-            key=lambda row: tuple((v is not None, str(v)) for v in row),
-        )
+        # branch's wrapper fetch finished first under concurrency.  The
+        # key is one flat interleaved tuple per row — same total order as
+        # a tuple of per-cell (not-null, str) pairs, without allocating a
+        # nested tuple per cell.
+        rows = sorted(left_rows + right_rows, key=_union_sort_key)
         return Relation(widened, rows)

@@ -8,7 +8,7 @@ with NULL is false, so selections never keep rows on unknowns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 __all__ = [
     "Expr",
@@ -19,6 +19,9 @@ __all__ = [
     "Or",
     "NotExpr",
     "IsNull",
+    "conjuncts",
+    "conjoin",
+    "rename_columns",
 ]
 
 RowDict = Dict[str, Any]
@@ -214,3 +217,55 @@ class IsNull(Expr):
     def __str__(self) -> str:
         suffix = "≠ NULL" if self.negated else "= NULL"
         return f"{self.operand} {suffix}"
+
+
+def conjuncts(expr: Expr) -> List[Expr]:
+    """The top-level AND-factors of ``expr`` (itself, if not an And)."""
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(factors: List[Expr]) -> Expr:
+    """Rebuild a left-deep conjunction from factors (raises on empty)."""
+    if not factors:
+        raise ValueError("conjoin needs at least one factor")
+    result = factors[0]
+    for factor in factors[1:]:
+        result = And(result, factor)
+    return result
+
+
+def rename_columns(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """A copy of ``expr`` with column references renamed per ``mapping``.
+
+    Used by the optimizer to push a selection below a ρ: the predicate
+    speaks the *renamed* attribute names, so translating it through the
+    inverse mapping makes it speak the child's names.
+    """
+    if isinstance(expr, Col):
+        new_name = mapping.get(expr.name, expr.name)
+        return expr if new_name == expr.name else Col(new_name)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(
+            expr.op,
+            rename_columns(expr.left, mapping),
+            rename_columns(expr.right, mapping),
+        )
+    if isinstance(expr, And):
+        return And(
+            rename_columns(expr.left, mapping),
+            rename_columns(expr.right, mapping),
+        )
+    if isinstance(expr, Or):
+        return Or(
+            rename_columns(expr.left, mapping),
+            rename_columns(expr.right, mapping),
+        )
+    if isinstance(expr, NotExpr):
+        return NotExpr(rename_columns(expr.operand, mapping))
+    if isinstance(expr, IsNull):
+        return IsNull(rename_columns(expr.operand, mapping), expr.negated)
+    raise TypeError(f"cannot rename columns of {type(expr).__name__}")

@@ -26,8 +26,8 @@ Observability (operator):
     ``GET  /metrics``                    Prometheus text exposition
     ``GET  /traces/recent``              recent root spans (?limit=N)
     ``POST /obs/tracing``                {"enabled": bool} toggles tracing
-    ``GET  /config/execution``           fetch-pool size, retry policy, cache stats
-    ``POST /config/execution``           {"max_fetch_workers"?: int, "retry"?: {...}}
+    ``GET  /config/execution``           fetch-pool size, retry policy, optimizer, cache stats
+    ``POST /config/execution``           {"max_fetch_workers"?: int, "optimize"?: bool, "retry"?: {...}}
 
 Wrapper rows posted through the service back a
 :class:`repro.sources.wrappers.StaticWrapper`; programmatic embedders
@@ -429,9 +429,10 @@ class MdmService:
     def _post_execution_config(self, request: JsonRequest) -> Dict[str, Any]:
         """Tune the fetch pool and retry policy at runtime.
 
-        Body: ``{"max_fetch_workers"?: int, "retry"?: {"attempts"?,
-        "timeout_s"?, "backoff_base_s"?, "backoff_multiplier"?,
-        "max_backoff_s"?}}`` — omitted parts keep their current value.
+        Body: ``{"max_fetch_workers"?: int, "optimize"?: bool,
+        "retry"?: {"attempts"?, "timeout_s"?, "backoff_base_s"?,
+        "backoff_multiplier"?, "max_backoff_s"?}}`` — omitted parts keep
+        their current value.
         """
         from ..sources.wrappers import RetryPolicy
 
@@ -462,9 +463,11 @@ class MdmService:
             except (TypeError, ValueError) as exc:
                 raise ServiceError(400, f"invalid retry policy: {exc}") from exc
         try:
+            optimize = body.get("optimize")
             self.mdm.configure_execution(
                 max_fetch_workers=body.get("max_fetch_workers"),
                 retry_policy=policy,
+                optimize=None if optimize is None else bool(optimize),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, str(exc)) from exc

@@ -1,0 +1,153 @@
+"""End-to-end: optimized MDM execution is byte-identical to naive.
+
+``MDM.execute`` sorts the result canonically, so with the logical
+optimizer on vs off the whole :class:`Relation` — schema, row order,
+cell values — must be byte-identical.  These tests drive the randomized
+chain ontologies plus the supersede/evolution scenario through both
+modes and compare exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mdm import MDM
+from repro.rdf.namespaces import Namespace
+from repro.scenarios.supersede import SupersedeScenario
+from repro.sources.wrappers import StaticWrapper
+
+from .test_rewriting_properties import NS, build_chain_mdm
+
+
+def identical(outcome_a, outcome_b):
+    assert outcome_a.relation.schema.names == outcome_b.relation.schema.names
+    assert outcome_a.relation.rows == outcome_b.relation.rows
+
+
+def run_both_modes(mdm, walk, on_wrapper_error="raise"):
+    mdm.configure_execution(optimize=False)
+    naive = mdm.execute(walk, on_wrapper_error=on_wrapper_error)
+    mdm.configure_execution(optimize=True)
+    optimized = mdm.execute(walk, on_wrapper_error=on_wrapper_error)
+    return naive, optimized
+
+
+@given(
+    n_concepts=st.integers(min_value=1, max_value=4),
+    rows=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_chain_walks_byte_identical(n_concepts, rows, seed):
+    mdm, concepts, _, _ = build_chain_mdm(n_concepts, rows, seed)
+    nodes = list(concepts) + [NS[f"val{i}"] for i in range(n_concepts)]
+    walk = mdm.walk_from_nodes(nodes)
+    naive, optimized = run_both_modes(mdm, walk)
+    identical(naive, optimized)
+    assert optimized.optimization is not None
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_evolved_chain_byte_identical(rows, seed):
+    """After an evolution release (second wrapper version with renamed
+    source attributes for concept 0), both modes still agree exactly —
+    the multi-branch UCQ is where pushdown/dedup/memoization all fire."""
+    mdm, concepts, ground, _ = build_chain_mdm(2, rows, seed)
+    evolved_rows = []
+    for record in ground[0]:
+        evolved_rows.append(
+            {
+                "ident": record["id"],
+                "value": record["val"],
+                "nxt": None,
+            }
+        )
+    # Keep links consistent with v1 by reusing the registered wrapper's rows.
+    v1 = mdm.wrappers["w0"]
+    evolved_rows = [
+        {"ident": r["id"], "value": r["val"], "nxt": r["next"]}
+        for r in v1.fetch()
+    ]
+    mdm.register_wrapper(
+        "s0", StaticWrapper("w0v2", ["ident", "value", "nxt"], evolved_rows)
+    )
+    mdm.define_mapping(
+        "w0v2",
+        {"ident": NS.id0, "value": NS.val0, "nxt": NS.id1},
+        edges=[(concepts[0], NS.r0, concepts[1])],
+    )
+    nodes = list(concepts) + [NS.val0, NS.val1]
+    walk = mdm.walk_from_nodes(nodes)
+    naive, optimized = run_both_modes(mdm, walk)
+    identical(naive, optimized)
+    assert naive.rewrite.ucq_size >= 2  # evolution doubled the C0 cover
+
+
+def test_supersede_scenario_byte_identical_across_releases():
+    """The paper's running evolution story, naive vs optimized at every
+    stage: initial, after twitter v2, after monitoring v2 + retirement."""
+    scenario = SupersedeScenario.build()
+    mdm = scenario.mdm
+    walks = {
+        "feedback": scenario.walk_feedback_by_product(),
+        "metrics": scenario.walk_metrics_by_product(),
+        "reviews": scenario.walk_reviews(),
+    }
+    for stage in ("initial", "twitter_v2", "monitoring_v2"):
+        if stage == "twitter_v2":
+            scenario.release_twitter_v2()
+        elif stage == "monitoring_v2":
+            scenario.release_monitoring_v2(retire_v1=True)
+        # Retirement makes the v1 metrics wrapper raise; degrade those
+        # CQs instead so every stage still answers (and must agree).
+        for name, walk in walks.items():
+            naive, optimized = run_both_modes(
+                mdm, walk, on_wrapper_error="skip"
+            )
+            identical(naive, optimized)
+
+
+def test_optimizer_visible_in_outcome_and_metrics():
+    scenario = SupersedeScenario.build()
+    scenario.release_twitter_v2()  # multi-version source → UCQ > 1 branch
+    mdm = scenario.mdm
+    walk = scenario.walk_feedback_by_product()
+    outcome = mdm.execute(walk, analyze=True)
+    assert outcome.optimization is not None
+    assert outcome.optimization.total > 0
+    text = outcome.explain_analyze()
+    assert "Plan (rewritten):" in text
+    assert "Optimizer:" in text
+    config = mdm.execution_config()
+    assert config["optimize"] is True
+
+
+def test_partial_failure_path_optimizes_surviving_union():
+    """on_wrapper_error='skip' rebuilds the plan from surviving CQs; the
+    optimizer must run on that rebuilt plan too and stay correct."""
+    TNS = Namespace("http://opt.partial/")
+
+    class DeadWrapper(StaticWrapper):
+        def fetch(self):
+            raise RuntimeError("source is down")
+
+    mdm = MDM()
+    mdm.add_concept(TNS.Thing)
+    mdm.add_identifier(TNS.tid, TNS.Thing)
+    mdm.add_feature(TNS.tname, TNS.Thing)
+    mdm.register_source("s")
+    rows = [{"id": k, "name": f"t{k}"} for k in range(5)]
+    mdm.register_wrapper("s", StaticWrapper("alive", ["id", "name"], rows))
+    mdm.define_mapping("alive", {"id": TNS.tid, "name": TNS.tname})
+    mdm.register_wrapper("s", DeadWrapper("dead", ["id", "name"], []))
+    mdm.define_mapping("dead", {"id": TNS.tid, "name": TNS.tname})
+    walk = mdm.walk_from_nodes([TNS.Thing, TNS.tname])
+    outcome = mdm.execute(walk, on_wrapper_error="skip")
+    assert outcome.partial
+    assert outcome.optimization is not None
+    assert [row for row in outcome.relation.rows] == [
+        (f"t{k}",) for k in range(5)
+    ]

@@ -1,0 +1,41 @@
+"""Pytest gate over :mod:`scripts.check_repo_hygiene`.
+
+Fails the suite when compiled-Python artifacts are tracked by git — the
+regression that added four ``.pyc`` files to one commit stays fixed.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from check_repo_hygiene import hygiene_violations, tracked_files  # noqa: E402
+
+
+def test_no_tracked_pycache_or_pyc():
+    paths = tracked_files(REPO_ROOT)
+    # Outside a git checkout (e.g. an sdist) there is nothing to check.
+    if not paths:
+        return
+    assert hygiene_violations(paths) == []
+
+
+def test_gitignore_covers_compiled_python():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__/", ".pytest_cache/", ".hypothesis/"):
+        assert pattern in gitignore
+    assert "*.pyc" in gitignore or "*.py[cod]" in gitignore
+
+
+def test_violation_detection():
+    paths = [
+        "src/repro/core/mdm.py",
+        "src/repro/core/__pycache__/mdm.cpython-311.pyc",
+        "notes.pyc",
+        "README.md",
+    ]
+    assert hygiene_violations(paths) == [
+        "notes.pyc",
+        "src/repro/core/__pycache__/mdm.cpython-311.pyc",
+    ]
