@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Fail if compiled-Python artifacts are tracked by git.
+"""Fail if compiled-Python artifacts or oversized files are tracked.
 
 ``__pycache__`` directories and ``.pyc`` files snuck into one commit
-already; this check keeps them from coming back.  Run directly::
+already; this check keeps them from coming back.  It also rejects
+tracked files larger than 1 MB outside ``benchmarks/`` — generated
+result dumps belong there or nowhere.  Run directly::
 
     python scripts/check_repo_hygiene.py
 
@@ -22,6 +24,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FORBIDDEN_FRAGMENTS = ("__pycache__/",)
 FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
 
+#: Largest tracked file allowed outside the size-exempt directories.
+MAX_FILE_BYTES = 1_000_000
+SIZE_EXEMPT_PREFIXES = ("benchmarks/",)
+
 
 def tracked_files(repo_root: Path = REPO_ROOT) -> list:
     """All paths in the git index (empty list when git is unavailable)."""
@@ -39,7 +45,12 @@ def tracked_files(repo_root: Path = REPO_ROOT) -> list:
 
 
 def hygiene_violations(paths) -> list:
-    """The subset of ``paths`` that violates the hygiene rules."""
+    """The subset of ``paths`` that violates the path-pattern rules.
+
+    A path violates when it sits inside a ``__pycache__`` directory or
+    carries a compiled-Python suffix.  Pure path matching — no
+    filesystem access — so it also works on synthetic path lists.
+    """
     violations = []
     for path in paths:
         if any(fragment in path for fragment in FORBIDDEN_FRAGMENTS) or path.endswith(
@@ -49,14 +60,48 @@ def hygiene_violations(paths) -> list:
     return sorted(violations)
 
 
+def size_violations(
+    paths,
+    repo_root: Path = REPO_ROOT,
+    limit: int = MAX_FILE_BYTES,
+) -> list:
+    """Tracked files over ``limit`` bytes outside the exempt prefixes.
+
+    Returns ``(path, size)`` pairs sorted by path.  Paths missing from
+    the working tree (e.g. staged deletions) are skipped.
+    """
+    violations = []
+    for path in paths:
+        if path.startswith(SIZE_EXEMPT_PREFIXES):
+            continue
+        file = repo_root / path
+        try:
+            size = file.stat().st_size
+        except OSError:
+            continue
+        if size > limit:
+            violations.append((path, size))
+    return sorted(violations)
+
+
 def main() -> int:
-    offenders = hygiene_violations(tracked_files())
+    paths = tracked_files()
+    offenders = hygiene_violations(paths)
+    oversized = size_violations(paths)
     if offenders:
         print("tracked compiled-Python artifacts (git rm --cached them):")
         for path in offenders:
             print(f"  {path}")
+    if oversized:
+        print(
+            f"tracked files over {MAX_FILE_BYTES} bytes outside "
+            f"{', '.join(SIZE_EXEMPT_PREFIXES)}:"
+        )
+        for path, size in oversized:
+            print(f"  {path} ({size} bytes)")
+    if offenders or oversized:
         return 1
-    print("repo hygiene: clean (no tracked __pycache__/.pyc)")
+    print("repo hygiene: clean (no tracked __pycache__/.pyc, no oversized files)")
     return 0
 
 

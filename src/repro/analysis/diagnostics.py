@@ -1,0 +1,222 @@
+"""The diagnostics engine: codes, severities, locations, findings, renderers.
+
+Every statically checkable MDM invariant gets a *stable* error code
+(``MDM0xx`` for metadata rules, ``MDM1xx`` for plan-schema rules) so that
+CI gates, dashboards and docs can reference a rule without depending on
+message wording.  A :class:`Finding` is one violation: code, severity,
+human message and a :class:`SourceLocation` pointing at the graph node,
+wrapper or plan operator at fault.
+
+The module is deliberately free of imports from :mod:`repro.core` so the
+relational layer (and :mod:`repro.core` itself) can depend on it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "Severity",
+    "SourceLocation",
+    "Finding",
+    "RuleInfo",
+    "RULE_CATALOG",
+    "register_rule_info",
+    "rule_info",
+    "render_text",
+    "render_json",
+    "severity_counts",
+    "sort_findings",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for sorting (higher is more severe)."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+#: The location kinds a finding may point at.
+LOCATION_KINDS = (
+    "graph-node",
+    "wrapper",
+    "attribute",
+    "mapping",
+    "saved-query",
+    "plan-operator",
+)
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a finding anchors: a graph node, a wrapper, a plan operator.
+
+    ``kind`` is one of :data:`LOCATION_KINDS`; ``name`` identifies the
+    element (an IRI, a wrapper name, a plan path like
+    ``Distinct/Union/Project``); ``detail`` optionally narrows it (an
+    attribute inside a wrapper, a column inside an operator).
+    """
+
+    kind: str
+    name: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in LOCATION_KINDS:
+            raise ValueError(
+                f"unknown location kind {self.kind!r}; use one of {LOCATION_KINDS}"
+            )
+
+    def __str__(self) -> str:
+        rendered = f"{self.kind}:{self.name}"
+        if self.detail:
+            rendered += f"#{self.detail}"
+        return rendered
+
+    def to_dict(self) -> Dict[str, str]:
+        out = {"kind": self.kind, "name": self.name}
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a violated rule at a location."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: Optional[SourceLocation] = None
+    #: The short rule name (filled from the catalog when omitted).
+    rule: str = ""
+
+    def render(self) -> str:
+        """One-line text rendering, e.g. ``MDM004 error graph-node:… message``."""
+        parts = [self.code, str(self.severity)]
+        if self.location is not None:
+            parts.append(str(self.location))
+        parts.append(self.message)
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.rule:
+            out["rule"] = self.rule
+        if self.location is not None:
+            out["location"] = self.location.to_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalog entry for one rule: its code, name, default severity, docs."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+
+    def finding(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """A :class:`Finding` for this rule (severity defaults to the rule's)."""
+        return Finding(
+            code=self.code,
+            severity=severity or self.severity,
+            message=message,
+            location=location,
+            rule=self.name,
+        )
+
+
+#: The process-wide rule catalog, ``code -> RuleInfo`` (sorted renders use it).
+RULE_CATALOG: Dict[str, RuleInfo] = {}
+
+
+def register_rule_info(
+    code: str, name: str, severity: Severity, description: str
+) -> RuleInfo:
+    """Register (or fetch the identical) catalog entry for ``code``."""
+    existing = RULE_CATALOG.get(code)
+    if existing is not None:
+        if existing.name != name:
+            raise ValueError(
+                f"rule code {code} already registered as {existing.name!r}"
+            )
+        return existing
+    info = RuleInfo(code=code, name=name, severity=severity, description=description)
+    RULE_CATALOG[code] = info
+    return info
+
+
+def rule_info(code: str) -> RuleInfo:
+    """The catalog entry for ``code`` (raises KeyError if unknown)."""
+    return RULE_CATALOG[code]
+
+
+def severity_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` over ``findings``."""
+    counts = {str(s): 0 for s in Severity}
+    for finding in findings:
+        counts[str(finding.severity)] += 1
+    return counts
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic order: severity desc, then code, then location."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            -f.severity.rank,
+            f.code,
+            str(f.location) if f.location else "",
+            f.message,
+        ),
+    )
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """The human listing: one line per finding plus a summary line."""
+    ordered = sort_findings(findings)
+    lines = [f.render() for f in ordered]
+    counts = severity_counts(ordered)
+    lines.append(
+        f"{len(ordered)} finding(s): {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], extra: Optional[Mapping[str, Any]] = None
+) -> str:
+    """The machine rendering: ``{"findings": [...], "summary": {...}}``."""
+    payload: Dict[str, Any] = {
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+        "summary": severity_counts(findings),
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)

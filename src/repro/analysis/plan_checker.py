@@ -1,0 +1,379 @@
+"""Bottom-up schema/type inference over relational-algebra plans.
+
+The LAV rewriting and the logical optimizer both emit
+:mod:`repro.relational.algebra` trees; a bug in either (a projection of a
+column a rename just destroyed, a union of incompatible branches, a join
+pair referencing a missing attribute) used to surface only at execution
+time, deep inside the executor — or worse, as a silently wrong answer.
+
+:func:`check_plan` walks a plan bottom-up, re-deriving each operator's
+output schema the way :meth:`PlanNode.output_schema` does but *collecting
+diagnostics instead of raising*, so one pass reports every violation.
+Each finding's location is the operator path from the root, e.g.
+``Distinct/Union[0]/Project``.
+
+Rule codes (``MDM1xx``, registered in the shared catalog):
+
+========  ========================================================
+MDM101    scan of a relation the catalog does not know
+MDM102    reference to an attribute absent from the child's schema
+MDM103    union of non-union-compatible branches
+MDM104    duplicate output column (e.g. ε of an existing name)
+MDM105    comparison between incompatible attribute types
+========  ========================================================
+
+The checker is deliberately *at least as permissive* as the executor: a
+plan with zero ``error`` findings must execute without schema errors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..relational.algebra import (
+    Aggregate,
+    Catalog,
+    Distinct,
+    EquiJoin,
+    Extend,
+    NaturalJoin,
+    PlanNode,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from ..relational.expressions import (
+    And,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    IsNull,
+    NotExpr,
+    Or,
+)
+from ..relational.schema import Attribute, RelationSchema, SchemaError
+from ..relational.types import AttrType, common_type, infer_type
+from .diagnostics import Finding, Severity, SourceLocation, register_rule_info
+
+__all__ = ["check_plan", "PLAN_RULES"]
+
+#: Ordering comparisons that make no sense over booleans.
+_ORDERING_OPS = ("<", "<=", ">", ">=")
+
+PLAN_RULES = {
+    "MDM101": register_rule_info(
+        "MDM101",
+        "unknown-relation",
+        Severity.ERROR,
+        "A Scan references a relation name absent from the catalog.",
+    ),
+    "MDM102": register_rule_info(
+        "MDM102",
+        "unknown-attribute",
+        Severity.ERROR,
+        "An operator references an attribute its child does not produce.",
+    ),
+    "MDM103": register_rule_info(
+        "MDM103",
+        "union-incompatible",
+        Severity.ERROR,
+        "A Union combines branches whose schemas are not union-compatible.",
+    ),
+    "MDM104": register_rule_info(
+        "MDM104",
+        "duplicate-column",
+        Severity.ERROR,
+        "An operator would produce two columns with the same name.",
+    ),
+    "MDM105": register_rule_info(
+        "MDM105",
+        "type-mismatch",
+        Severity.WARNING,
+        "A predicate compares attributes of incompatible types.",
+    ),
+}
+
+
+class _Checker:
+    """One traversal: accumulates findings, returns schemas (None on error)."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.findings: List[Finding] = []
+
+    # -- helpers -------------------------------------------------------- #
+
+    def _report(
+        self,
+        code: str,
+        message: str,
+        path: str,
+        detail: str = "",
+        severity: Optional[Severity] = None,
+    ) -> None:
+        self.findings.append(
+            PLAN_RULES[code].finding(
+                message,
+                SourceLocation("plan-operator", path, detail),
+                severity=severity,
+            )
+        )
+
+    def _require(
+        self, schema: RelationSchema, name: str, path: str, what: str
+    ) -> Optional[Attribute]:
+        """The attribute ``name`` of ``schema``, reporting MDM102 if absent."""
+        if name in schema:
+            return schema.attribute(name)
+        self._report(
+            "MDM102",
+            f"{what} references {name!r}, but the input schema only has "
+            f"{list(schema.names)}",
+            path,
+            detail=name,
+        )
+        return None
+
+    # -- expression typing --------------------------------------------- #
+
+    def _expr_type(
+        self, expr: Expr, schema: RelationSchema, path: str
+    ) -> AttrType:
+        """The inferred type of ``expr``; reports missing columns (MDM102)
+        and incompatible comparisons (MDM105) along the way."""
+        if isinstance(expr, Col):
+            attribute = self._require(schema, expr.name, path, "predicate")
+            return attribute.type if attribute is not None else AttrType.ANY
+        if isinstance(expr, Const):
+            try:
+                return infer_type(expr.value)
+            except TypeError:
+                return AttrType.ANY
+        if isinstance(expr, Cmp):
+            left = self._expr_type(expr.left, schema, path)
+            right = self._expr_type(expr.right, schema, path)
+            self._check_comparison(expr, left, right, path)
+            return AttrType.BOOLEAN
+        if isinstance(expr, (And, Or)):
+            self._expr_type(expr.left, schema, path)
+            self._expr_type(expr.right, schema, path)
+            return AttrType.BOOLEAN
+        if isinstance(expr, NotExpr):
+            self._expr_type(expr.operand, schema, path)
+            return AttrType.BOOLEAN
+        if isinstance(expr, IsNull):
+            self._expr_type(expr.operand, schema, path)
+            return AttrType.BOOLEAN
+        return AttrType.ANY
+
+    def _check_comparison(
+        self, expr: Cmp, left: AttrType, right: AttrType, path: str
+    ) -> None:
+        if AttrType.ANY in (left, right) or left == right:
+            compatible = True
+        else:
+            # The widening lattice tops out at STRING: two concrete types
+            # only compare meaningfully when one widens into the other.
+            compatible = common_type(left, right) != AttrType.STRING or (
+                AttrType.STRING in (left, right)
+            )
+        if not compatible:
+            self._report(
+                "MDM105",
+                f"comparison {expr} mixes {left} and {right}; the executor "
+                "will fall back to textual comparison",
+                path,
+            )
+        elif expr.op in _ORDERING_OPS and AttrType.BOOLEAN in (left, right):
+            self._report(
+                "MDM105",
+                f"ordering comparison {expr} over boolean values",
+                path,
+            )
+
+    # -- plan traversal ------------------------------------------------- #
+
+    def check(self, plan: PlanNode, path: str = "") -> Optional[RelationSchema]:
+        label = type(plan).__name__
+        path = f"{path}/{label}" if path else label
+        if isinstance(plan, Scan):
+            schema = self.catalog.get(plan.relation_name)
+            if schema is None:
+                self._report(
+                    "MDM101",
+                    f"scan of unknown relation {plan.relation_name!r}; "
+                    f"catalog has {sorted(self.catalog)}",
+                    path,
+                    detail=plan.relation_name,
+                )
+            return schema
+        if isinstance(plan, Project):
+            child = self.check(plan.child, path)
+            if child is None:
+                return None
+            attributes = []
+            for name in plan.names:
+                attribute = self._require(child, name, path, "projection")
+                if attribute is not None:
+                    attributes.append(attribute)
+            if len(attributes) != len(plan.names):
+                return None
+            return self._build_schema(attributes, path)
+        if isinstance(plan, Select):
+            child = self.check(plan.child, path)
+            if child is not None:
+                self._expr_type(plan.predicate, child, path)
+            return child
+        if isinstance(plan, Rename):
+            child = self.check(plan.child, path)
+            if child is None:
+                return None
+            mapping = plan.mapping_dict()
+            for old in mapping:
+                self._require(child, old, path, "rename")
+            renamed = [
+                a.renamed(mapping[a.name]) if a.name in mapping else a
+                for a in child.attributes
+                if a.name in child
+            ]
+            return self._build_schema(renamed, path)
+        if isinstance(plan, NaturalJoin):
+            left = self.check(plan.left, f"{path}[0]")
+            right = self.check(plan.right, f"{path}[1]")
+            if left is None or right is None:
+                return None
+            shared = [n for n in left.names if n in right]
+            for name in shared:
+                self._check_join_types(
+                    left.attribute(name).type,
+                    right.attribute(name).type,
+                    name,
+                    path,
+                )
+            combined = list(left.attributes) + [
+                a for a in right.attributes if a.name not in left
+            ]
+            return self._build_schema(combined, path)
+        if isinstance(plan, EquiJoin):
+            left = self.check(plan.left, f"{path}[0]")
+            right = self.check(plan.right, f"{path}[1]")
+            if left is None or right is None:
+                return None
+            for l_name, r_name in plan.pairs:
+                l_attr = self._require(left, l_name, path, "join pair")
+                r_attr = self._require(right, r_name, path, "join pair")
+                if l_attr is not None and r_attr is not None:
+                    self._check_join_types(
+                        l_attr.type, r_attr.type, f"{l_name}={r_name}", path
+                    )
+            combined = list(left.attributes) + [
+                a for a in right.attributes if a.name not in left
+            ]
+            return self._build_schema(combined, path)
+        if isinstance(plan, Union):
+            left = self.check(plan.left, f"{path}[0]")
+            right = self.check(plan.right, f"{path}[1]")
+            if left is None or right is None:
+                return left or right
+            if not left.union_compatible(right):
+                self._report(
+                    "MDM103",
+                    f"union branches disagree: {list(left.names)} vs "
+                    f"{list(right.names)}",
+                    path,
+                )
+                return None
+            return left.widen(right)
+        if isinstance(plan, Distinct):
+            return self.check(plan.child, path)
+        if isinstance(plan, Extend):
+            child = self.check(plan.child, path)
+            if child is None:
+                return None
+            if plan.column in child:
+                self._report(
+                    "MDM104",
+                    f"extend column {plan.column!r} already exists in "
+                    f"{list(child.names)}",
+                    path,
+                    detail=plan.column,
+                )
+                return child
+            try:
+                attr_type = (
+                    AttrType.ANY if plan.value is None else infer_type(plan.value)
+                )
+            except TypeError:
+                attr_type = AttrType.ANY
+            return self._build_schema(
+                list(child.attributes) + [Attribute(plan.column, attr_type)],
+                path,
+            )
+        if isinstance(plan, Aggregate):
+            child = self.check(plan.child, path)
+            if child is None:
+                return None
+            attributes = []
+            for name in plan.group_by:
+                attribute = self._require(child, name, path, "group-by")
+                if attribute is not None:
+                    attributes.append(attribute)
+            for function, column, alias in plan.metrics:
+                if column != "*":
+                    self._require(child, column, path, f"{function}()")
+                if function == "count":
+                    attr_type = AttrType.INTEGER
+                elif function == "avg":
+                    attr_type = AttrType.FLOAT
+                elif column != "*" and column in child:
+                    attr_type = child.attribute(column).type
+                else:
+                    attr_type = AttrType.ANY
+                attributes.append(Attribute(alias, attr_type))
+            return self._build_schema(attributes, path)
+        # Unknown operator type: nothing to check statically.
+        for index, child_plan in enumerate(plan.children()):
+            self.check(child_plan, f"{path}[{index}]")
+        return None
+
+    def _check_join_types(
+        self, left: AttrType, right: AttrType, column: str, path: str
+    ) -> None:
+        if AttrType.ANY in (left, right) or left == right:
+            return
+        if common_type(left, right) != AttrType.STRING or AttrType.STRING in (
+            left,
+            right,
+        ):
+            return
+        self._report(
+            "MDM105",
+            f"join on {column} mixes {left} and {right}",
+            path,
+        )
+
+    def _build_schema(
+        self, attributes: List[Attribute], path: str
+    ) -> Optional[RelationSchema]:
+        try:
+            return RelationSchema(attributes)
+        except SchemaError as exc:
+            self._report("MDM104", str(exc), path)
+            return None
+
+
+def check_plan(
+    plan: PlanNode, catalog: Catalog
+) -> Tuple[List[Finding], Optional[RelationSchema]]:
+    """Statically validate ``plan`` against ``catalog``.
+
+    Returns ``(findings, output_schema)``; the schema is ``None`` when an
+    error finding prevented derivation.  A plan with no ``error``-severity
+    findings is guaranteed to pass the executor's own schema derivation.
+    """
+    checker = _Checker(catalog)
+    schema = checker.check(plan)
+    return checker.findings, schema

@@ -18,7 +18,12 @@ Usage (``python -m repro <command>``):
 ``trace``
     execute an OMQ with tracing enabled and print the span tree (the
     three rewriting phases, wrapper fetches, per-operator execution)
-    plus the EXPLAIN ANALYZE operator statistics.
+    plus the EXPLAIN ANALYZE operator statistics;
+``lint``
+    run the static diagnostics over a scenario or snapshot: the
+    metadata rule pack (MDM0xx) plus the relational schema checker over
+    every saved query's plan (MDM1xx).  ``--format json`` for machines,
+    ``--strict`` to fail on warnings too.
 
 Snapshot-based commands (``--store DIR``) work without runtime wrappers;
 query execution needs live wrappers and therefore runs against the
@@ -54,6 +59,29 @@ def _load_scenario(name: str):
     raise SystemExit(f"unknown scenario {name!r}; use football | football-large | supersede")
 
 
+def _lint_mdm_for(args) -> MDM:
+    """Lint targets: snapshots plus every bundled scenario, including
+    the synthetic generators and the deliberately broken fixture."""
+    if getattr(args, "store", None):
+        from .service.persistence import load_mdm
+
+        return load_mdm(args.store)
+    name = args.scenario
+    if name == "broken":
+        from .scenarios.broken import broken_mdm
+
+        return broken_mdm()
+    if name == "chain":
+        from .scenarios.synthetic import chain_mdm
+
+        return chain_mdm(4)[0]
+    if name == "versioned":
+        from .scenarios.synthetic import versioned_concept_mdm
+
+        return versioned_concept_mdm(3)[0]
+    return _load_scenario(name).mdm
+
+
 def _mdm_for(args) -> MDM:
     if getattr(args, "store", None):
         from .service.persistence import load_mdm
@@ -86,10 +114,16 @@ def _apply_execution_flags(mdm, args) -> None:
         from .sources.wrappers import RetryPolicy
 
         policy = RetryPolicy(attempts=attempts or 1, timeout_s=timeout)
+    validate = None
+    if getattr(args, "no_validate_plans", False):
+        validate = False
+    elif getattr(args, "validate_plans", False):
+        validate = True
     mdm.configure_execution(
         max_fetch_workers=getattr(args, "fetch_workers", None),
         retry_policy=policy,
         optimize=False if getattr(args, "no_optimize", False) else None,
+        validate_plans=validate,
     )
 
 
@@ -270,6 +304,24 @@ def cmd_revalidate(args) -> int:
     return 1 if broken else 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import lint_mdm
+
+    mdm = _lint_mdm_for(args)
+    report = lint_mdm(
+        mdm,
+        replay_saved=not args.no_saved_queries,
+        check_plans=not args.no_plans,
+    )
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_evolve(args) -> int:
     from .scenarios.football import FootballScenario
 
@@ -307,6 +359,17 @@ def _add_execution_flags(parser) -> None:
         action="store_true",
         help="execute the UCQ as rewritten, skipping the logical plan "
         "optimizer (default: optimize, or $MDM_OPTIMIZE)",
+    )
+    parser.add_argument(
+        "--validate-plans",
+        action="store_true",
+        help="force the static plan schema check before execution "
+        "(default: on, or $MDM_VALIDATE_PLANS)",
+    )
+    parser.add_argument(
+        "--no-validate-plans",
+        action="store_true",
+        help="skip the static plan schema check before execution",
     )
 
 
@@ -349,6 +412,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_snapshot.add_argument("out")
     p_snapshot.add_argument("--scenario", default="football")
     p_snapshot.set_defaults(func=cmd_snapshot)
+
+    p_lint = sub.add_parser(
+        "lint", help="static diagnostics: metadata rules + plan schema checks"
+    )
+    p_lint.add_argument(
+        "--scenario",
+        default="football",
+        help="football | football-large | supersede | chain | versioned | broken",
+    )
+    p_lint.add_argument("--store", help="snapshot directory (overrides --scenario)")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    p_lint.add_argument(
+        "--no-saved-queries",
+        action="store_true",
+        help="skip replaying saved queries through the rewriter",
+    )
+    p_lint.add_argument(
+        "--no-plans",
+        action="store_true",
+        help="skip the relational schema check over saved-query plans",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_evolve = sub.add_parser("evolve", help="run the governance demo")
     p_evolve.add_argument("--retire-v1", action="store_true")

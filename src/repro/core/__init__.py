@@ -13,6 +13,7 @@ from .errors import (
     MdmError,
     MissingIdentifierError,
     NoCoverError,
+    PlanValidationError,
     RewritingError,
     SourceGraphError,
     WalkError,
@@ -93,4 +94,5 @@ __all__ = [
     "NoCoverError",
     "MissingIdentifierError",
     "GavUnfoldingError",
+    "PlanValidationError",
 ]

@@ -10,8 +10,8 @@ values overlap).  The governance log stores this next to the release so
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .matching import name_similarity
 

@@ -20,6 +20,7 @@ __all__ = [
     "MissingIdentifierError",
     "DisconnectedWalkError",
     "GavUnfoldingError",
+    "PlanValidationError",
 ]
 
 
@@ -36,7 +37,30 @@ class SourceGraphError(MdmError):
 
 
 class MappingError(MdmError):
-    """An invalid LAV mapping (not a subgraph, missing identifier, ...)."""
+    """An invalid LAV mapping (not a subgraph, missing identifier, ...).
+
+    ``findings`` carries the full diagnostic list when the mapping store
+    validated the whole submission at once (one
+    :class:`repro.analysis.diagnostics.Finding` per violation); it is
+    empty for errors raised outside that batch validation.
+    """
+
+    def __init__(self, message, findings=()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+class PlanValidationError(MdmError):
+    """A relational plan failed the static schema check before execution.
+
+    Raised by ``MDM.execute`` when ``validate_plans`` is on and the
+    post-optimizer plan has error-severity findings; ``findings`` holds
+    the :class:`repro.analysis.diagnostics.Finding` list.
+    """
+
+    def __init__(self, message, findings=()):
+        super().__init__(message)
+        self.findings = tuple(findings)
 
 
 class WalkError(MdmError):

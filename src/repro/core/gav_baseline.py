@@ -26,7 +26,7 @@ hand after a release — the maintenance burden the LAV design removes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..rdf.terms import IRI, Triple
 from ..relational.algebra import (

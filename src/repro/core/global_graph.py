@@ -20,7 +20,7 @@ point, Figure 1) and compiles into a global graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import RDF, RDFS

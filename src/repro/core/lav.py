@@ -26,13 +26,13 @@ make LAV resolution unambiguous):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
 
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
 from ..rdf.namespaces import OWL, RDF
 from ..rdf.paths import connected_components
-from ..rdf.terms import IRI, Term, Triple
+from ..rdf.terms import IRI, Triple
 from .errors import MappingError
 from .global_graph import GlobalGraph
 from .source_graph import SourceGraph
@@ -104,31 +104,28 @@ class LavMappingStore:
 
         ``subgraph`` is the steward's contour over the global graph;
         ``same_as`` maps attribute IRIs of this wrapper to feature IRIs.
-        Raises :class:`MappingError` on any violated constraint.
+        The whole submission is validated at once: a single
+        :class:`MappingError` reports *every* violated constraint, with
+        the individual diagnostics attached as ``exc.findings`` (one
+        :class:`repro.analysis.diagnostics.Finding` per violation).
         """
         triples = tuple(subgraph)
-        if not triples:
-            raise MappingError(f"mapping for {wrapper} has an empty named graph")
-        self._check_wrapper(wrapper)
-        self._check_subgraph(wrapper, triples)
-        self._check_same_as(wrapper, triples, same_as)
-        self._check_identifiers(wrapper, triples, same_as)
+        findings = self.validate_mapping(wrapper, triples, same_as)
+        if findings:
+            raise MappingError(
+                f"invalid LAV mapping for {wrapper} "
+                f"({len(findings)} violation(s)): "
+                + "; ".join(f.message for f in findings),
+                findings=findings,
+            )
         # Store: the named graph is identified by the wrapper IRI.
         if self.dataset.has_graph(wrapper):
             self.dataset.remove_graph(wrapper)
         named = self.dataset.graph(wrapper)
         named.add_all(triples)
-        # sameAs links live in the source graph, next to the attributes.
-        # Attributes can be shared across wrappers of the same source, so a
-        # link may pre-exist; it must then point at the same feature.
+        # sameAs links live in the source graph, next to the attributes
+        # (shared-attribute conflicts were rejected by validate_mapping).
         for attribute, feature in sorted(same_as.items(), key=lambda kv: kv[0].value):
-            existing = list(self.source_graph.graph.objects(attribute, OWL.sameAs))
-            if existing and existing != [feature]:
-                raise MappingError(
-                    f"attribute {attribute} is already linked to "
-                    f"{existing[0]}; a shared attribute cannot map to a "
-                    f"different feature ({feature})"
-                )
             self.source_graph.graph.add((attribute, OWL.sameAs, feature))
         return LavMapping(
             wrapper=wrapper,
@@ -136,55 +133,145 @@ class LavMappingStore:
             same_as=tuple(sorted(same_as.items(), key=lambda kv: kv[0].value)),
         )
 
-    def _check_wrapper(self, wrapper: IRI) -> None:
-        if self.source_graph.source_of(wrapper) is None:
-            raise MappingError(
-                f"{wrapper} is not a registered wrapper; register it on the "
-                "source graph before mapping it"
-            )
+    def validate_mapping(
+        self,
+        wrapper: IRI,
+        triples: Tuple[Triple, ...],
+        same_as: Mapping[IRI, IRI],
+    ) -> List:
+        """All diagnostics for a submitted mapping (empty when valid).
 
-    def _check_subgraph(self, wrapper: IRI, triples: Tuple[Triple, ...]) -> None:
+        Runs every well-formedness check and collects the findings —
+        the steward sees the complete violation list in one round trip
+        instead of fixing constraints one at a time.
+        """
+        findings: List = []
+        findings.extend(self._check_shape(wrapper, triples))
+        findings.extend(self._check_subgraph(wrapper, triples))
+        findings.extend(self._check_same_as(wrapper, triples, same_as))
+        findings.extend(self._check_identifiers(wrapper, triples, same_as))
+        return findings
+
+    @staticmethod
+    def _rules():
+        """The shared diagnostics catalog (imported lazily: analysis
+        depends on core submodules, so the import must not run while
+        :mod:`repro.core` itself is still initializing)."""
+        from ..analysis.metadata_rules import MAPPING_RULES, METADATA_RULES
+
+        return {**METADATA_RULES, **MAPPING_RULES}
+
+    def _location(self, wrapper: IRI, detail: str = ""):
+        from ..analysis.diagnostics import SourceLocation
+
+        name = self.source_graph.wrapper_name(wrapper) or wrapper.local_name()
+        return SourceLocation("mapping", name, detail)
+
+    def _check_shape(self, wrapper: IRI, triples: Tuple[Triple, ...]) -> List:
+        rules = self._rules()
+        findings = []
+        if not triples:
+            findings.append(
+                rules["MDM012"].finding(
+                    f"mapping for {wrapper} has an empty named graph",
+                    self._location(wrapper),
+                )
+            )
+        if self.source_graph.source_of(wrapper) is None:
+            findings.append(
+                rules["MDM013"].finding(
+                    f"{wrapper} is not a registered wrapper; register it on "
+                    "the source graph before mapping it",
+                    self._location(wrapper),
+                )
+            )
+        return findings
+
+    def _check_subgraph(self, wrapper: IRI, triples: Tuple[Triple, ...]) -> List:
+        rules = self._rules()
+        findings = []
         for triple in triples:
             if triple not in self.global_graph.graph:
-                raise MappingError(
-                    f"mapping for {wrapper}: triple {triple.n3()} is not part "
-                    "of the global graph (a LAV named graph must be a "
-                    "subgraph of the global graph)"
+                findings.append(
+                    rules["MDM001"].finding(
+                        f"mapping for {wrapper}: triple {triple.n3()} is not "
+                        "part of the global graph (a LAV named graph must be "
+                        "a subgraph of the global graph)",
+                        self._location(wrapper, triple.n3()),
+                    )
                 )
-        contour = Graph()
-        contour.add_all(triples)
-        components = connected_components(contour)
-        if len(components) > 1:
-            raise MappingError(
-                f"mapping for {wrapper}: the named graph is disconnected "
-                f"({len(components)} components); draw one contour"
-            )
+        if triples:
+            contour = Graph()
+            contour.add_all(triples)
+            components = connected_components(contour)
+            if len(components) > 1:
+                findings.append(
+                    rules["MDM014"].finding(
+                        f"mapping for {wrapper}: the named graph is "
+                        f"disconnected ({len(components)} components); draw "
+                        "one contour",
+                        self._location(wrapper),
+                    )
+                )
+        return findings
 
     def _check_same_as(
         self,
         wrapper: IRI,
         triples: Tuple[Triple, ...],
         same_as: Mapping[IRI, IRI],
-    ) -> None:
+    ) -> List:
+        rules = self._rules()
+        findings = []
         wrapper_attributes = set(self.source_graph.attributes_of(wrapper))
         mapped_features: Set[IRI] = set()
-        for attribute, feature in same_as.items():
+        for attribute, feature in sorted(
+            same_as.items(), key=lambda kv: kv[0].value
+        ):
+            attr_detail = self.source_graph.attribute_name(attribute) or (
+                attribute.local_name()
+            )
             if attribute not in wrapper_attributes:
-                raise MappingError(
-                    f"mapping for {wrapper}: {attribute} is not an attribute "
-                    "of this wrapper"
+                findings.append(
+                    rules["MDM015"].finding(
+                        f"mapping for {wrapper}: {attribute} is not an "
+                        "attribute of this wrapper",
+                        self._location(wrapper, attr_detail),
+                    )
                 )
             if not self.global_graph.is_feature(feature):
-                raise MappingError(
-                    f"mapping for {wrapper}: {feature} is not a feature of "
-                    "the global graph"
+                findings.append(
+                    rules["MDM002"].finding(
+                        f"mapping for {wrapper}: {feature} is not a feature "
+                        "of the global graph",
+                        self._location(wrapper, attr_detail),
+                    )
                 )
             if feature in mapped_features:
-                raise MappingError(
-                    f"mapping for {wrapper}: feature {feature} is populated "
-                    "by more than one attribute"
+                findings.append(
+                    rules["MDM008"].finding(
+                        f"mapping for {wrapper}: feature {feature} is "
+                        "populated by more than one attribute",
+                        self._location(wrapper, feature.local_name()),
+                    )
                 )
             mapped_features.add(feature)
+            # Attributes shared across wrappers of one source may already
+            # carry a link; it must then point at the same feature.
+            existing = [
+                f
+                for f in self.source_graph.graph.objects(attribute, OWL.sameAs)
+                if f != feature
+            ]
+            if existing:
+                findings.append(
+                    rules["MDM017"].finding(
+                        f"attribute {attribute} is already linked to "
+                        f"{existing[0]}; a shared attribute cannot map to a "
+                        f"different feature ({feature})",
+                        self._location(wrapper, attr_detail),
+                    )
+                )
         included_features = {
             t.object
             for t in triples
@@ -192,25 +279,35 @@ class LavMappingStore:
         }
         unmapped = included_features - mapped_features
         if unmapped:
-            raise MappingError(
-                f"mapping for {wrapper}: features in the named graph without "
-                f"a sameAs attribute: {sorted(str(f) for f in unmapped)}"
+            findings.append(
+                rules["MDM016"].finding(
+                    f"mapping for {wrapper}: features in the named graph "
+                    "without a sameAs attribute: "
+                    f"{sorted(str(f) for f in unmapped)}",
+                    self._location(wrapper),
+                )
             )
         orphans = mapped_features - included_features
         if orphans:
-            raise MappingError(
-                f"mapping for {wrapper}: sameAs targets outside the named "
-                f"graph: {sorted(str(f) for f in orphans)}"
+            findings.append(
+                rules["MDM002"].finding(
+                    f"mapping for {wrapper}: sameAs targets outside the "
+                    f"named graph: {sorted(str(f) for f in orphans)}",
+                    self._location(wrapper),
+                )
             )
+        return findings
 
     def _check_identifiers(
         self,
         wrapper: IRI,
         triples: Tuple[Triple, ...],
         same_as: Mapping[IRI, IRI],
-    ) -> None:
+    ) -> List:
         from ..rdf.reasoner import superclass_closure
 
+        rules = self._rules()
+        findings = []
         mapped_features = set(same_as.values())
         for concept in self._concepts_in(triples):
             # A subclass concept is identified by its own identifier or by
@@ -220,16 +317,23 @@ class LavMappingStore:
                 if isinstance(ancestor, IRI) and self.global_graph.is_concept(ancestor):
                     identifiers.update(self.global_graph.identifiers_of(ancestor))
             if not identifiers:
-                raise MappingError(
-                    f"mapping for {wrapper}: covered concept {concept} has "
-                    "no identifier feature in the global graph"
+                findings.append(
+                    rules["MDM004"].finding(
+                        f"mapping for {wrapper}: covered concept {concept} "
+                        "has no identifier feature in the global graph",
+                        self._location(wrapper, concept.local_name()),
+                    )
                 )
-            if not (identifiers & mapped_features):
-                raise MappingError(
-                    f"mapping for {wrapper}: covered concept {concept} must "
-                    "include and populate an identifier feature (joins are "
-                    "restricted to sc:identifier descendants)"
+            elif not (identifiers & mapped_features):
+                findings.append(
+                    rules["MDM018"].finding(
+                        f"mapping for {wrapper}: covered concept {concept} "
+                        "must include and populate an identifier feature "
+                        "(joins are restricted to sc:identifier descendants)",
+                        self._location(wrapper, concept.local_name()),
+                    )
                 )
+        return findings
 
     def _concepts_in(self, triples: Iterable[Triple]) -> List[IRI]:
         concepts: Set[IRI] = set()

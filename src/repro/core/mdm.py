@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..docstore.store import DocumentStore
 from ..obs import get_metrics, get_tracer
@@ -36,7 +36,7 @@ from ..relational.optimizer import OptimizationStats, PlanOptimizer
 from ..relational.relation import Relation
 from ..sources.wrappers import RetryPolicy, Wrapper
 from ..sparql.evaluator import evaluate_text
-from .errors import MappingError, MdmError, SourceGraphError
+from .errors import MappingError, MdmError, PlanValidationError, SourceGraphError
 from .global_graph import GlobalGraph, UmlModel
 from .lav import LavMappingStore, MappingView
 from .releases import (
@@ -44,7 +44,6 @@ from .releases import (
     KIND_NEW_SOURCE,
     GovernanceLog,
     MappingSuggestion,
-    Release,
     suggest_mapping,
 )
 from .rewriting import Rewriter, RewriteResult
@@ -71,6 +70,8 @@ class QueryOutcome:
         optimization: Optional[OptimizationStats] = None,
         subplan_hits: int = 0,
         subplan_misses: int = 0,
+        plan_findings: Tuple = (),
+        plan_validated: bool = False,
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -94,6 +95,11 @@ class QueryOutcome:
         #: Shared-subplan memo reuse during this query's execution.
         self.subplan_hits = subplan_hits
         self.subplan_misses = subplan_misses
+        #: Findings from the static plan schema check (empty when the
+        #: check was off or silent; errors raise before an outcome exists).
+        self.plan_findings = tuple(plan_findings)
+        #: Whether the static plan schema check ran for this query.
+        self.plan_validated = plan_validated
 
     @property
     def optimized(self) -> bool:
@@ -144,6 +150,15 @@ class QueryOutcome:
                 f"Shared subplans: {self.subplan_hits} memo hits / "
                 f"{self.subplan_misses} misses"
             )
+        if self.plan_validated:
+            if self.plan_findings:
+                lines.append(
+                    f"Plan check: passed with {len(self.plan_findings)} "
+                    "non-error finding(s): "
+                    + "; ".join(f.render() for f in self.plan_findings)
+                )
+            else:
+                lines.append("Plan check: passed (no findings)")
         lines.append(self.operator_stats.pretty())
         return "\n".join(lines)
 
@@ -232,6 +247,12 @@ DEFAULT_OPTIMIZE = os.environ.get("MDM_OPTIMIZE", "1").strip().lower() not in (
     "off",
 )
 
+#: Default for the post-optimizer plan schema check
+#: (``MDM_VALIDATE_PLANS=0`` disables).
+DEFAULT_VALIDATE_PLANS = os.environ.get(
+    "MDM_VALIDATE_PLANS", "1"
+).strip().lower() not in ("0", "false", "no", "off")
+
 
 class MDM:
     """The Metadata Management System."""
@@ -244,6 +265,7 @@ class MDM:
         retry_policy: Optional[RetryPolicy] = None,
         rewrite_cache_size: int = 128,
         optimize: Optional[bool] = None,
+        validate_plans: Optional[bool] = None,
     ):
         self.dataset = Dataset(namespaces=mdm_namespace_manager())
         self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
@@ -267,6 +289,12 @@ class MDM:
         self.retry_policy = retry_policy or RetryPolicy()
         #: Run the logical plan optimizer on every UCQ before execution.
         self.optimize = DEFAULT_OPTIMIZE if optimize is None else bool(optimize)
+        #: Statically schema-check every post-optimizer plan before
+        #: execution (reject optimizer bugs with a diagnostic instead of
+        #: executing a corrupt plan).
+        self.validate_plans = (
+            DEFAULT_VALIDATE_PLANS if validate_plans is None else bool(validate_plans)
+        )
         #: Metadata generation: bumped on every ontology/source/mapping
         #: mutation; the rewrite cache keys plans by it so evolution can
         #: never serve a stale UCQ.
@@ -303,6 +331,7 @@ class MDM:
         max_fetch_workers: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
         optimize: Optional[bool] = None,
+        validate_plans: Optional[bool] = None,
     ) -> Dict[str, object]:
         """Adjust the fetch pool / retry / optimizer; returns the live config."""
         if max_fetch_workers is not None:
@@ -313,6 +342,8 @@ class MDM:
             self.retry_policy = retry_policy
         if optimize is not None:
             self.optimize = bool(optimize)
+        if validate_plans is not None:
+            self.validate_plans = bool(validate_plans)
         return self.execution_config()
 
     def execution_config(self) -> Dict[str, object]:
@@ -321,6 +352,7 @@ class MDM:
             "max_fetch_workers": self.max_fetch_workers,
             "retry": self.retry_policy.describe(),
             "optimize": self.optimize,
+            "validate_plans": self.validate_plans,
             "generation": self._generation,
             "rewrite_cache": self.rewrite_cache.stats(),
         }
@@ -781,6 +813,9 @@ class MDM:
                     executor,
                     {name: len(rel) for name, rel in relations.items()},
                 )
+            plan_findings: Tuple = ()
+            if self.validate_plans:
+                plan_findings = self._validate_plan(plan, executor)
             stats: Optional[OperatorStats] = None
             hits_before = executor.subplan_hits
             misses_before = executor.subplan_misses
@@ -830,7 +865,36 @@ class MDM:
             optimization=optimization,
             subplan_hits=subplan_hits,
             subplan_misses=subplan_misses,
+            plan_findings=plan_findings,
+            plan_validated=self.validate_plans,
         )
+
+    @staticmethod
+    def _validate_plan(plan, executor: Executor) -> Tuple:
+        """Statically schema-check ``plan`` against the fetched catalog.
+
+        The cheap post-optimizer assertion: error findings abort the
+        query with :class:`PlanValidationError` (carrying the findings)
+        *before* the executor touches the plan; warnings are returned and
+        surfaced on the outcome / in EXPLAIN ANALYZE.  Checks are counted
+        in ``mdm_plan_validation_total{result}``.
+        """
+        from ..analysis.plan_checker import check_plan
+
+        findings, _ = check_plan(plan, executor.catalog)
+        errors = [f for f in findings if f.severity.rank >= 2]
+        get_metrics().counter(
+            "mdm_plan_validation_total",
+            "Static plan schema checks run before execution.",
+            labelnames=("result",),
+        ).inc(1, result="rejected" if errors else "ok")
+        if errors:
+            raise PlanValidationError(
+                "plan rejected by the static schema checker: "
+                + "; ".join(f.render() for f in errors),
+                findings=findings,
+            )
+        return tuple(findings)
 
     @staticmethod
     def _optimize_plan(

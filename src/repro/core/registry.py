@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..docstore.store import DocumentStore
 from .errors import MdmError
 from .walks import Walk
 

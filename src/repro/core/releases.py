@@ -14,8 +14,8 @@ attributes need the steward's attention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..docstore.store import DocumentStore
 from ..rdf.terms import IRI, Triple

@@ -10,7 +10,7 @@ saved-query health, and a per-source impact sketch.  The CLI's
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["governance_report", "render_report"]
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from ..obs import get_metrics
 from .walks import Walk

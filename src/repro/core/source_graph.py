@@ -16,12 +16,12 @@ the steward sees what was shared (the semi-automatic accommodation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import RDF, RDFS
-from ..rdf.terms import IRI, Literal, Term
+from ..rdf.terms import IRI, Literal
 from .errors import SourceGraphError
 from .vocabulary import M, S, mdm_namespace_manager, mint_local
 

@@ -36,10 +36,10 @@ Rules:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..rdf.namespaces import RDF
-from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.terms import IRI, Literal, Variable
 from ..sparql.ast import (
     Comparison,
     FilterPattern,

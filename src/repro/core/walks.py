@@ -15,14 +15,12 @@ edge, and every relation between two selected concepts.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union
 
-from ..rdf.graph import Graph
-from ..rdf.terms import IRI, Term, Triple, Variable
+from ..rdf.terms import IRI, Triple
 from .errors import DisconnectedWalkError, WalkError
 from .global_graph import GlobalGraph
-from .vocabulary import G
 
 __all__ = ["Walk", "feature_column_names", "concept_variable_names"]
 

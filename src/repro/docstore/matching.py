@@ -17,7 +17,7 @@ element matches.
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, Iterable, List, Mapping
+from typing import Any, List, Mapping
 
 __all__ = ["matches", "resolve_path", "FilterError"]
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
-from .graph import Graph, TriplePattern
+from .graph import Graph
 from .namespaces import NamespaceManager, default_namespace_manager
 from .terms import IRI, Quad, Term, TermPattern, Triple
 

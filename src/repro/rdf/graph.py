@@ -22,15 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
 
 from .namespaces import NamespaceManager, default_namespace_manager
-from .terms import (
-    BNode,
-    IRI,
-    Literal,
-    Term,
-    TermPattern,
-    Triple,
-    validate_triple,
-)
+from .terms import IRI, Term, TermPattern, Triple, validate_triple
 
 __all__ = ["Graph"]
 

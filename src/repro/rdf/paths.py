@@ -15,7 +15,7 @@ from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .graph import Graph
-from .terms import IRI, Literal, Term
+from .terms import Literal, Term
 
 __all__ = [
     "neighbours",

@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .dataset import Dataset
-from .graph import Graph
 from .terms import IRI
 from .turtle import TurtleParser, serialize_turtle
 

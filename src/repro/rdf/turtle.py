@@ -20,10 +20,10 @@ diff-friendly output (subjects and predicates sorted).
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from .graph import Graph
-from .namespaces import RDF, NamespaceManager, default_namespace_manager
+from .namespaces import RDF, NamespaceManager
 from .terms import BNode, IRI, Literal, Term, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
 from .ntriples import unescape_string
 

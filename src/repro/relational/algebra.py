@@ -29,8 +29,8 @@ language.  Operators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from .expressions import Expr
 from .schema import RelationSchema, SchemaError

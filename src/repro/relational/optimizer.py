@@ -52,7 +52,7 @@ from .algebra import (
     Union,
     union_all,
 )
-from .expressions import Expr, conjoin, conjuncts, rename_columns
+from .expressions import Expr, conjuncts, rename_columns
 from .schema import SchemaError
 from .types import AttrType
 

@@ -7,7 +7,7 @@ projection, renaming, union compatibility and natural-join splitting.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from .types import AttrType, common_type
 

@@ -9,7 +9,6 @@ and for tests asserting plan shape.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from .algebra import (
     Aggregate,

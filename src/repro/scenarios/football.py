@@ -25,7 +25,7 @@ countries."
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.gav_baseline import GavSystem
 from ..core.global_graph import UmlAssociation, UmlClass, UmlModel
@@ -43,7 +43,7 @@ from ..sources.evolution import (
     release_version,
 )
 from ..sources.restapi import MockRestServer
-from ..sources.wrappers import RestWrapper, Wrapper
+from ..sources.wrappers import RestWrapper
 
 __all__ = [
     "FootballScenario",

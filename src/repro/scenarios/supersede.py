@@ -25,13 +25,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 from ..core.mdm import MDM
 from ..core.walks import Walk
 from ..obs import timed
 from ..rdf.namespaces import Namespace
-from ..rdf.terms import IRI
 from ..sources.evolution import (
     EndpointVersion,
     NestFields,

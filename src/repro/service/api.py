@@ -21,6 +21,7 @@ LAV mappings (steward):
 Querying (analyst):
     ``POST /query``                      {"nodes": [iri, ...], "execute"?: bool, "on_wrapper_error"?: "raise"|"skip"|"partial"}
     ``GET  /metadata/trig``              the TriG snapshot
+    ``GET  /lint``                       static diagnostics (?saved=false, ?plans=false)
 
 Observability (operator):
     ``GET  /metrics``                    Prometheus text exposition
@@ -98,6 +99,7 @@ class MdmService:
         add("DELETE", "/queries/saved/:name", self._delete_saved_query)
         add("GET", "/queries/revalidate", self._revalidate_saved)
         add("GET", "/impact/:source", self._get_impact)
+        add("GET", "/lint", self._get_lint)
         add("GET", "/report", self._get_report)
         add("GET", "/metadata/trig", self._get_trig)
         add("GET", "/summary", self._get_summary)
@@ -377,6 +379,19 @@ class MdmService:
             return dict(self.mdm.impact_of_source(request.path_params["source"]))
         except MdmError as exc:
             raise ServiceError(404, str(exc)) from exc
+
+    def _get_lint(self, request: JsonRequest) -> Dict[str, Any]:
+        """Static diagnostics: metadata rules plus saved-plan schema checks.
+
+        ``?saved=false`` skips replaying saved queries; ``?plans=false``
+        skips the relational schema checker.
+        """
+        from ..analysis import lint_mdm
+
+        replay = request.query.get("saved", "true").lower() != "false"
+        plans = request.query.get("plans", "true").lower() != "false"
+        report = lint_mdm(self.mdm, replay_saved=replay, check_plans=plans)
+        return report.to_json_dict()
 
     def _get_report(self, request: JsonRequest) -> Dict[str, Any]:
         """The full governance report (see repro.core.reporting)."""

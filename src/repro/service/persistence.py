@@ -17,13 +17,11 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List
 
 from ..core.mdm import MDM
 from ..core.vocabulary import M
 from ..docstore.store import DocumentStore
-from ..rdf.namespaces import RDFS
-from ..rdf.terms import IRI, Literal
 from ..rdf.trig import parse_trig, serialize_trig
 from ..sources.wrappers import Wrapper
 
@@ -65,8 +63,6 @@ def load_mdm(directory: os.PathLike) -> MDM:
 
 
 def _rebuild_source_index(mdm: MDM) -> None:
-    from ..core.vocabulary import S
-    from ..rdf.namespaces import RDF
 
     graph = mdm.source_graph.graph
     for source in mdm.source_graph.data_sources():

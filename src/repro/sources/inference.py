@@ -11,12 +11,11 @@ with per-attribute type/nullability statistics the steward can review.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from ..relational.types import AttrType, common_type, infer_type
 from .formats import decode_csv, decode_json, decode_xml, flatten_record
 from .restapi import MockRestServer
-from .wrappers import RestWrapper
 
 __all__ = ["AttributeProfile", "SignatureProfile", "infer_signature"]
 

@@ -19,7 +19,7 @@ the indented notation SPARQL engines print::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..rdf.terms import Triple, Variable

@@ -18,7 +18,7 @@ in tests and cached safely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from ..rdf.terms import IRI, Term, Triple, Variable
 

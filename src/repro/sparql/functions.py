@@ -21,9 +21,6 @@ from ..rdf.terms import (
     Term,
     Variable,
     XSD_BOOLEAN,
-    XSD_DECIMAL,
-    XSD_DOUBLE,
-    XSD_INTEGER,
     XSD_STRING,
 )
 from .ast import (

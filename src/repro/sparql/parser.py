@@ -59,7 +59,7 @@ from .ast import (
     UnionPattern,
     ValuesPattern,
 )
-from .tokens import SparqlSyntaxError, SparqlToken, SparqlTokenizer
+from .tokens import SparqlSyntaxError, SparqlTokenizer
 
 __all__ = ["parse_query", "SparqlParser", "SparqlSyntaxError"]
 

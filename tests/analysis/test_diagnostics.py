@@ -1,0 +1,111 @@
+"""Unit tests for the diagnostics engine itself."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    RULE_CATALOG,
+    Finding,
+    RuleInfo,
+    Severity,
+    SourceLocation,
+    register_rule_info,
+    render_json,
+    render_text,
+    rule_info,
+    severity_counts,
+    sort_findings,
+)
+
+
+def test_severity_ordering():
+    assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+    assert str(Severity.WARNING) == "warning"
+
+
+def test_source_location_rendering():
+    loc = SourceLocation("wrapper", "wPeople", "legacy")
+    assert str(loc) == "wrapper:wPeople#legacy"
+    assert SourceLocation("graph-node", "ex:Person").to_dict() == {
+        "kind": "graph-node",
+        "name": "ex:Person",
+    }
+    with pytest.raises(ValueError):
+        SourceLocation("nonsense", "x")
+
+
+def test_finding_render_and_dict():
+    finding = Finding(
+        code="MDM004",
+        severity=Severity.ERROR,
+        message="no identifier",
+        location=SourceLocation("graph-node", "ex:Ghost"),
+        rule="concept-missing-identifier",
+    )
+    assert finding.render() == "MDM004 error graph-node:ex:Ghost no identifier"
+    data = finding.to_dict()
+    assert data["code"] == "MDM004"
+    assert data["severity"] == "error"
+    assert data["location"] == {"kind": "graph-node", "name": "ex:Ghost"}
+
+
+def test_rule_catalog_registration_idempotent():
+    info = register_rule_info("MDM999", "test-rule", Severity.INFO, "test only")
+    try:
+        again = register_rule_info("MDM999", "test-rule", Severity.INFO, "test only")
+        assert again is info
+        assert rule_info("MDM999").name == "test-rule"
+        with pytest.raises(ValueError):
+            register_rule_info("MDM999", "another-name", Severity.INFO, "clash")
+    finally:
+        del RULE_CATALOG["MDM999"]
+
+
+def test_rule_info_finding_defaults():
+    info = RuleInfo("MDM998", "demo", Severity.WARNING, "demo rule")
+    finding = info.finding("a message")
+    assert finding.severity is Severity.WARNING
+    assert finding.rule == "demo"
+    overridden = info.finding("worse", severity=Severity.ERROR)
+    assert overridden.severity is Severity.ERROR
+
+
+def _sample_findings():
+    return [
+        Finding("MDM005", Severity.WARNING, "b-warning"),
+        Finding("MDM001", Severity.ERROR, "an-error"),
+        Finding("MDM003", Severity.WARNING, "a-warning"),
+        Finding("MDM102", Severity.INFO, "an-info"),
+    ]
+
+
+def test_sort_findings_severity_then_code():
+    ordered = sort_findings(_sample_findings())
+    assert [f.code for f in ordered] == ["MDM001", "MDM003", "MDM005", "MDM102"]
+
+
+def test_severity_counts_and_render_text():
+    findings = _sample_findings()
+    assert severity_counts(findings) == {"error": 1, "warning": 2, "info": 1}
+    text = render_text(findings)
+    assert text.splitlines()[0].startswith("MDM001 error")
+    assert "4 finding(s): 1 error(s), 2 warning(s), 1 info" in text
+
+
+def test_render_json_shape():
+    payload = json.loads(render_json(_sample_findings(), extra={"checked_plans": 3}))
+    assert payload["summary"] == {"error": 1, "warning": 2, "info": 1}
+    assert payload["checked_plans"] == 3
+    assert [f["code"] for f in payload["findings"]][0] == "MDM001"
+
+
+def test_catalog_covers_all_documented_codes():
+    codes = {f"MDM{n:03d}" for n in range(1, 19)} | {
+        f"MDM{n}" for n in range(101, 106)
+    }
+    # Importing the rule packs registers everything.
+    import repro.analysis.metadata_rules  # noqa: F401
+    import repro.analysis.plan_checker  # noqa: F401
+
+    assert codes <= set(RULE_CATALOG)

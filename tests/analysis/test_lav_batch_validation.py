@@ -1,0 +1,128 @@
+"""Mapping registration reports *all* violations at once (PR 4 bugfix).
+
+``LavMappingStore.define`` used to raise on the first broken constraint;
+it now runs every check, attaches the full finding list to the single
+:class:`MappingError`, and codes each violation from the shared
+diagnostics catalog (MDM012–MDM018 plus the reused MDM001/002/004/008).
+"""
+
+import pytest
+
+from repro.core.errors import MappingError
+from repro.core.global_graph import GlobalGraph
+from repro.core.lav import LavMappingStore
+from repro.core.source_graph import SourceGraph
+from repro.core.vocabulary import G
+from repro.rdf.dataset import Dataset
+from repro.rdf.namespaces import EX
+from repro.rdf.terms import Triple
+
+
+@pytest.fixture
+def stack():
+    dataset = Dataset()
+    gg = GlobalGraph()
+    gg.add_concept(EX.Person)
+    gg.add_identifier(EX.personId, EX.Person)
+    gg.add_feature(EX.personName, EX.Person)
+    sg = SourceGraph()
+    people = sg.add_data_source("people")
+    w1 = sg.register_wrapper(people, "w1", ["id", "name"])
+    store = LavMappingStore(dataset, gg, sg)
+    return gg, sg, store, w1
+
+
+def good_subgraph():
+    return [
+        Triple(EX.Person, G.hasFeature, EX.personId),
+        Triple(EX.Person, G.hasFeature, EX.personName),
+    ]
+
+
+def test_valid_mapping_has_no_findings(stack):
+    gg, sg, store, w1 = stack
+    findings = store.validate_mapping(
+        w1.wrapper,
+        tuple(good_subgraph()),
+        {w1.attribute_iri("id"): EX.personId, w1.attribute_iri("name"): EX.personName},
+    )
+    assert findings == []
+
+
+def test_all_violations_reported_in_one_error(stack):
+    gg, sg, store, w1 = stack
+    subgraph = good_subgraph() + [
+        # MDM001: not in the global graph.
+        Triple(EX.Person, EX.invented, EX.Nowhere),
+    ]
+    same_as = {
+        # MDM015: foreign attribute; also leaves personId unpopulated
+        # (MDM016) and with it the identifier requirement (MDM018).
+        EX.notAnAttribute: EX.personName,
+    }
+    with pytest.raises(MappingError) as excinfo:
+        store.define(w1.wrapper, subgraph, same_as)
+    error = excinfo.value
+    found = {f.code for f in error.findings}
+    assert {"MDM001", "MDM015", "MDM016", "MDM018"} <= found
+    # One message mentioning every violation, not just the first.
+    assert str(error).count(";") >= len(error.findings) - 1
+    # Nothing was stored.
+    assert not store.dataset.has_graph(w1.wrapper)
+
+
+def test_empty_subgraph_mdm012(stack):
+    gg, sg, store, w1 = stack
+    with pytest.raises(MappingError) as excinfo:
+        store.define(w1.wrapper, [], {})
+    assert {f.code for f in excinfo.value.findings} == {"MDM012"}
+
+
+def test_unregistered_wrapper_mdm013(stack):
+    gg, sg, store, w1 = stack
+    with pytest.raises(MappingError) as excinfo:
+        store.define(EX.phantomWrapper, good_subgraph(), {})
+    assert "MDM013" in {f.code for f in excinfo.value.findings}
+
+
+def test_duplicate_feature_population_mdm008(stack):
+    gg, sg, store, w1 = stack
+    same_as = {
+        w1.attribute_iri("id"): EX.personId,
+        w1.attribute_iri("name"): EX.personId,
+    }
+    with pytest.raises(MappingError) as excinfo:
+        store.define(w1.wrapper, good_subgraph(), same_as)
+    assert "MDM008" in {f.code for f in excinfo.value.findings}
+
+
+def test_shared_attribute_conflict_mdm017(stack):
+    gg, sg, store, w1 = stack
+    store.define(
+        w1.wrapper,
+        good_subgraph(),
+        {w1.attribute_iri("id"): EX.personId, w1.attribute_iri("name"): EX.personName},
+    )
+    # A second wrapper of the same source shares the "id" attribute.
+    w1b = sg.register_wrapper(sg.source_of(w1.wrapper), "w1b", ["id", "name"])
+    assert w1b.attribute_iri("id") == w1.attribute_iri("id")
+    with pytest.raises(MappingError, match="already linked") as excinfo:
+        store.define(
+            w1b.wrapper,
+            good_subgraph(),
+            {
+                w1b.attribute_iri("id"): EX.personName,
+                w1b.attribute_iri("name"): EX.personId,
+            },
+        )
+    assert "MDM017" in {f.code for f in excinfo.value.findings}
+
+
+def test_findings_have_mapping_locations(stack):
+    gg, sg, store, w1 = stack
+    with pytest.raises(MappingError) as excinfo:
+        store.define(w1.wrapper, good_subgraph(), {})
+    for finding in excinfo.value.findings:
+        assert finding.location is not None
+        assert finding.location.kind == "mapping"
+        assert finding.location.name == "w1"

@@ -1,0 +1,201 @@
+"""Per-rule trigger and pass fixtures for the metadata lint pack."""
+
+import pytest
+
+from repro.analysis.metadata_rules import (
+    rule_concept_identifiers,
+    rule_conflicting_mappings,
+    rule_dangling_features,
+    rule_missing_runtimes,
+    rule_named_graph_subgraph,
+    rule_sameas_targets,
+    rule_saved_queries,
+    rule_taxonomy_cycles,
+    rule_unmapped_attributes,
+    rule_unmapped_wrappers,
+    rule_unreachable_concepts,
+    run_metadata_rules,
+)
+from repro.core.mdm import MDM
+from repro.rdf.namespaces import EX, OWL, RDF, RDFS
+from repro.rdf.terms import Triple
+from repro.scenarios.broken import EXPECTED_CODES, broken_mdm
+from repro.sources.wrappers import StaticWrapper
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+@pytest.fixture
+def clean_mdm():
+    """A minimal fully-governed instance: every rule passes."""
+    mdm = MDM()
+    mdm.add_concept(EX.Person, "Person")
+    mdm.add_identifier(EX.personId, EX.Person, "personId")
+    mdm.add_feature(EX.personName, EX.Person, "personName")
+    mdm.register_source("people")
+    wrapper = StaticWrapper("wPeople", ["id", "name"], [{"id": 1, "name": "a"}])
+    mdm.register_wrapper("people", wrapper)
+    mdm.define_mapping("wPeople", {"id": EX.personId, "name": EX.personName})
+    walk = mdm.walk_from_nodes([EX.Person, EX.personId, EX.personName])
+    mdm.saved_queries.save("everyone", walk, "all people")
+    return mdm
+
+
+def test_clean_instance_has_no_findings(clean_mdm):
+    assert run_metadata_rules(clean_mdm) == []
+
+
+def test_broken_fixture_fires_every_expected_code():
+    findings = run_metadata_rules(broken_mdm())
+    assert EXPECTED_CODES <= set(codes(findings))
+    # The acceptance floor: at least nine distinct rule codes fire.
+    assert len(set(codes(findings))) >= 9
+
+
+# --- individual trigger fixtures ------------------------------------- #
+
+
+def test_mdm001_foreign_triple(clean_mdm):
+    wrapper = clean_mdm.wrapper_iri("wPeople")
+    clean_mdm.mappings.named_graph(wrapper).add(
+        Triple(EX.Person, EX.invented, EX.Nowhere)
+    )
+    assert "MDM001" in codes(rule_named_graph_subgraph(clean_mdm))
+
+
+def test_mdm014_disconnected_named_graph(clean_mdm):
+    from repro.core.vocabulary import G
+
+    gg = clean_mdm.global_graph.graph
+    gg.add((EX.Island, RDF.type, G.Concept))
+    gg.add((EX.islandId, RDF.type, G.Feature))
+    gg.add((EX.Island, G.hasFeature, EX.islandId))
+    wrapper = clean_mdm.wrapper_iri("wPeople")
+    clean_mdm.mappings.named_graph(wrapper).add(
+        Triple(EX.Island, G.hasFeature, EX.islandId)
+    )
+    assert "MDM014" in codes(rule_named_graph_subgraph(clean_mdm))
+
+
+def test_mdm002_sameas_outside_named_graph(clean_mdm):
+    from repro.core.vocabulary import G
+
+    gg = clean_mdm.global_graph.graph
+    gg.add((EX.stray, RDF.type, G.Feature))
+    gg.add((EX.Person, G.hasFeature, EX.stray))
+    wrapper = clean_mdm.wrapper_iri("wPeople")
+    attr = clean_mdm.source_graph.attributes_of(wrapper)[0]
+    clean_mdm.source_graph.graph.add((attr, OWL.sameAs, EX.stray))
+    assert "MDM002" in codes(rule_sameas_targets(clean_mdm))
+
+
+def test_mdm002_sameas_to_non_feature(clean_mdm):
+    wrapper = clean_mdm.wrapper_iri("wPeople")
+    attr = clean_mdm.source_graph.attributes_of(wrapper)[0]
+    clean_mdm.source_graph.graph.add((attr, OWL.sameAs, EX.NotAFeature))
+    assert "MDM002" in codes(rule_sameas_targets(clean_mdm))
+
+
+def test_mdm003_unmapped_attribute():
+    mdm = MDM()
+    mdm.add_concept(EX.Person)
+    mdm.add_identifier(EX.personId, EX.Person)
+    mdm.register_source("people")
+    mdm.register_wrapper("people", StaticWrapper("w", ["id", "spare"], []))
+    mdm.define_mapping("w", {"id": EX.personId})
+    findings = list(rule_unmapped_attributes(mdm))
+    assert codes(findings) == ["MDM003"]
+    assert findings[0].location.detail == "spare"
+
+
+def test_mdm008_attribute_linked_twice(clean_mdm):
+    wrapper = clean_mdm.wrapper_iri("wPeople")
+    attrs = {
+        clean_mdm.source_graph.attribute_name(a): a
+        for a in clean_mdm.source_graph.attributes_of(wrapper)
+    }
+    clean_mdm.source_graph.graph.add((attrs["id"], OWL.sameAs, EX.personName))
+    found = codes(rule_conflicting_mappings(clean_mdm))
+    # Both directions fire: id→{personId, personName} and personName←{id, name}.
+    assert found.count("MDM008") == 2
+
+
+def test_mdm009_unmapped_wrapper(clean_mdm):
+    clean_mdm.register_wrapper("people", StaticWrapper("wSpare", ["x"], []))
+    assert codes(rule_unmapped_wrappers(clean_mdm)) == ["MDM009"]
+
+
+def test_mdm011_missing_runtime(clean_mdm):
+    del clean_mdm.wrappers["wPeople"]
+    assert codes(rule_missing_runtimes(clean_mdm)) == ["MDM011"]
+
+
+def test_mdm004_concept_without_identifier(clean_mdm):
+    from repro.core.vocabulary import G
+
+    gg = clean_mdm.global_graph.graph
+    gg.add((EX.Ghost, RDF.type, G.Concept))
+    findings = list(rule_concept_identifiers(clean_mdm))
+    assert codes(findings) == ["MDM004"]
+
+
+def test_mdm004_inherited_identifier_suffices(clean_mdm):
+    from repro.core.vocabulary import G
+
+    gg = clean_mdm.global_graph.graph
+    gg.add((EX.Employee, RDF.type, G.Concept))
+    gg.add((EX.Employee, RDFS.subClassOf, EX.Person))
+    assert list(rule_concept_identifiers(clean_mdm)) == []
+
+
+def test_mdm005_uncovered_concept(clean_mdm):
+    from repro.core.vocabulary import G
+
+    gg = clean_mdm.global_graph.graph
+    gg.add((EX.Lost, RDF.type, G.Concept))
+    gg.add((EX.lostId, RDF.type, G.Feature))
+    gg.add((EX.Lost, G.hasFeature, EX.lostId))
+    assert codes(rule_unreachable_concepts(clean_mdm)) == ["MDM005"]
+
+
+def test_mdm006_dangling_feature(clean_mdm):
+    from repro.core.vocabulary import G
+
+    clean_mdm.global_graph.graph.add((EX.orphanField, RDF.type, G.Feature))
+    assert codes(rule_dangling_features(clean_mdm)) == ["MDM006"]
+
+
+def test_mdm007_taxonomy_cycle(clean_mdm):
+    from repro.core.vocabulary import G
+
+    gg = clean_mdm.global_graph.graph
+    gg.add((EX.A, RDF.type, G.Concept))
+    gg.add((EX.B, RDF.type, G.Concept))
+    gg.add((EX.A, RDFS.subClassOf, EX.B))
+    gg.add((EX.B, RDFS.subClassOf, EX.A))
+    findings = list(rule_taxonomy_cycles(clean_mdm))
+    # One cycle, reported once despite two members.
+    assert codes(findings) == ["MDM007"]
+
+
+def test_mdm010_saved_query_replay(clean_mdm):
+    clean_mdm.add_concept(EX.Unserved)
+    clean_mdm.add_identifier(EX.unservedId, EX.Unserved)
+    walk = clean_mdm.walk_from_nodes([EX.Unserved, EX.unservedId])
+    clean_mdm.saved_queries.save("doomed", walk, "no coverage")
+    findings = list(rule_saved_queries(clean_mdm))
+    assert codes(findings) == ["MDM010"]
+    assert findings[0].location.name == "doomed"
+
+
+def test_run_metadata_rules_skips_saved_replay(clean_mdm):
+    clean_mdm.add_concept(EX.Unserved2)
+    clean_mdm.add_identifier(EX.u2Id, EX.Unserved2)
+    walk = clean_mdm.walk_from_nodes([EX.Unserved2, EX.u2Id])
+    clean_mdm.saved_queries.save("doomed2", walk, "no coverage")
+    with_replay = codes(run_metadata_rules(clean_mdm, replay_saved=True))
+    without = codes(run_metadata_rules(clean_mdm, replay_saved=False))
+    assert "MDM010" in with_replay
+    assert "MDM010" not in without

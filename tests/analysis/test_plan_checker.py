@@ -1,0 +1,141 @@
+"""Plan schema checker over hand-built (mostly invalid) plans."""
+
+from repro.analysis.plan_checker import check_plan
+from repro.relational.algebra import (
+    EquiJoin,
+    Extend,
+    NaturalJoin,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.expressions import Cmp, Col, Const
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttrType
+
+CATALOG = {
+    "people": RelationSchema(
+        [
+            Attribute("id", AttrType.INTEGER),
+            Attribute("name", AttrType.STRING),
+            Attribute("active", AttrType.BOOLEAN),
+        ]
+    ),
+    "accounts": RelationSchema(
+        [Attribute("aid", AttrType.INTEGER), Attribute("owner", AttrType.INTEGER)]
+    ),
+}
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+def test_valid_plan_has_no_findings():
+    plan = Project(
+        Select(Scan("people"), Cmp("=", Col("id"), Const(1))), ("id", "name")
+    )
+    findings, schema = check_plan(plan, CATALOG)
+    assert findings == []
+    assert list(schema.names) == ["id", "name"]
+
+
+def test_unknown_relation_mdm101():
+    findings, schema = check_plan(Scan("nope"), CATALOG)
+    assert codes(findings) == ["MDM101"]
+    assert schema is None
+    assert findings[0].location.kind == "plan-operator"
+    assert findings[0].location.name == "Scan"
+
+
+def test_unknown_attribute_in_projection_mdm102():
+    findings, schema = check_plan(Project(Scan("people"), ("id", "ghost")), CATALOG)
+    assert codes(findings) == ["MDM102"]
+    assert schema is None
+    assert findings[0].location.detail == "ghost"
+
+
+def test_unknown_attribute_in_predicate_mdm102():
+    plan = Select(Scan("people"), Cmp("=", Col("ghost"), Const(1)))
+    findings, schema = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM102"]
+    # Select passes its child's schema through even when the predicate is bad.
+    assert list(schema.names) == ["id", "name", "active"]
+
+
+def test_rename_of_missing_column_mdm102():
+    plan = Rename.from_dict(Scan("people"), {"ghost": "spirit"})
+    findings, _ = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM102"]
+
+
+def test_union_incompatible_mdm103():
+    plan = Union(
+        Project(Scan("people"), ("id", "name")), Project(Scan("accounts"), ("aid",))
+    )
+    findings, schema = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM103"]
+    assert schema is None
+
+
+def test_union_compatible_widens():
+    plan = Union(
+        Project(Scan("people"), ("id",)),
+        Rename.from_dict(Project(Scan("accounts"), ("aid",)), {"aid": "id"}),
+    )
+    findings, schema = check_plan(plan, CATALOG)
+    assert findings == []
+    assert list(schema.names) == ["id"]
+
+
+def test_extend_duplicate_column_mdm104():
+    findings, _ = check_plan(Extend(Scan("people"), "name", None), CATALOG)
+    assert codes(findings) == ["MDM104"]
+
+
+def test_extend_fresh_column_ok():
+    findings, schema = check_plan(Extend(Scan("people"), "note", None), CATALOG)
+    assert findings == []
+    assert "note" in schema
+
+
+def test_type_mismatch_comparison_mdm105():
+    plan = Select(Scan("people"), Cmp("<", Col("active"), Col("id")))
+    findings, _ = check_plan(plan, CATALOG)
+    assert "MDM105" in codes(findings)
+
+
+def test_equijoin_missing_pair_mdm102():
+    plan = EquiJoin(Scan("people"), Scan("accounts"), (("id", "ghost"),))
+    findings, _ = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM102"]
+
+
+def test_join_type_mismatch_mdm105():
+    plan = EquiJoin(Scan("people"), Scan("accounts"), (("active", "aid"),))
+    findings, _ = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM105"]
+
+
+def test_natural_join_schema_combines():
+    plan = NaturalJoin(
+        Scan("people"),
+        Rename.from_dict(Scan("accounts"), {"owner": "id"}),
+    )
+    findings, schema = check_plan(plan, CATALOG)
+    assert findings == []
+    assert list(schema.names) == ["id", "name", "active", "aid"]
+
+
+def test_errors_in_both_union_branches_reported():
+    plan = Union(Scan("nope1"), Scan("nope2"))
+    findings, _ = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM101", "MDM101"]
+
+
+def test_nested_paths_in_locations():
+    plan = Union(Project(Scan("people"), ("ghost",)), Project(Scan("people"), ("id",)))
+    findings, _ = check_plan(plan, CATALOG)
+    assert findings[0].location.name == "Union[0]/Project"

@@ -10,7 +10,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
-from check_repo_hygiene import hygiene_violations, tracked_files  # noqa: E402
+from check_repo_hygiene import (  # noqa: E402
+    hygiene_violations,
+    size_violations,
+    tracked_files,
+)
 
 
 def test_no_tracked_pycache_or_pyc():
@@ -19,6 +23,24 @@ def test_no_tracked_pycache_or_pyc():
     if not paths:
         return
     assert hygiene_violations(paths) == []
+
+
+def test_no_oversized_tracked_files():
+    paths = tracked_files(REPO_ROOT)
+    if not paths:
+        return
+    assert size_violations(paths, REPO_ROOT) == []
+
+
+def test_size_violation_detection(tmp_path):
+    big = tmp_path / "dump.json"
+    big.write_bytes(b"x" * 2048)
+    (tmp_path / "benchmarks").mkdir()
+    exempt = tmp_path / "benchmarks" / "results.json"
+    exempt.write_bytes(b"x" * 2048)
+    paths = ["dump.json", "benchmarks/results.json", "missing.txt"]
+    assert size_violations(paths, tmp_path, limit=1024) == [("dump.json", 2048)]
+    assert size_violations(paths, tmp_path, limit=4096) == []
 
 
 def test_gitignore_covers_compiled_python():
