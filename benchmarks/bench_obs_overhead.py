@@ -1,0 +1,167 @@
+"""Tracing overhead budget: traced-parallel vs untraced-parallel execution.
+
+The always-on observability contract only holds if tracing is cheap
+*while the fetch pool is busy*: the contextvars tracer must not serialise
+the pool (the old fallback did exactly that) nor add meaningful per-span
+cost.  This benchmark executes the same federated UCQ over eight
+latency-bound wrappers twice — tracing off, then tracing on at
+``sample_rate=1.0`` — and fails when the traced run's throughput falls
+below ``THROUGHPUT_FLOOR`` (80%) of the untraced run's.
+
+Runnable two ways:
+
+- ``python benchmarks/bench_obs_overhead.py [--smoke]`` — the CI entry
+  point: prints the comparison, writes ``BENCH_obs_overhead.json`` next
+  to this file and exits non-zero when the budget is blown;
+- ``pytest benchmarks/bench_obs_overhead.py`` — the same check as a
+  test (smoke-sized so it stays in the tier-1 wall-time budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.mdm import MDM
+from repro.obs import capture
+from repro.rdf.namespaces import EX
+from repro.sources.wrappers import StaticWrapper
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_obs_overhead.json"
+
+#: Traced-parallel throughput must stay at or above this fraction of
+#: untraced-parallel throughput (the ISSUE's 20% overhead budget).
+THROUGHPUT_FLOOR = 0.80
+
+WRAPPERS = 8
+ROWS_PER_WRAPPER = 50
+
+
+class SlowWrapper(StaticWrapper):
+    """A wrapper with a fixed service latency, so fetch wall time is
+    deterministic and the pool's parallelism dominates the measurement."""
+
+    def __init__(self, name, attributes, rows, delay_s):
+        super().__init__(name, attributes, rows)
+        self.delay_s = delay_s
+
+    def fetch(self):
+        time.sleep(self.delay_s)
+        return super().fetch()
+
+
+def build_mdm(delay_s: float) -> MDM:
+    mdm = MDM(max_fetch_workers=WRAPPERS)
+    mdm.add_concept(EX.Thing, "Thing")
+    mdm.add_identifier(EX.thingId, EX.Thing)
+    mdm.add_feature(EX.thingName, EX.Thing)
+    mdm.register_source("things")
+    for i in range(WRAPPERS):
+        name = f"w{i}"
+        rows = [
+            {"id": f"{name}-{j}", "name": f"{name} thing {j}"}
+            for j in range(ROWS_PER_WRAPPER)
+        ]
+        mdm.register_wrapper(
+            "things", SlowWrapper(name, ["id", "name"], rows, delay_s)
+        )
+        mdm.define_mapping(name, {"id": EX.thingId, "name": EX.thingName})
+    return mdm
+
+
+def _time_runs(mdm, walk, runs: int) -> List[float]:
+    times = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        mdm.execute(walk, use_cache=False)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def measure(runs: int = 5, delay_ms: float = 25.0) -> Dict:
+    """Median traced vs untraced wall time over ``runs`` executions."""
+    mdm = build_mdm(delay_ms / 1000.0)
+    walk = mdm.walk_from_nodes([EX.Thing, EX.thingName])
+    mdm.execute(walk, use_cache=False)  # warm-up (imports, pool spin-up)
+
+    untraced_s = _time_runs(mdm, walk, runs)
+    with capture():
+        traced_s = _time_runs(mdm, walk, runs)
+
+    untraced_ms = statistics.median(untraced_s) * 1000.0
+    traced_ms = statistics.median(traced_s) * 1000.0
+    # Throughput ratio: 1.0 = free tracing, 0.5 = tracing halved it.
+    ratio = untraced_ms / traced_ms if traced_ms else 0.0
+    return {
+        "wrappers": WRAPPERS,
+        "rows_per_wrapper": ROWS_PER_WRAPPER,
+        "wrapper_delay_ms": delay_ms,
+        "runs": runs,
+        "untraced_ms": {
+            "median": round(untraced_ms, 3),
+            "all": [round(t * 1000.0, 3) for t in untraced_s],
+        },
+        "traced_ms": {
+            "median": round(traced_ms, 3),
+            "all": [round(t * 1000.0, 3) for t in traced_s],
+        },
+        "throughput_ratio": round(ratio, 4),
+        "threshold": THROUGHPUT_FLOOR,
+        "pass": ratio >= THROUGHPUT_FLOOR,
+    }
+
+
+def test_traced_parallel_overhead_within_budget():
+    """Traced-parallel throughput >= 80% of untraced-parallel."""
+    report = measure(runs=3)
+    assert report["pass"], (
+        f"tracing overhead blew the budget: traced median "
+        f"{report['traced_ms']['median']}ms vs untraced "
+        f"{report['untraced_ms']['median']}ms "
+        f"(ratio {report['throughput_ratio']} < {THROUGHPUT_FLOOR})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer runs / shorter wrapper latency (the CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(ARTIFACT_PATH),
+        help=f"artifact path (default {ARTIFACT_PATH.name})",
+    )
+    args = parser.parse_args(argv)
+
+    runs, delay_ms = (3, 25.0) if args.smoke else (9, 40.0)
+    report = measure(runs=runs, delay_ms=delay_ms)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"untraced-parallel median: {report['untraced_ms']['median']:.3f}ms\n"
+        f"traced-parallel median:   {report['traced_ms']['median']:.3f}ms\n"
+        f"throughput ratio:         {report['throughput_ratio']:.4f} "
+        f"(floor {THROUGHPUT_FLOOR})\n"
+        f"artifact:                 {args.out}"
+    )
+    if not report["pass"]:
+        print(
+            "FAIL: traced-parallel throughput fell below "
+            f"{THROUGHPUT_FLOOR:.0%} of untraced-parallel",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -244,26 +244,103 @@ def _default_walk(args, scenario):
     return scenario.walk_feedback_by_product()
 
 
+def _follow_querylog(args) -> int:
+    """Tail a query-log JSONL file, one summary line per record.
+
+    Polls the file for appended lines; stops after ``--max-records``
+    records or ``--idle-timeout`` quiet seconds (both unbounded by
+    default, so interactive use runs until ctrl-c).
+    """
+    import json
+    import os
+    import time
+
+    from .obs.querylog import QueryLogRecord
+
+    path = args.querylog or os.environ.get("MDM_QUERYLOG")
+    if not path:
+        raise SystemExit(
+            "trace --follow needs --querylog PATH (or $MDM_QUERYLOG)"
+        )
+    position = 0
+    if not args.from_start and os.path.exists(path):
+        position = os.path.getsize(path)
+    print(f"following query log {path} (ctrl-c to stop)", file=sys.stderr)
+    printed = 0
+    idle_s = 0.0
+    try:
+        while True:
+            lines: List[str] = []
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as fh:
+                    fh.seek(position)
+                    lines = fh.readlines()
+                    position = fh.tell()
+            fresh = 0
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = QueryLogRecord.from_dict(json.loads(line))
+                except (ValueError, TypeError):
+                    continue
+                print(record.summary_line())
+                fresh += 1
+                printed += 1
+                if args.max_records is not None and printed >= args.max_records:
+                    return 0
+            if fresh:
+                idle_s = 0.0
+                continue
+            idle_s += args.poll_interval
+            if args.idle_timeout is not None and idle_s >= args.idle_timeout:
+                return 0
+            time.sleep(args.poll_interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_trace(args) -> int:
     from .obs import JsonlSink, Tracer, get_tracer, set_tracer
+
+    if args.follow:
+        return _follow_querylog(args)
 
     scenario = _load_scenario(args.scenario)
     mdm = scenario.mdm
     _apply_execution_flags(mdm, args)
     walk = _default_walk(args, scenario)
-    tracer = Tracer(enabled=True)
-    if args.jsonl:
-        tracer.add_sink(JsonlSink(args.jsonl))
+    tracer = Tracer(
+        enabled=True,
+        sample_rate=args.sample_rate if args.sample_rate is not None else 1.0,
+        slow_threshold_ms=args.slow_ms,
+    )
+    sink = None
     previous = get_tracer()
-    set_tracer(tracer)
     try:
+        if args.jsonl:
+            sink = JsonlSink(args.jsonl)
+            tracer.add_sink(sink)
+        set_tracer(tracer)
         outcome = mdm.execute(walk, on_wrapper_error="skip", analyze=True)
     finally:
+        # Restore the previous tracer and release the JSONL file handle
+        # even when the traced command raises.
         set_tracer(previous)
+        if sink is not None:
+            sink.close()
     print("walk:", walk.describe(mdm.global_graph))
     print()
-    for span in tracer.recent():
-        print(span.tree())
+    roots = tracer.recent()
+    if roots:
+        for span in roots:
+            print(span.tree())
+    else:
+        print(
+            f"(no trace recorded: sample_rate={tracer.sample_rate}, "
+            f"slow_threshold_ms={tracer.slow_threshold_ms})"
+        )
     print()
     print(outcome.explain_analyze())
     if outcome.skipped_wrappers:
@@ -479,6 +556,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--sparql", help="inline SPARQL text")
     p_trace.add_argument("--sparql-file", help="file with SPARQL text")
     p_trace.add_argument("--jsonl", help="also append spans to this JSONL file")
+    p_trace.add_argument(
+        "--sample-rate",
+        type=float,
+        help="probability a trace is kept (default 1.0 for this command)",
+    )
+    p_trace.add_argument(
+        "--slow-ms",
+        type=float,
+        help="also keep unsampled traces slower than this many milliseconds",
+    )
+    p_trace.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the query-log JSONL instead of executing a query",
+    )
+    p_trace.add_argument(
+        "--querylog",
+        help="query-log JSONL file to tail (default: $MDM_QUERYLOG)",
+    )
+    p_trace.add_argument(
+        "--from-start",
+        action="store_true",
+        help="with --follow, print existing records before tailing",
+    )
+    p_trace.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="with --follow, seconds between polls (default 0.2)",
+    )
+    p_trace.add_argument(
+        "--idle-timeout",
+        type=float,
+        help="with --follow, stop after this many quiet seconds",
+    )
+    p_trace.add_argument(
+        "--max-records",
+        type=int,
+        help="with --follow, stop after printing this many records",
+    )
     _add_execution_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 

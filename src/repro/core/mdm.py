@@ -22,13 +22,22 @@ the paper's Jena TDB + MongoDB split.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..docstore.store import DocumentStore
 from ..obs import get_metrics, get_tracer
+from ..obs.profile import (
+    MemoryWatch,
+    PhaseTimer,
+    ResourceProfile,
+    rollup_operators,
+)
+from ..obs.querylog import QueryLogRecord, get_query_log
 from ..rdf.dataset import Dataset
 from ..rdf.terms import IRI, Triple
 from ..relational.executor import Executor, OperatorStats
@@ -72,6 +81,7 @@ class QueryOutcome:
         subplan_misses: int = 0,
         plan_findings: Tuple = (),
         plan_validated: bool = False,
+        profile: Optional[ResourceProfile] = None,
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -100,6 +110,10 @@ class QueryOutcome:
         self.plan_findings = tuple(plan_findings)
         #: Whether the static plan schema check ran for this query.
         self.plan_validated = plan_validated
+        #: Per-query resource profile (phase wall times, rows, peak
+        #: memory, per-operator self time); always present for outcomes
+        #: produced by :meth:`MDM.execute`.
+        self.profile = profile
 
     @property
     def optimized(self) -> bool:
@@ -159,6 +173,8 @@ class QueryOutcome:
                 )
             else:
                 lines.append("Plan check: passed (no findings)")
+        if self.profile is not None:
+            lines.append(self.profile.render())
         lines.append(self.operator_stats.pretty())
         return "\n".join(lines)
 
@@ -717,17 +733,30 @@ class MDM:
         logged to the metadata store either way (impact analysis counts
         posed queries, not rewriting work).
 
-        A traced run bypasses the cache: the whole point of tracing is
-        to see the per-phase spans, and a cache hit would elide them.
+        ``use_cache`` is honored regardless of tracing: a traced cache
+        hit shows up as a ``rewrite-cache`` span tagged ``cache=hit``
+        instead of forcing a re-rewrite (the pre-observability versions
+        bypassed the cache whenever the tracer was enabled, so traced
+        runs never exercised the code path users actually run).
         """
-        use_cache = use_cache and not get_tracer().enabled
-        result = None
-        if use_cache:
-            result = self.rewrite_cache.get(walk, self._generation)
-        if result is None:
-            result = self.rewriter.rewrite(walk)
+        result, _ = self._rewrite_with_status(walk, use_cache)
+        return result
+
+    def _rewrite_with_status(
+        self, walk: Walk, use_cache: bool = True
+    ) -> Tuple[RewriteResult, str]:
+        """:meth:`rewrite` plus the cache disposition (hit/miss/bypass)."""
+        with get_tracer().span("rewrite-cache") as cache_span:
+            result = None
+            status = "bypass"
             if use_cache:
-                self.rewrite_cache.put(walk, self._generation, result)
+                result = self.rewrite_cache.get(walk, self._generation)
+                status = "hit" if result is not None else "miss"
+            if result is None:
+                result = self.rewriter.rewrite(walk)
+                if use_cache:
+                    self.rewrite_cache.put(walk, self._generation, result)
+            cache_span.set_tag("cache", status)
         self.metadata.collection("queries").insert_one(
             {
                 "walk": walk.describe(self.global_graph),
@@ -737,13 +766,14 @@ class MDM:
                 ),
             }
         )
-        return result
+        return result, status
 
     def execute(
         self,
         walk: Walk,
         on_wrapper_error: str = "raise",
         analyze: bool = False,
+        use_cache: bool = True,
     ) -> QueryOutcome:
         """Rewrite a walk and execute the UCQ over the live wrappers.
 
@@ -755,94 +785,178 @@ class MDM:
         Leaf wrappers of the UCQ are deduplicated (a wrapper shared by
         several CQs is fetched once per query) and fetched concurrently
         through a bounded thread pool of :attr:`max_fetch_workers`
-        threads, each fetch governed by :attr:`retry_policy`.  When the
-        process tracer is enabled the fetches run serially instead: the
-        tracer is deliberately single-threaded (see :mod:`repro.obs`),
-        and a coherent span tree is worth more to a traced run than
-        fetch overlap.
+        threads, each fetch governed by :attr:`retry_policy`.  The pool
+        is used whether or not the process tracer is enabled: workers
+        run under a copy of the caller's context, so their fetch spans
+        parent correctly to this query's ``execute`` root.
 
-        ``analyze=True`` (implied whenever the process tracer is enabled)
-        collects per-operator rows-in/rows-out/elapsed statistics; the
-        outcome then supports :meth:`QueryOutcome.explain_analyze`.
+        ``analyze=True`` (implied when this query's trace is being
+        recorded) collects per-operator rows-in/rows-out/elapsed
+        statistics; the outcome then supports
+        :meth:`QueryOutcome.explain_analyze`.
+
+        Every call — traced or not, successful or not — appends exactly
+        one :class:`~repro.obs.querylog.QueryLogRecord` to the process
+        query log, and every returned outcome carries a
+        :class:`~repro.obs.profile.ResourceProfile`.
         """
         if on_wrapper_error not in ("raise", "skip", "partial"):
             raise ValueError(
                 "on_wrapper_error must be 'raise', 'skip' or 'partial'"
             )
         tracer = get_tracer()
-        analyze = analyze or tracer.enabled
-        started = time.perf_counter()
-        with tracer.span("execute") as root:
-            result = self.rewrite(walk)
-            executor = Executor()
-            needed = {name for q in result.queries for name in q.wrapper_names}
-            relations, attempts, errors = self._fetch_wrappers(
-                sorted(needed), serial=tracer.enabled
-            )
-            if errors and on_wrapper_error == "raise":
-                raise errors[min(errors)]
-            failed: List[str] = sorted(errors)
-            for name in sorted(relations):
-                executor.register(name, relations[name])
-            if failed:
-                get_metrics().counter(
-                    "mdm_query_partial_total",
-                    "OMQs answered partially after wrapper failures.",
-                ).inc()
-                surviving = [
-                    q
-                    for q in result.queries
-                    if not (set(q.wrapper_names) & set(failed))
-                ]
-                if not surviving:
-                    raise MdmError(
-                        f"every CQ depends on a failed wrapper: {sorted(failed)}"
+        root = tracer.span("execute")
+        timer = PhaseTimer()
+        memory = MemoryWatch()
+        started_wall = time.time()
+        relations: Dict[str, Relation] = {}
+        attempts: Dict[str, int] = {}
+        failed: List[str] = []
+        result: Optional[RewriteResult] = None
+        cache_status = "bypass"
+        stats: Optional[OperatorStats] = None
+        subplan_hits = 0
+        subplan_misses = 0
+        try:
+            with memory, root:
+                analyze = analyze or root.is_recording
+                with timer.phase("rewrite"):
+                    result, cache_status = self._rewrite_with_status(
+                        walk, use_cache
                     )
-                from ..relational.algebra import Distinct, Project, union_all
+                root.set_tag("cache", cache_status)
+                executor = Executor()
+                needed = {
+                    name for q in result.queries for name in q.wrapper_names
+                }
+                with timer.phase("fetch"):
+                    relations, attempts, errors = self._fetch_wrappers(
+                        sorted(needed)
+                    )
+                if errors and on_wrapper_error == "raise":
+                    raise errors[min(errors)]
+                failed = sorted(errors)
+                for name in sorted(relations):
+                    executor.register(name, relations[name])
+                if failed:
+                    get_metrics().counter(
+                        "mdm_query_partial_total",
+                        "OMQs answered partially after wrapper failures.",
+                    ).inc()
+                    surviving = [
+                        q
+                        for q in result.queries
+                        if not (set(q.wrapper_names) & set(failed))
+                    ]
+                    if not surviving:
+                        raise MdmError(
+                            f"every CQ depends on a failed wrapper: "
+                            f"{sorted(failed)}"
+                        )
+                    from ..relational.algebra import (
+                        Distinct,
+                        Project,
+                        union_all,
+                    )
 
-                plan = Distinct(
-                    union_all([Project(q.plan, result.projection) for q in surviving])
-                )
-            else:
-                plan = result.plan
-            naive_plan = plan
-            optimization: Optional[OptimizationStats] = None
-            if self.optimize:
-                plan, optimization = self._optimize_plan(
-                    plan,
-                    executor,
-                    {name: len(rel) for name, rel in relations.items()},
-                )
-            plan_findings: Tuple = ()
-            if self.validate_plans:
-                plan_findings = self._validate_plan(plan, executor)
-            stats: Optional[OperatorStats] = None
-            hits_before = executor.subplan_hits
-            misses_before = executor.subplan_misses
-            if analyze:
-                relation, stats = executor.execute_analyzed(plan)
-            else:
-                relation = executor.execute(plan)
-            subplan_hits = executor.subplan_hits - hits_before
-            subplan_misses = executor.subplan_misses - misses_before
-            if walk.optional_features:
-                optional_columns = [
-                    result.column_names[f]
-                    for f in walk.optional_features
-                    if result.column_names.get(f) in relation.schema
-                ]
-                relation = relation.without_subsumed(optional_columns)
-            relation = relation.sorted()
-            root.set_tag("ucq_size", result.ucq_size)
-            root.set_tag("rows", len(relation))
-            root.set_tag("fetch_attempts", sum(attempts.values()))
-            if failed:
-                root.set_tag("skipped_wrappers", sorted(failed))
+                    plan = Distinct(
+                        union_all(
+                            [
+                                Project(q.plan, result.projection)
+                                for q in surviving
+                            ]
+                        )
+                    )
+                else:
+                    plan = result.plan
+                naive_plan = plan
+                optimization: Optional[OptimizationStats] = None
+                if self.optimize:
+                    with timer.phase("optimize"):
+                        plan, optimization = self._optimize_plan(
+                            plan,
+                            executor,
+                            {name: len(rel) for name, rel in relations.items()},
+                        )
+                plan_findings: Tuple = ()
+                if self.validate_plans:
+                    with timer.phase("validate"):
+                        plan_findings = self._validate_plan(plan, executor)
+                hits_before = executor.subplan_hits
+                misses_before = executor.subplan_misses
+                with timer.phase("execute"):
+                    if analyze:
+                        relation, stats = executor.execute_analyzed(plan)
+                    else:
+                        relation = executor.execute(plan)
+                subplan_hits = executor.subplan_hits - hits_before
+                subplan_misses = executor.subplan_misses - misses_before
+                with timer.phase("finalize"):
+                    if walk.optional_features:
+                        optional_columns = [
+                            result.column_names[f]
+                            for f in walk.optional_features
+                            if result.column_names.get(f) in relation.schema
+                        ]
+                        relation = relation.without_subsumed(optional_columns)
+                    relation = relation.sorted()
+                root.set_tag("ucq_size", result.ucq_size)
+                root.set_tag("rows", len(relation))
+                root.set_tag("fetch_attempts", sum(attempts.values()))
+                if failed:
+                    root.set_tag("skipped_wrappers", sorted(failed))
+        except Exception as exc:
+            phase_ms = timer.finish()
+            self._log_query(
+                root=root,
+                walk=walk,
+                result=result,
+                started_wall=started_wall,
+                duration_ms=timer.total_s * 1000.0,
+                phase_ms=phase_ms,
+                cache_status=cache_status,
+                relations=relations,
+                attempts=attempts,
+                failed=failed,
+                rows_returned=0,
+                subplan_hits=subplan_hits,
+                subplan_misses=subplan_misses,
+                status="error",
+                error=exc,
+            )
+            raise
+        phase_ms = timer.finish()
+        rows_fetched = sum(len(rel) for rel in relations.values())
+        profile = ResourceProfile(
+            total_ms=timer.total_s * 1000.0,
+            phase_ms=phase_ms,
+            rows_fetched=rows_fetched,
+            rows_scanned=self._rows_scanned(stats, rows_fetched),
+            rows_returned=len(relation),
+            peak_memory_bytes=memory.peak_bytes,
+            operator_ms=rollup_operators(stats),
+        )
+        self._log_query(
+            root=root,
+            walk=walk,
+            result=result,
+            started_wall=started_wall,
+            duration_ms=profile.total_ms,
+            phase_ms=phase_ms,
+            cache_status=cache_status,
+            relations=relations,
+            attempts=attempts,
+            failed=failed,
+            rows_returned=len(relation),
+            subplan_hits=subplan_hits,
+            subplan_misses=subplan_misses,
+            status="partial" if failed else "ok",
+        )
         metrics = get_metrics()
         metrics.counter("mdm_queries_total", "OMQs executed end-to-end.").inc()
         metrics.histogram(
             "mdm_execute_seconds", "End-to-end OMQ execution latency."
-        ).observe(time.perf_counter() - started)
+        ).observe(timer.total_s)
         if subplan_hits or subplan_misses:
             subplan_counter = metrics.counter(
                 "mdm_subplan_cache_total",
@@ -867,7 +981,87 @@ class MDM:
             subplan_misses=subplan_misses,
             plan_findings=plan_findings,
             plan_validated=self.validate_plans,
+            profile=profile,
         )
+
+    @staticmethod
+    def _rows_scanned(stats: Optional[OperatorStats], fallback: int) -> int:
+        """Rows emitted by Scan operators (≈ rows entering the plan).
+
+        Needs an analyzed run; otherwise the fetched-row total is the
+        best available approximation.
+        """
+        if stats is None:
+            return fallback
+        return sum(
+            node.rows_out
+            for node in stats.iter_nodes()
+            if node.label.startswith("Scan(")
+        )
+
+    def _log_query(
+        self,
+        *,
+        root,
+        walk: Walk,
+        result: Optional[RewriteResult],
+        started_wall: float,
+        duration_ms: float,
+        phase_ms: Mapping[str, float],
+        cache_status: str,
+        relations: Mapping[str, Relation],
+        attempts: Mapping[str, int],
+        failed: Sequence[str],
+        rows_returned: int,
+        subplan_hits: int,
+        subplan_misses: int,
+        status: str,
+        error: Optional[Exception] = None,
+    ) -> QueryLogRecord:
+        """Append this query's record to the process query log.
+
+        The correlation id is the trace_id of the query's trace — kept
+        even for unsampled traces; a fresh id is minted only when the
+        tracer is off entirely (so records always join on something).
+        """
+        trace_id = getattr(root, "trace_id", None)
+        # The sampling decision: final on finished roots; a span nested
+        # under an outer trace (e.g. the HTTP request span) reports its
+        # inherited sampling verdict, since the real root is still open.
+        decision = getattr(root, "decision", None)
+        if decision is None:
+            if trace_id is None:
+                decision = "off"
+            elif getattr(root, "sampled", False):
+                decision = "sampled"
+            elif getattr(root, "is_recording", False):
+                # Recorded but unsampled: kept only if the root ends slow.
+                decision = "deferred"
+            else:
+                decision = "dropped"
+        try:
+            walk_text = walk.describe(self.global_graph)
+        except Exception:  # noqa: BLE001 — logging must not mask errors
+            walk_text = repr(walk)
+        record = QueryLogRecord(
+            correlation_id=trace_id or uuid.uuid4().hex,
+            started_at=started_wall,
+            duration_ms=duration_ms,
+            status=status,
+            walk=walk_text,
+            ucq_size=result.ucq_size if result is not None else 0,
+            rows_fetched=sum(len(rel) for rel in relations.values()),
+            rows_returned=rows_returned,
+            rewrite_cache=cache_status,
+            subplan_hits=subplan_hits,
+            subplan_misses=subplan_misses,
+            phase_ms=dict(phase_ms),
+            fetch_attempts=dict(attempts),
+            skipped_wrappers=tuple(failed),
+            trace_decision=decision,
+            error=f"{type(error).__name__}: {error}" if error else None,
+        )
+        return get_query_log().record(record)
 
     @staticmethod
     def _validate_plan(plan, executor: Executor) -> Tuple:
@@ -920,12 +1114,17 @@ class MDM:
             return plan, None
 
     def _fetch_wrappers(
-        self, names: Sequence[str], serial: bool = False
+        self, names: Sequence[str]
     ) -> Tuple[Dict[str, Relation], Dict[str, int], Dict[str, Exception]]:
         """Fetch the (deduplicated) wrappers ``names`` under the retry policy.
 
-        Runs through a bounded :class:`ThreadPoolExecutor` unless
-        ``serial`` is set or only one worker/wrapper is involved.
+        Runs through a bounded :class:`ThreadPoolExecutor` whenever more
+        than one worker and wrapper are involved — tracing included:
+        each task runs under a copy of the caller's :mod:`contextvars`
+        context (one copy per task, since a single context cannot be
+        entered concurrently), so ``fetch:<name>`` spans opened inside
+        the workers parent to the caller's current span.
+
         Returns ``(relations, attempts, errors)`` keyed by wrapper name;
         ``errors`` holds the terminal exception per failed wrapper —
         any ``Exception`` counts, because ``fetch()`` is source-side
@@ -945,7 +1144,7 @@ class MDM:
             return self.wrappers[name].fetch_relation_retrying(policy)
 
         workers = min(self.max_fetch_workers, len(names))
-        if serial or workers <= 1:
+        if workers <= 1:
             for name in names:
                 try:
                     relations[name], attempts[name] = fetch_one(name)
@@ -956,7 +1155,12 @@ class MDM:
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="mdm-fetch"
             ) as pool:
-                futures = {name: pool.submit(fetch_one, name) for name in names}
+                futures = {
+                    name: pool.submit(
+                        contextvars.copy_context().run, fetch_one, name
+                    )
+                    for name in names
+                }
                 for name in names:
                     try:
                         relations[name], attempts[name] = futures[name].result()

@@ -153,9 +153,16 @@ def render_report(report: Dict[str, object]) -> str:
                 )
                 if entry["type"] == "histogram":
                     mean_ms = series["mean"] * 1000.0
+                    quantiles = ""
+                    if "p50" in series:
+                        quantiles = (
+                            f" p50={series['p50'] * 1000.0:.3f}ms"
+                            f" p95={series['p95'] * 1000.0:.3f}ms"
+                            f" p99={series['p99'] * 1000.0:.3f}ms"
+                        )
                     lines.append(
                         f"  {name}{label_text}: count={series['count']} "
-                        f"mean={mean_ms:.3f}ms"
+                        f"mean={mean_ms:.3f}ms{quantiles}"
                     )
                 else:
                     lines.append(

@@ -261,6 +261,44 @@ class Histogram(Metric):
         out.append((float("inf"), series.count if series else 0))
         return out
 
+    def percentile(self, q: float, **labels: Any) -> float:
+        """Estimated ``q``-th percentile (0–100) of the labeled series.
+
+        Linear interpolation over the cumulative bucket counts — the
+        standard scrape-side estimate (à la ``histogram_quantile``), so
+        the resolution is bounded by the bucket ladder.  Observations in
+        the ``+Inf`` bucket clamp to the last finite bound; an empty
+        series yields 0.0.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        series = self._series.get(self._key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        target = (q / 100.0) * series.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, series.bucket_counts):
+            if running + n >= target and n > 0:
+                fraction = (target - running) / n
+                return lower + (bound - lower) * max(0.0, min(1.0, fraction))
+            running += n
+            lower = bound
+        # Target falls in the +Inf bucket: the honest answer is "at
+        # least the last finite bound".
+        return self.buckets[-1]
+
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0), **labels: Any
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ...}`` for the labeled series."""
+        return {
+            f"p{int(q) if float(q).is_integer() else q}": self.percentile(
+                q, **labels
+            )
+            for q in qs
+        }
+
     def render(self) -> List[str]:
         lines = self.header_lines()
         for key in self.series_keys():
@@ -287,6 +325,7 @@ class Histogram(Metric):
                     "count": series.count,
                     "sum": series.total,
                     "mean": (series.total / series.count) if series.count else 0.0,
+                    **self.percentiles(**self.labels_of(key)),
                 }
                 for key, series in sorted(self._series.items())
             ],
@@ -363,6 +402,36 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """JSON-shaped dump of every metric (reports, BENCH artifacts)."""
         return {name: metric.snapshot() for name, metric in self._metrics.items()}
+
+    def summary(self) -> Dict[str, Any]:
+        """Latency summary: per-histogram-series count/mean/p50/p95/p99.
+
+        The at-a-glance view ``report --metrics`` and
+        ``GET /metrics/summary`` serve — only histograms appear, since
+        percentile summaries are meaningless for counters and gauges.
+        """
+        out: Dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            if not isinstance(metric, Histogram):
+                continue
+            out[name] = {
+                "help": metric.help_text,
+                "series": [
+                    {
+                        "labels": metric.labels_of(key),
+                        "count": metric.count(**metric.labels_of(key)),
+                        "mean": (
+                            metric.sum(**metric.labels_of(key))
+                            / metric.count(**metric.labels_of(key))
+                            if metric.count(**metric.labels_of(key))
+                            else 0.0
+                        ),
+                        **metric.percentiles(**metric.labels_of(key)),
+                    }
+                    for key in metric.series_keys()
+                ],
+            }
+        return out
 
     def reset(self) -> None:
         """Drop every registered metric."""

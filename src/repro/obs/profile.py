@@ -1,0 +1,182 @@
+"""Per-query resource profiles: where one OMQ spent its time and memory.
+
+A :class:`ResourceProfile` is attached to every
+:class:`~repro.core.mdm.QueryOutcome` and answers the operational
+questions a steward asks about a single query: how long each pipeline
+phase took (rewrite / fetch / optimize / validate / execute / finalize —
+the phases cover the whole wall time, with the unattributed remainder in
+``other``), how many rows were fetched from the wrappers and scanned by
+the executor, how much memory the query peaked at (when
+:mod:`tracemalloc` is tracing), and which relational operators dominated
+(rolled up from the EXPLAIN ANALYZE stats when the run was analyzed).
+
+Standard library only; imports nothing from the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["ResourceProfile", "PhaseTimer", "MemoryWatch", "rollup_operators"]
+
+
+class PhaseTimer:
+    """Accumulates named phase durations against one wall clock.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("rewrite"):
+            ...
+        phases_ms = timer.finish()   # includes the "other" remainder
+
+    Phases may repeat (durations accumulate) but must not overlap.
+    """
+
+    def __init__(self, clock=None):
+        import time
+
+        self._clock = clock if clock is not None else time.perf_counter
+        self._started = self._clock()
+        self._phases: Dict[str, float] = {}
+        self.total_s = 0.0
+
+    def phase(self, name: str):
+        """Context manager timing one phase occurrence."""
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._phases[name] = self._phases.get(name, 0.0) + seconds
+
+    def finish(self) -> Dict[str, float]:
+        """Stop the wall clock; phase → milliseconds, plus ``other``.
+
+        The ``other`` bucket absorbs wall time outside any phase, so the
+        per-phase milliseconds always sum to the total (within float
+        noise) — the invariant the acceptance contract checks.
+        """
+        self.total_s = self._clock() - self._started
+        attributed = sum(self._phases.values())
+        other = max(0.0, self.total_s - attributed)
+        phases_ms = {name: s * 1000.0 for name, s in self._phases.items()}
+        phases_ms["other"] = other * 1000.0
+        return phases_ms
+
+
+class _Phase:
+    __slots__ = ("_timer", "_name", "_t0")
+
+    def __init__(self, timer: PhaseTimer, name: str):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = self._timer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.add(self._name, self._timer._clock() - self._t0)
+        return False
+
+
+class MemoryWatch:
+    """Peak-memory observation scoped to one query.
+
+    When :mod:`tracemalloc` is already tracing (the operator started it,
+    or ``start=True`` asked us to), the watch resets the peak counter on
+    entry and reads the traced peak on exit; otherwise it reports None
+    rather than paying the global cost of turning allocation tracing on
+    behind the operator's back.
+    """
+
+    def __init__(self, start: bool = False):
+        self._started_here = False
+        self.peak_bytes: Optional[int] = None
+        if start and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+
+    def __enter__(self) -> "MemoryWatch":
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if tracemalloc.is_tracing():
+            self.peak_bytes = tracemalloc.get_traced_memory()[1]
+        if self._started_here:
+            tracemalloc.stop()
+        return False
+
+
+def rollup_operators(stats) -> Dict[str, float]:
+    """Per-operator-label *self* milliseconds from an OperatorStats tree.
+
+    Accepts any node exposing ``iter_nodes()`` / ``label`` / ``self_s``
+    (duck-typed so this module stays import-free); returns a label →
+    accumulated-self-time-ms mapping, largest first.
+    """
+    if stats is None:
+        return {}
+    totals: Dict[str, float] = {}
+    for node in stats.iter_nodes():
+        totals[node.label] = totals.get(node.label, 0.0) + node.self_s * 1000.0
+    return dict(
+        sorted(totals.items(), key=lambda item: item[1], reverse=True)
+    )
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """What one query cost: time by phase/operator, rows, peak memory."""
+
+    total_ms: float
+    phase_ms: Mapping[str, float] = field(default_factory=dict)
+    rows_fetched: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    peak_memory_bytes: Optional[int] = None
+    operator_ms: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def phase_total_ms(self) -> float:
+        """Sum of the per-phase milliseconds (≈ :attr:`total_ms`)."""
+        return sum(self.phase_ms.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped rendering (query log enrichment, APIs)."""
+        return {
+            "total_ms": round(self.total_ms, 6),
+            "phase_ms": {k: round(v, 6) for k, v in self.phase_ms.items()},
+            "rows_fetched": self.rows_fetched,
+            "rows_scanned": self.rows_scanned,
+            "rows_returned": self.rows_returned,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "operator_ms": {
+                k: round(v, 6) for k, v in self.operator_ms.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Human rendering for EXPLAIN ANALYZE / the trace CLI."""
+        parts = [
+            f"{name}={ms:.3f}ms"
+            for name, ms in self.phase_ms.items()
+            if name != "other" or ms > 0.0
+        ]
+        lines = [
+            f"Resources: total {self.total_ms:.3f}ms ({', '.join(parts)})",
+            f"  rows: fetched={self.rows_fetched} "
+            f"scanned={self.rows_scanned} returned={self.rows_returned}",
+        ]
+        if self.peak_memory_bytes is not None:
+            lines.append(
+                f"  peak memory: {self.peak_memory_bytes / 1024.0:.1f} KiB"
+            )
+        if self.operator_ms:
+            top = list(self.operator_ms.items())[:5]
+            ops = ", ".join(f"{label} {ms:.3f}ms" for label, ms in top)
+            lines.append(f"  top operators (self time): {ops}")
+        return "\n".join(lines)

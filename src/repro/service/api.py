@@ -25,8 +25,12 @@ Querying (analyst):
 
 Observability (operator):
     ``GET  /metrics``                    Prometheus text exposition
+    ``GET  /metrics/summary``            per-histogram count/mean/p50/p95/p99
     ``GET  /traces/recent``              recent root spans (?limit=N)
-    ``POST /obs/tracing``                {"enabled": bool} toggles tracing
+    ``GET  /traces/:trace_id``           one buffered trace by id
+    ``GET  /querylog/recent``            recent query-log records (?limit=N)
+    ``POST /obs/tracing``                {"enabled"?: bool, "sample_rate"?: float,
+                                          "slow_threshold_ms"?: float|null}
     ``GET  /config/execution``           fetch-pool size, retry policy, optimizer, cache stats
     ``POST /config/execution``           {"max_fetch_workers"?: int, "optimize"?: bool, "retry"?: {...}}
 
@@ -104,7 +108,12 @@ class MdmService:
         add("GET", "/metadata/trig", self._get_trig)
         add("GET", "/summary", self._get_summary)
         add("GET", "/metrics", self._get_metrics)
+        add("GET", "/metrics/summary", self._get_metrics_summary)
+        # /traces/recent must bind before the :trace_id pattern so the
+        # literal path wins (routes match in registration order).
         add("GET", "/traces/recent", self._get_recent_traces)
+        add("GET", "/traces/:trace_id", self._get_trace)
+        add("GET", "/querylog/recent", self._get_recent_querylog)
         add("POST", "/obs/tracing", self._post_tracing)
         add("GET", "/config/execution", self._get_execution_config)
         add("POST", "/config/execution", self._post_execution_config)
@@ -258,10 +267,13 @@ class MdmService:
         walk = self.mdm.walk_from_nodes([_iri(n, "walk node") for n in nodes])
         execute = bool(request.body.get("execute", True))
         on_error = request.body.get("on_wrapper_error", "raise")
+        use_cache = bool(request.body.get("use_cache", True))
         outcome = None
         try:
             if execute:
-                outcome = self.mdm.execute(walk, on_wrapper_error=on_error)
+                outcome = self.mdm.execute(
+                    walk, on_wrapper_error=on_error, use_cache=use_cache
+                )
                 rewrite = outcome.rewrite
                 rows = [list(r) for r in outcome.relation.rows]
                 columns = list(outcome.relation.schema.names)
@@ -425,18 +437,75 @@ class MdmService:
             "traces": [span.to_dict() for span in tracer.recent(limit)],
         }
 
-    def _post_tracing(self, request: JsonRequest) -> Dict[str, Any]:
-        """Toggle tracing for this process: ``{"enabled": true|false}``.
+    def _get_metrics_summary(self, request: JsonRequest) -> Dict[str, Any]:
+        """Histogram percentile summary (p50/p95/p99 per series)."""
+        from ..obs import get_metrics
 
-        Flips the flag on the *current* tracer in place so the recent-span
-        ring and any attached sinks survive the toggle.
+        return get_metrics().summary()
+
+    def _get_trace(self, request: JsonRequest) -> Dict[str, Any]:
+        """One buffered trace by id: the full span tree, or 404.
+
+        Only sampled (or kept-as-slow) traces live in the ring; a
+        correlation id from the query log may legitimately miss here
+        when its trace was dropped by the sampler.
         """
         from ..obs import get_tracer
 
-        (enabled,) = request.require("enabled")
+        trace_id = request.path_params["trace_id"]
+        span = get_tracer().find_trace(trace_id)
+        if span is None:
+            raise ServiceError(404, f"no buffered trace with id {trace_id!r}")
+        return span.to_dict()
+
+    def _get_recent_querylog(self, request: JsonRequest) -> Dict[str, Any]:
+        """The most recent query-log records (``?limit=N``, default 20)."""
+        from ..obs import get_query_log
+
+        try:
+            limit = int(request.query.get("limit", "20"))
+        except ValueError:
+            raise ServiceError(400, "limit must be an integer") from None
+        log = get_query_log()
+        return {
+            "total": log.total,
+            "records": [r.to_dict() for r in log.recent(limit)],
+        }
+
+    def _post_tracing(self, request: JsonRequest) -> Dict[str, Any]:
+        """Configure tracing for this process.
+
+        Body: ``{"enabled"?: bool, "sample_rate"?: float,
+        "slow_threshold_ms"?: float|null}`` — omitted knobs keep their
+        current value.  Changes apply to the *current* tracer in place so
+        the recent-span ring and any attached sinks survive the toggle.
+        """
+        from ..obs import get_tracer
+
+        body = request.body
+        if not isinstance(body, Mapping) or not (
+            set(body) & {"enabled", "sample_rate", "slow_threshold_ms"}
+        ):
+            raise ServiceError(
+                400,
+                "body must set at least one of enabled / sample_rate / "
+                "slow_threshold_ms",
+            )
         tracer = get_tracer()
-        tracer.enabled = bool(enabled)
-        return {"enabled": tracer.enabled}
+        if "enabled" in body:
+            tracer.enabled = bool(body["enabled"])
+        try:
+            tracer.configure_sampling(
+                sample_rate=body.get("sample_rate"),
+                slow_threshold_ms=(
+                    body["slow_threshold_ms"]
+                    if "slow_threshold_ms" in body
+                    else "keep"
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return tracer.sampling_config()
 
     def _get_execution_config(self, request: JsonRequest) -> Dict[str, Any]:
         return self.mdm.execution_config()

@@ -26,8 +26,11 @@ def scenario():
 class TestPipelineSpans:
     def test_execute_produces_the_full_span_tree(self, scenario):
         walk = scenario.walk_league_nationality()
+        # Bypass the rewrite cache so the rewriting phase spans appear
+        # (a cache hit legitimately elides them since tracing stopped
+        # forcing re-rewrites).
         with capture() as (tracer, _registry):
-            outcome = scenario.mdm.execute(walk)
+            outcome = scenario.mdm.execute(walk, use_cache=False)
             roots = tracer.recent()
         assert len(roots) == 1
         root = roots[0]
@@ -50,7 +53,7 @@ class TestPipelineSpans:
     def test_phase_spans_carry_rewrite_counts(self, scenario):
         walk = scenario.walk_league_nationality()
         with capture() as (tracer, _registry):
-            outcome = scenario.mdm.execute(walk)
+            outcome = scenario.mdm.execute(walk, use_cache=False)
             inter = tracer.recent()[0].find("phase:inter-concept")
         assert inter.tags["emitted_cqs"] == outcome.rewrite.ucq_size
         assert inter.tags["candidate_cqs"] >= inter.tags["emitted_cqs"]
@@ -84,7 +87,7 @@ class TestPipelineMetrics:
     def test_one_query_populates_the_core_series(self, scenario):
         walk = scenario.walk_league_nationality()
         with capture() as (_tracer, registry):
-            scenario.mdm.execute(walk)
+            scenario.mdm.execute(walk, use_cache=False)
             names = registry.names()
             assert "mdm_rewrite_phase_seconds" in names
             assert "mdm_rewrite_total" in names
@@ -108,6 +111,7 @@ class TestPipelineMetrics:
 
 class TestServiceMetricsEndpoint:
     def test_metrics_endpoint_serves_parseable_prometheus(self, scenario):
+        scenario.mdm.rewrite_cache.clear()
         with capture():
             service = MdmService(scenario.mdm)
             response = service.request(

@@ -232,3 +232,78 @@ class TestTimedDecorator:
             assert registry.get("late_seconds").count(step="late") == 1
         finally:
             set_metrics(previous)
+
+
+class TestHistogramPercentiles:
+    def hist(self):
+        return Histogram("lat", "t", buckets=(1.0, 2.0, 4.0, 8.0))
+
+    def test_empty_series_yields_zero(self):
+        assert self.hist().percentile(95.0) == 0.0
+
+    def test_interpolates_within_a_bucket(self):
+        h = self.hist()
+        # 10 observations uniform in (1, 2]: the p50 target falls halfway
+        # through the second bucket -> 1.0 + 0.5 * (2.0 - 1.0).
+        for _ in range(10):
+            h.observe(1.5)
+        assert h.percentile(50.0) == pytest.approx(1.5)
+        assert h.percentile(100.0) == pytest.approx(2.0)
+
+    def test_spread_across_buckets(self):
+        h = self.hist()
+        for v in (0.5, 0.5, 3.0, 3.0):
+            h.observe(v)
+        # p50 target = 2 observations: exactly the first bucket's worth.
+        assert h.percentile(50.0) == pytest.approx(1.0)
+        # p75 target = 3: halfway through the (2, 4] bucket's 2 counts.
+        assert h.percentile(75.0) == pytest.approx(3.0)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        h = self.hist()
+        for _ in range(4):
+            h.observe(100.0)  # +Inf bucket only
+        assert h.percentile(99.0) == pytest.approx(8.0)
+
+    def test_rejects_out_of_range_quantiles(self):
+        with pytest.raises(ValueError):
+            self.hist().percentile(101.0)
+        with pytest.raises(ValueError):
+            self.hist().percentile(-1.0)
+
+    def test_percentiles_shape(self):
+        h = self.hist()
+        h.observe(1.5)
+        named = h.percentiles()
+        assert set(named) == {"p50", "p95", "p99"}
+
+    def test_labeled_series_are_independent(self):
+        h = Histogram("lat", "t", labelnames=("op",), buckets=(1.0, 2.0))
+        h.observe(0.5, op="fast")
+        h.observe(1.5, op="slow")
+        assert h.percentile(50.0, op="fast") < h.percentile(50.0, op="slow")
+
+
+class TestRegistrySummary:
+    def test_summary_covers_histograms_only(self):
+        registry = MetricsRegistry()
+        registry.counter("mdm_queries_total", "q").inc()
+        hist = registry.histogram("mdm_execute_seconds", "lat")
+        for v in (0.001, 0.002, 0.004):
+            hist.observe(v)
+        summary = registry.summary()
+        assert set(summary) == {"mdm_execute_seconds"}
+        series = summary["mdm_execute_seconds"]["series"]
+        assert len(series) == 1
+        entry = series[0]
+        assert entry["count"] == 3
+        assert entry["mean"] == pytest.approx(0.007 / 3)
+        assert {"p50", "p95", "p99"} <= set(entry)
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+
+    def test_histogram_snapshot_includes_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "t", labelnames=("op",))
+        hist.observe(0.001, op="scan")
+        entry = hist.snapshot()["series"][0]
+        assert {"p50", "p95", "p99"} <= set(entry)

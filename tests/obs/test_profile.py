@@ -1,0 +1,168 @@
+"""Per-query resource profiles: phase coverage, rows, rendering."""
+
+import tracemalloc
+
+import pytest
+
+from repro.core.mdm import MDM
+from repro.obs import capture
+from repro.obs.profile import (
+    MemoryWatch,
+    PhaseTimer,
+    ResourceProfile,
+    rollup_operators,
+)
+from repro.rdf.namespaces import EX
+from repro.sources.wrappers import StaticWrapper
+
+
+def build_mdm():
+    mdm = MDM()
+    mdm.add_concept(EX.Thing, "Thing")
+    mdm.add_identifier(EX.thingId, EX.Thing)
+    mdm.add_feature(EX.thingName, EX.Thing)
+    mdm.register_source("things")
+    for name in ("w1", "w2"):
+        rows = [
+            {"id": f"{name}-{i}", "name": f"{name} thing {i}"}
+            for i in range(3)
+        ]
+        mdm.register_wrapper("things", StaticWrapper(name, ["id", "name"], rows))
+        mdm.define_mapping(name, {"id": EX.thingId, "name": EX.thingName})
+    return mdm
+
+
+class TestPhaseTimer:
+    def test_manual_clock_attribution(self):
+        ticks = iter([0.0, 1.0, 3.0, 10.0])
+        timer = PhaseTimer(clock=lambda: next(ticks))
+        with timer.phase("fetch"):
+            pass  # 1.0 -> 3.0 = 2s
+        phases = timer.finish()  # total 10s
+        assert phases["fetch"] == pytest.approx(2000.0)
+        assert phases["other"] == pytest.approx(8000.0)
+        assert sum(phases.values()) == pytest.approx(timer.total_s * 1000.0)
+
+    def test_repeated_phases_accumulate(self):
+        ticks = iter([0.0, 1.0, 2.0, 3.0, 5.0, 5.0])
+        timer = PhaseTimer(clock=lambda: next(ticks))
+        with timer.phase("fetch"):
+            pass  # 1s
+        with timer.phase("fetch"):
+            pass  # 2s
+        phases = timer.finish()
+        assert phases["fetch"] == pytest.approx(3000.0)
+        assert phases["other"] == pytest.approx(2000.0)
+
+    def test_phases_always_sum_to_total(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        phases = timer.finish()
+        assert sum(phases.values()) == pytest.approx(
+            timer.total_s * 1000.0, rel=1e-6, abs=1e-6
+        )
+
+
+class TestMemoryWatch:
+    def test_reports_none_when_tracemalloc_is_off(self):
+        assert not tracemalloc.is_tracing()
+        with MemoryWatch() as watch:
+            _ = [0] * 10_000
+        assert watch.peak_bytes is None
+
+    def test_reports_peak_when_started_here(self):
+        with MemoryWatch(start=True) as watch:
+            _ = bytearray(256 * 1024)
+        assert not tracemalloc.is_tracing()  # stopped what it started
+        assert watch.peak_bytes is not None
+        assert watch.peak_bytes >= 256 * 1024
+
+
+class TestRollupOperators:
+    def test_accumulates_self_time_by_label(self):
+        class Node:
+            def __init__(self, label, self_s):
+                self.label = label
+                self.self_s = self_s
+
+        class Stats:
+            def __init__(self, nodes):
+                self._nodes = nodes
+
+            def iter_nodes(self):
+                return iter(self._nodes)
+
+        stats = Stats(
+            [Node("Scan(w1)", 0.001), Node("Join", 0.004), Node("Join", 0.002)]
+        )
+        rolled = rollup_operators(stats)
+        assert list(rolled) == ["Join", "Scan(w1)"]  # largest first
+        assert rolled["Join"] == pytest.approx(6.0)
+
+    def test_none_stats_roll_up_empty(self):
+        assert rollup_operators(None) == {}
+
+
+class TestResourceProfileRendering:
+    def test_render_mentions_phases_rows_and_operators(self):
+        profile = ResourceProfile(
+            total_ms=12.5,
+            phase_ms={"rewrite": 2.0, "fetch": 9.0, "other": 1.5},
+            rows_fetched=40,
+            rows_scanned=40,
+            rows_returned=12,
+            peak_memory_bytes=2048,
+            operator_ms={"Join": 4.0, "Scan(w1)": 1.0},
+        )
+        text = profile.render()
+        assert text.startswith("Resources: total 12.500ms")
+        assert "fetch=9.000ms" in text
+        assert "fetched=40 scanned=40 returned=12" in text
+        assert "peak memory: 2.0 KiB" in text
+        assert "Join 4.000ms" in text
+        assert profile.phase_total_ms == pytest.approx(12.5)
+
+    def test_to_dict_is_json_shaped(self):
+        profile = ResourceProfile(total_ms=1.0, phase_ms={"other": 1.0})
+        data = profile.to_dict()
+        assert data["total_ms"] == 1.0
+        assert data["peak_memory_bytes"] is None
+        assert data["rows_returned"] == 0
+
+
+class TestProfileOnOutcome:
+    def test_every_outcome_carries_a_profile(self):
+        mdm = build_mdm()
+        outcome = mdm.execute(mdm.walk_from_nodes([EX.Thing, EX.thingName]))
+        profile = outcome.profile
+        assert profile is not None
+        assert profile.rows_fetched == 6
+        assert profile.rows_returned == len(outcome.relation)
+        # Acceptance contract: phase timings sum within 10% of wall time.
+        assert profile.phase_total_ms == pytest.approx(
+            profile.total_ms, rel=0.10
+        )
+        assert {"rewrite", "fetch", "execute", "finalize", "other"} <= set(
+            profile.phase_ms
+        )
+
+    def test_analyzed_run_rolls_up_operators_and_scan_rows(self):
+        mdm = build_mdm()
+        outcome = mdm.execute(
+            mdm.walk_from_nodes([EX.Thing, EX.thingName]), analyze=True
+        )
+        profile = outcome.profile
+        assert profile.operator_ms  # EXPLAIN ANALYZE stats were present
+        assert any(label.startswith("Scan(") for label in profile.operator_ms)
+        assert profile.rows_scanned == 6
+
+    def test_explain_analyze_includes_the_resource_section(self):
+        mdm = build_mdm()
+        with capture():
+            outcome = mdm.execute(mdm.walk_from_nodes([EX.Thing, EX.thingName]))
+        text = outcome.explain_analyze()
+        assert "Resources: total" in text
+        assert "rows: fetched=" in text

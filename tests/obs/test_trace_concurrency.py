@@ -1,0 +1,193 @@
+"""Concurrency-safety of the contextvars tracer under the fetch pool.
+
+The tentpole guarantee of the always-on observability layer: tracing no
+longer forces serial fetches, and the spans opened inside pool workers
+parent correctly to their query's ``execute`` root.  A barrier wrapper
+proves the pool genuinely overlapped while traced (serial fetches would
+break the barrier), 20 repeated runs prove determinism of the query
+output, and hypothesis pins the sampling boundary rates.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mdm import MDM
+from repro.obs import Tracer, capture
+from repro.rdf.namespaces import EX
+from repro.sources.wrappers import StaticWrapper
+
+WORKERS = 8
+
+
+class BarrierWrapper(StaticWrapper):
+    """Answers only once all ``parties`` fetches are in flight at once."""
+
+    def __init__(self, name, attributes, rows, barrier):
+        super().__init__(name, attributes, rows)
+        self.barrier = barrier
+
+    def fetch(self):
+        self.barrier.wait(timeout=5.0)
+        return super().fetch()
+
+
+def union_mdm(wrappers, **mdm_kwargs):
+    """An MDM whose UCQ unions one CQ per wrapper over a single concept."""
+    mdm = MDM(**mdm_kwargs)
+    mdm.add_concept(EX.Thing, "Thing")
+    mdm.add_identifier(EX.thingId, EX.Thing)
+    mdm.add_feature(EX.thingName, EX.Thing)
+    mdm.register_source("things")
+    for wrapper in wrappers:
+        mdm.register_wrapper("things", wrapper)
+        mdm.define_mapping(
+            wrapper.name, {"id": EX.thingId, "name": EX.thingName}
+        )
+    return mdm
+
+
+def rows_for(prefix, n=2):
+    return [
+        {"id": f"{prefix}-{i}", "name": f"{prefix} thing {i}"}
+        for i in range(n)
+    ]
+
+
+def barrier_mdm(parties=WORKERS):
+    barrier = threading.Barrier(parties)
+    wrappers = [
+        BarrierWrapper(f"w{i}", ["id", "name"], rows_for(f"w{i}"), barrier)
+        for i in range(parties)
+    ]
+    return union_mdm(wrappers, max_fetch_workers=parties)
+
+
+class TestTracedParallelFetch:
+    def test_traced_fetches_still_overlap_through_the_pool(self):
+        """The serial-while-tracing fallback is gone: with tracing on,
+        eight barrier wrappers still meet in flight (serial fetching
+        would raise BrokenBarrierError)."""
+        mdm = barrier_mdm()
+        with capture():
+            outcome = mdm.execute(mdm.walk_from_nodes([EX.Thing, EX.thingName]))
+        assert len(outcome.relation) == WORKERS * 2
+        assert not outcome.partial
+
+    def test_fetch_spans_parent_to_the_execute_root(self):
+        mdm = barrier_mdm()
+        with capture() as (tracer, _registry):
+            mdm.execute(mdm.walk_from_nodes([EX.Thing, EX.thingName]))
+            roots = tracer.recent()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "execute"
+        fetch_spans = [
+            s for s in root.iter_spans() if s.name.startswith("fetch:")
+        ]
+        assert len(fetch_spans) == WORKERS
+        for span in fetch_spans:
+            assert span.parent_id == root.span_id
+            assert span.trace_id == root.trace_id
+        # Direct children: pool workers attached them to the root itself.
+        child_ids = {c.span_id for c in root.children}
+        assert {s.span_id for s in fetch_spans} <= child_ids
+
+    def test_span_ids_unique_across_the_tree(self):
+        mdm = barrier_mdm()
+        with capture() as (tracer, _registry):
+            mdm.execute(mdm.walk_from_nodes([EX.Thing, EX.thingName]))
+            root = tracer.recent()[0]
+        ids = [s.span_id for s in root.iter_spans()]
+        assert len(ids) == len(set(ids))
+
+    @pytest.mark.slow
+    def test_byte_identical_output_across_20_traced_runs(self):
+        """Tracing with an 8-wide pool never perturbs the answer."""
+        mdm = barrier_mdm()
+        walk = mdm.walk_from_nodes([EX.Thing, EX.thingName])
+        reference = mdm.execute(walk).to_table().encode()
+        for _ in range(20):
+            with capture():
+                traced = mdm.execute(walk).to_table().encode()
+            assert traced == reference
+
+    def test_traced_matches_untraced_rows(self):
+        mdm = barrier_mdm()
+        walk = mdm.walk_from_nodes([EX.Thing, EX.thingName])
+        plain = mdm.execute(walk)
+        with capture():
+            traced = mdm.execute(walk)
+        assert traced.to_table() == plain.to_table()
+
+
+class TestSamplingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=20))
+    def test_rate_zero_drops_every_trace(self, n):
+        with capture() as (_tracer, registry):
+            tracer = Tracer(enabled=True, sample_rate=0.0, slow_threshold_ms=None)
+            for i in range(n):
+                with tracer.span(f"root-{i}"):
+                    pass
+            assert tracer.recent(n + 1) == []
+            counter = registry.get("mdm_traces_sampled_total")
+            assert counter.value(decision="dropped") == n
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=20))
+    def test_rate_one_keeps_every_trace(self, n):
+        with capture() as (_tracer, registry):
+            tracer = Tracer(
+                enabled=True,
+                ring_capacity=64,
+                sample_rate=1.0,
+                slow_threshold_ms=None,
+            )
+            for i in range(n):
+                with tracer.span(f"root-{i}"):
+                    pass
+            assert len(tracer.recent(n + 1)) == n
+            counter = registry.get("mdm_traces_sampled_total")
+            assert counter.value(decision="sampled") == n
+
+    def test_fractional_rate_follows_the_injected_rng(self):
+        draws = iter([0.1, 0.9, 0.3, 0.7])
+        with capture():
+            tracer = Tracer(
+                enabled=True,
+                sample_rate=0.5,
+                slow_threshold_ms=None,
+                rng=lambda: next(draws),
+            )
+            for i in range(4):
+                with tracer.span(f"root-{i}"):
+                    pass
+            kept = [s.name for s in tracer.recent()]
+        assert kept == ["root-0", "root-2"]
+
+    def test_slow_threshold_keeps_unsampled_slow_traces(self):
+        with capture() as (_t, registry):
+            tracer = Tracer(
+                enabled=True, sample_rate=0.0, slow_threshold_ms=0.0
+            )
+            with tracer.span("slow-root"):
+                pass
+            assert [s.name for s in tracer.recent()] == ["slow-root"]
+            assert tracer.recent()[0].decision == "slow"
+            counter = registry.get("mdm_traces_sampled_total")
+            assert counter.value(decision="slow") == 1
+
+    def test_dropped_trace_children_record_nothing(self):
+        with capture():
+            tracer = Tracer(
+                enabled=True, sample_rate=0.0, slow_threshold_ms=None
+            )
+            with tracer.span("dropped-root") as root:
+                with tracer.span("child") as child:
+                    pass
+            assert root.trace_id  # correlation id survives for the query log
+            assert not child.is_recording
+            assert tracer.recent() == []

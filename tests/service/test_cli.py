@@ -253,3 +253,94 @@ class TestReportMetricsFlag:
             out = capsys.readouterr().out
         assert "mdm_rewrite_phase_seconds{phase=expansion}" in out
         assert "mdm_queries_total" in out
+
+
+class TestTraceSamplingFlags:
+    def test_sample_rate_zero_prints_the_no_trace_note(self, capsys):
+        assert main(["trace", "--sample-rate", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "(no trace recorded:" in out
+        assert "EXPLAIN ANALYZE" in out  # the query itself still ran
+
+    def test_slow_ms_zero_keeps_the_unsampled_trace(self, capsys):
+        assert main(
+            ["trace", "--sample-rate", "0.0", "--slow-ms", "0.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execute" in out
+        assert "(no trace recorded:" not in out
+
+
+class TestTraceFollow:
+    def records(self, path, n):
+        import json
+
+        from repro.obs import QueryLog, get_query_log, set_query_log
+        from repro.obs.querylog import QueryLogRecord
+
+        previous = get_query_log()
+        try:
+            log = set_query_log(QueryLog(jsonl_path=str(path)))
+            for i in range(n):
+                log.record(
+                    QueryLogRecord(
+                        correlation_id=f"trace{i:02d}{'0' * 24}",
+                        started_at=float(i),
+                        duration_ms=1.5,
+                        status="ok",
+                        walk="Thing->thingName",
+                        ucq_size=2,
+                        rows_fetched=4,
+                        rows_returned=4,
+                        rewrite_cache="miss",
+                        subplan_hits=0,
+                        subplan_misses=0,
+                    )
+                )
+            log.close()
+        finally:
+            set_query_log(previous)
+
+    def test_follow_replays_the_log_from_start(self, tmp_path, capsys):
+        path = tmp_path / "querylog.jsonl"
+        self.records(path, 3)
+        code = main(
+            [
+                "trace",
+                "--follow",
+                "--querylog",
+                str(path),
+                "--from-start",
+                "--max-records",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 3
+        assert all("ok" in line and "cache=miss" in line for line in lines)
+
+    def test_follow_idle_timeout_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "querylog.jsonl"
+        self.records(path, 1)
+        code = main(
+            [
+                "trace",
+                "--follow",
+                "--querylog",
+                str(path),
+                "--poll-interval",
+                "0.01",
+                "--idle-timeout",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        # Without --from-start the tailer starts at EOF: nothing printed.
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_follow_without_a_path_errors(self, monkeypatch):
+        monkeypatch.delenv("MDM_QUERYLOG", raising=False)
+        with pytest.raises(SystemExit):
+            main(["trace", "--follow"])

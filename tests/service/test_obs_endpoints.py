@@ -1,0 +1,156 @@
+"""Observability export surfaces: /traces/<id>, /querylog/recent,
+/metrics/summary and the POST /obs/tracing sampling knobs."""
+
+import pytest
+
+from repro.core.mdm import MDM
+from repro.obs import QueryLog, capture, get_query_log, set_query_log
+from repro.rdf.namespaces import EX
+from repro.service.api import MdmService
+from repro.sources.wrappers import StaticWrapper
+
+QUERY_NODES = [EX.Thing.value, EX.thingName.value]
+
+
+def build_service():
+    mdm = MDM()
+    mdm.add_concept(EX.Thing, "Thing")
+    mdm.add_identifier(EX.thingId, EX.Thing)
+    mdm.add_feature(EX.thingName, EX.Thing)
+    mdm.register_source("things")
+    for name in ("w1", "w2"):
+        rows = [
+            {"id": f"{name}-{i}", "name": f"{name} thing {i}"}
+            for i in range(2)
+        ]
+        mdm.register_wrapper("things", StaticWrapper(name, ["id", "name"], rows))
+        mdm.define_mapping(name, {"id": EX.thingId, "name": EX.thingName})
+    return MdmService(mdm)
+
+
+@pytest.fixture()
+def fresh_log():
+    previous = get_query_log()
+    log = set_query_log(QueryLog())
+    yield log
+    set_query_log(previous)
+
+
+class TestQuerylogEndpoint:
+    def test_recent_returns_one_record_per_query(self, fresh_log):
+        service = build_service()
+        with capture():
+            assert service.request(
+                "POST", "/query", {"nodes": QUERY_NODES}
+            ).ok
+        response = service.request("GET", "/querylog/recent")
+        assert response.ok
+        assert response.body["total"] == 1
+        (record,) = response.body["records"]
+        assert record["status"] == "ok"
+        assert record["trace_decision"] == "sampled"
+
+    def test_limit_validation(self, fresh_log):
+        service = build_service()
+        response = service.request(
+            "GET", "/querylog/recent", query={"limit": "bogus"}
+        )
+        assert response.status == 400
+
+
+class TestTraceByIdEndpoint:
+    def test_correlation_id_joins_log_record_to_trace(self, fresh_log):
+        service = build_service()
+        with capture():
+            service.request("POST", "/query", {"nodes": QUERY_NODES})
+            correlation_id = service.request(
+                "GET", "/querylog/recent"
+            ).body["records"][0]["correlation_id"]
+            response = service.request("GET", f"/traces/{correlation_id}")
+            assert response.ok
+            assert response.body["trace_id"] == correlation_id
+            names = _span_names(response.body)
+            assert any(n == "execute" for n in names)
+            assert any(n.startswith("fetch:") for n in names)
+
+    def test_unknown_trace_id_is_404(self):
+        service = build_service()
+        with capture():
+            response = service.request("GET", "/traces/deadbeef")
+        assert response.status == 404
+
+    def test_recent_literal_path_still_wins(self):
+        service = build_service()
+        with capture():
+            response = service.request("GET", "/traces/recent")
+        assert response.ok
+        assert "traces" in response.body  # not a 404 from :trace_id lookup
+
+
+def _span_names(span_dict):
+    yield span_dict["name"]
+    for child in span_dict["children"]:
+        yield from _span_names(child)
+
+
+class TestMetricsSummaryEndpoint:
+    def test_summary_serves_execute_percentiles(self, fresh_log):
+        service = build_service()
+        with capture():
+            service.request("POST", "/query", {"nodes": QUERY_NODES})
+            response = service.request("GET", "/metrics/summary")
+            assert response.ok
+            summary = response.body
+            assert "mdm_execute_seconds" in summary
+            entry = summary["mdm_execute_seconds"]["series"][0]
+            assert entry["count"] == 1
+            assert {"p50", "p95", "p99"} <= set(entry)
+
+
+class TestTracingKnobs:
+    def test_configure_sampling_in_place(self):
+        service = build_service()
+        with capture() as (tracer, _registry):
+            response = service.request(
+                "POST",
+                "/obs/tracing",
+                {"sample_rate": 0.25, "slow_threshold_ms": 150.0},
+            )
+            assert response.ok
+            assert response.body == {
+                "enabled": True,
+                "sample_rate": 0.25,
+                "slow_threshold_ms": 150.0,
+            }
+            assert tracer.sample_rate == 0.25
+            assert tracer.slow_threshold_ms == 150.0
+
+    def test_toggle_enabled_preserves_the_ring(self):
+        service = build_service()
+        with capture() as (tracer, _registry):
+            service.request("POST", "/query", {"nodes": QUERY_NODES})
+            buffered = len(tracer.recent())
+            assert buffered >= 1
+            assert service.request(
+                "POST", "/obs/tracing", {"enabled": False}
+            ).ok
+            assert not tracer.enabled
+            # The ring survives the toggle, and disabled requests add
+            # nothing to it.
+            after_toggle = len(tracer.recent())
+            assert after_toggle >= buffered
+            service.request("POST", "/query", {"nodes": QUERY_NODES})
+            assert len(tracer.recent()) == after_toggle
+
+    def test_invalid_rate_is_400(self):
+        service = build_service()
+        with capture():
+            response = service.request(
+                "POST", "/obs/tracing", {"sample_rate": 3.0}
+            )
+        assert response.status == 400
+
+    def test_empty_body_is_400(self):
+        service = build_service()
+        response = service.request("POST", "/obs/tracing", {})
+        assert response.status == 400
