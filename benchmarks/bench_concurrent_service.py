@@ -1,0 +1,240 @@
+"""Concurrent-service benchmark: throughput scaling and admission control.
+
+The concurrency work (socket server, readers-writer metadata lock,
+bounded admission) only earns its keep if N clients actually go faster
+than one: wrapper fetches are latency-bound, so concurrent queries must
+overlap their waits instead of serialising on the metadata lock.  This
+benchmark drives the real socket server with the reusable load
+generator (``tests/stress/loadgen.py``) through three phases:
+
+- **single / scaled** — 1 client vs ``SCALED_CLIENTS`` clients running
+  the same latency-bound query; fails when the scaled run's throughput
+  is below ``SCALING_FLOOR`` (3x) of the single-client run;
+- **mixed** — the scaled query load with one client replaced by a
+  mutator registering sources (write-locked, generation-bumping), to
+  show writers do not starve readers;
+- **saturated** — the scaled load against ``max_in_flight=1``, to show
+  admission control sheds load with 429s instead of queueing unboundedly
+  while the server keeps answering.
+
+Runnable two ways:
+
+- ``python benchmarks/bench_concurrent_service.py [--smoke]`` — the CI
+  entry point: prints the comparison, writes ``BENCH_concurrent.json``
+  next to this file and exits non-zero when the scaling gate fails;
+- ``pytest benchmarks/bench_concurrent_service.py`` — the same check as
+  a ``slow``-marked test (the CI stress job runs it; tier-1 skips it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.core.mdm import MDM  # noqa: E402
+from repro.rdf.namespaces import EX  # noqa: E402
+from repro.service import MdmHttpServer, MdmService  # noqa: E402
+from repro.sources.wrappers import StaticWrapper  # noqa: E402
+from tests.stress.loadgen import LoadReport, http_op, run_load  # noqa: E402
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_concurrent.json"
+
+#: Scaled-client throughput must reach this multiple of single-client
+#: throughput (the CI gate).  Queries are latency-bound, so anything
+#: close to 1.0 would mean the metadata lock serialised the service.
+SCALING_FLOOR = 3.0
+
+SCALED_CLIENTS = 8
+ROWS_PER_WRAPPER = 25
+
+
+class SlowWrapper(StaticWrapper):
+    """Fixed service latency, so each query's wall time is dominated by
+    a sleep the server can overlap across clients."""
+
+    def __init__(self, name, attributes, rows, delay_s):
+        super().__init__(name, attributes, rows)
+        self.delay_s = delay_s
+
+    def fetch(self):
+        time.sleep(self.delay_s)
+        return super().fetch()
+
+
+def build_service(delay_s: float) -> MdmService:
+    # Enough fetch workers that SCALED_CLIENTS concurrent executes never
+    # queue on the pool — the benchmark measures the service, not the pool.
+    mdm = MDM(max_fetch_workers=2 * SCALED_CLIENTS)
+    mdm.add_concept(EX.Thing, "Thing")
+    mdm.add_identifier(EX.thingId, EX.Thing)
+    mdm.add_feature(EX.thingName, EX.Thing)
+    mdm.register_source("things")
+    rows = [
+        {"id": f"t{j}", "name": f"thing {j}"} for j in range(ROWS_PER_WRAPPER)
+    ]
+    mdm.register_wrapper(
+        "things", SlowWrapper("w0", ["id", "name"], rows, delay_s)
+    )
+    mdm.define_mapping("w0", {"id": EX.thingId, "name": EX.thingName})
+    return MdmService(mdm)
+
+
+QUERY_BODY = {"nodes": [EX.Thing.value, EX.thingName.value]}
+
+
+def _query_op(base_url: str):
+    def op(client: int, iteration: int) -> int:
+        return http_op(base_url, "POST", "/query", QUERY_BODY)
+
+    return op
+
+
+def _mixed_op(base_url: str):
+    """Client 0 mutates (register a fresh source: write lock + generation
+    bump), everyone else runs the latency-bound query."""
+
+    def op(client: int, iteration: int) -> int:
+        if client == 0:
+            return http_op(
+                base_url, "POST", "/sources", {"name": f"bench-{iteration}"}
+            )
+        return http_op(base_url, "POST", "/query", QUERY_BODY)
+
+    return op
+
+
+def _load_phase(
+    service: MdmService,
+    op_factory,
+    clients: int,
+    duration_s: float,
+    max_in_flight: int,
+    name: str,
+) -> LoadReport:
+    with MdmHttpServer(service, port=0, max_in_flight=max_in_flight) as server:
+        return run_load(
+            op_factory(server.url), clients, duration_s, name=name
+        )
+
+
+def measure(duration_s: float = 3.0, delay_ms: float = 20.0) -> Dict[str, Any]:
+    delay_s = delay_ms / 1000.0
+    service = build_service(delay_s)
+    # Warm up rewrite cache + fetch pool outside the measured windows.
+    service.request("POST", "/query", QUERY_BODY)
+
+    single = _load_phase(
+        service, _query_op, 1, duration_s, SCALED_CLIENTS * 2, "single"
+    )
+    scaled = _load_phase(
+        service, _query_op, SCALED_CLIENTS, duration_s, SCALED_CLIENTS * 2,
+        "scaled",
+    )
+    mixed = _load_phase(
+        service, _mixed_op, SCALED_CLIENTS, duration_s, SCALED_CLIENTS * 2,
+        "mixed",
+    )
+    saturated = _load_phase(
+        service, _query_op, SCALED_CLIENTS, duration_s, 1, "saturated"
+    )
+
+    scaling_x = (
+        scaled.throughput_rps / single.throughput_rps
+        if single.throughput_rps
+        else 0.0
+    )
+    ok = (
+        scaling_x >= SCALING_FLOOR
+        and not single.errors
+        and not scaled.errors
+        and not mixed.errors
+        and mixed.statuses.get("200", 0) > 0
+        and saturated.rejected > 0
+        and saturated.statuses.get("200", 0) > 0
+    )
+    return {
+        "wrapper_delay_ms": delay_ms,
+        "duration_s": duration_s,
+        "scaled_clients": SCALED_CLIENTS,
+        "phases": {
+            "single": single.to_json_dict(),
+            "scaled": scaled.to_json_dict(),
+            "mixed": mixed.to_json_dict(),
+            "saturated": saturated.to_json_dict(),
+        },
+        "scaling_x": round(scaling_x, 3),
+        "scaling_floor": SCALING_FLOOR,
+        "pass": ok,
+    }
+
+
+@pytest.mark.slow
+def test_concurrent_throughput_scales_and_sheds_load():
+    report = measure(duration_s=1.0, delay_ms=15.0)
+    phases = report["phases"]
+    assert report["scaling_x"] >= SCALING_FLOOR, (
+        f"{SCALED_CLIENTS}-client throughput only "
+        f"{report['scaling_x']}x single-client "
+        f"({phases['scaled']['throughput_rps']} vs "
+        f"{phases['single']['throughput_rps']} rps)"
+    )
+    assert phases["saturated"]["rejected"] > 0, (
+        "admission control never rejected under saturation"
+    )
+    assert report["pass"], json.dumps(report, indent=2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorter windows / lower latency (the CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(ARTIFACT_PATH),
+        help=f"artifact path (default {ARTIFACT_PATH.name})",
+    )
+    args = parser.parse_args(argv)
+
+    duration_s, delay_ms = (1.0, 15.0) if args.smoke else (3.0, 20.0)
+    report = measure(duration_s=duration_s, delay_ms=delay_ms)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    phases = report["phases"]
+    for name in ("single", "scaled", "mixed", "saturated"):
+        phase = phases[name]
+        latency = phase["latency_ms"]
+        print(
+            f"{name:>9}: {phase['throughput_rps']:8.1f} rps  "
+            f"p50={latency.get('p50')}ms p95={latency.get('p95')}ms "
+            f"p99={latency.get('p99')}ms  "
+            f"429s={phase['rejected']} ({phase['rejection_rate']:.1%})"
+        )
+    print(
+        f"scaling:  {report['scaling_x']:.2f}x with {SCALED_CLIENTS} clients "
+        f"(floor {SCALING_FLOOR}x)\n"
+        f"artifact: {args.out}"
+    )
+    if not report["pass"]:
+        print(
+            f"FAIL: scaling below {SCALING_FLOOR}x, load-phase errors, or "
+            "admission control never engaged",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,12 @@ Usage (``python -m repro <command>``):
     run the static diagnostics over a scenario or snapshot: the
     metadata rule pack (MDM0xx) plus the relational schema checker over
     every saved query's plan (MDM1xx).  ``--format json`` for machines,
-    ``--strict`` to fail on warnings too.
+    ``--strict`` to fail on warnings too;
+``serve``
+    expose the REST API over real HTTP sockets
+    (:mod:`repro.service.server`): scenario or snapshot behind a
+    threading server with admission control and the query result cache
+    enabled (``--port``, ``--max-in-flight``, ``--result-cache``).
 
 Snapshot-based commands (``--store DIR``) work without runtime wrappers;
 query execution needs live wrappers and therefore runs against the
@@ -414,6 +419,46 @@ def cmd_evolve(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import time as _time
+
+    from .service.api import MdmService
+    from .service.server import MdmHttpServer
+
+    mdm = MDM() if args.empty else _mdm_for(args)
+    _apply_execution_flags(mdm, args)
+    # Behind a server the metadata only changes through the write-locked
+    # mutators, so generation-keyed result caching is safe — enable it
+    # by default (unlike the library, where wrappers may be live feeds).
+    mdm.configure_execution(result_cache_size=args.result_cache)
+    service = MdmService(mdm)
+    server = MdmHttpServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        retry_after_s=args.retry_after,
+    )
+    print(
+        f"serving MDM on {server.url} "
+        f"(max in-flight {server.max_in_flight}, "
+        f"result cache {mdm.result_cache.capacity}, ctrl-C to stop)"
+    )
+    server.start()
+    try:
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("server stopped")
+    return 0
+
+
 def _add_execution_flags(parser) -> None:
     parser.add_argument(
         "--fetch-workers",
@@ -598,6 +643,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the REST API over real HTTP sockets"
+    )
+    p_serve.add_argument("--scenario", default="football")
+    p_serve.add_argument("--store", help="serve a persisted snapshot directory")
+    p_serve.add_argument(
+        "--empty", action="store_true", help="start from an empty MDM"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8585, help="port to bind (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=32,
+        help="admission control: concurrent requests before 429 (default 32)",
+    )
+    p_serve.add_argument(
+        "--retry-after",
+        type=int,
+        default=1,
+        help="Retry-After seconds advertised on 429 responses (default 1)",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=256,
+        help="query result cache capacity, 0 disables (default 256)",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for N seconds then exit (smoke tests; default: forever)",
+    )
+    _add_execution_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_show = sub.add_parser("show", help="print the global graph")
     p_show.add_argument("--scenario", default="football")

@@ -23,6 +23,7 @@ the paper's Jena TDB + MongoDB split.
 from __future__ import annotations
 
 import contextvars
+import copy
 import os
 import time
 import uuid
@@ -48,6 +49,7 @@ from ..sparql.evaluator import evaluate_text
 from .errors import MappingError, MdmError, PlanValidationError, SourceGraphError
 from .global_graph import GlobalGraph, UmlModel
 from .lav import LavMappingStore, MappingView
+from .locking import ReadWriteLock
 from .releases import (
     KIND_EVOLUTION,
     KIND_NEW_SOURCE,
@@ -82,6 +84,8 @@ class QueryOutcome:
         plan_findings: Tuple = (),
         plan_validated: bool = False,
         profile: Optional[ResourceProfile] = None,
+        generation: int = -1,
+        result_cache: str = "off",
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -114,6 +118,15 @@ class QueryOutcome:
         #: memory, per-operator self time); always present for outcomes
         #: produced by :meth:`MDM.execute`.
         self.profile = profile
+        #: The metadata generation this outcome was computed under — the
+        #: whole execution runs inside one read-locked snapshot, so the
+        #: value is exact (two outcomes at the same generation for the
+        #: same walk are byte-identical).
+        self.generation = generation
+        #: Result-cache disposition: "off" (cache disabled), "miss",
+        #: "bypass" (``use_cache=False``) or "hit" (this outcome was
+        #: served from :class:`~repro.core.result_cache.ResultCache`).
+        self.result_cache = result_cache
 
     @property
     def optimized(self) -> bool:
@@ -143,6 +156,16 @@ class QueryOutcome:
             f"EXPLAIN ANALYZE  union of {self.rewrite.ucq_size} CQs, "
             f"{len(self.relation)} rows"
         ]
+        if self.result_cache == "hit":
+            lines.append(
+                f"Result cache: hit (outcome reused at generation "
+                f"{self.generation}; stats below are from the original run)"
+            )
+        elif self.result_cache in ("miss", "bypass"):
+            lines.append(
+                f"Result cache: {self.result_cache} "
+                f"(generation {self.generation})"
+            )
         if self.optimization is not None and self.naive_plan is not None:
             lines.append(f"Plan (rewritten):  {self.naive_plan.pretty()}")
             if self.optimized:
@@ -269,6 +292,10 @@ DEFAULT_VALIDATE_PLANS = os.environ.get(
     "MDM_VALIDATE_PLANS", "1"
 ).strip().lower() not in ("0", "false", "no", "off")
 
+#: Default capacity of the query-outcome result cache (0 = disabled;
+#: ``repro-mdm serve`` opts in explicitly for the multi-client workload).
+DEFAULT_RESULT_CACHE_SIZE = int(os.environ.get("MDM_RESULT_CACHE", "0"))
+
 
 class MDM:
     """The Metadata Management System."""
@@ -280,6 +307,7 @@ class MDM:
         max_fetch_workers: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
         rewrite_cache_size: int = 128,
+        result_cache_size: Optional[int] = None,
         optimize: Optional[bool] = None,
         validate_plans: Optional[bool] = None,
     ):
@@ -315,10 +343,24 @@ class MDM:
         #: mutation; the rewrite cache keys plans by it so evolution can
         #: never serve a stale UCQ.
         self._generation = 0
+        #: Readers–writer lock guarding the metadata snapshot: the nine
+        #: metadata mutators hold it exclusively (and bump the generation
+        #: while holding it), queries and read endpoints hold it shared —
+        #: a query can never observe a half-applied release.
+        self.metadata_lock = ReadWriteLock()
         from .rewrite_cache import RewriteCache
 
         #: LRU cache of rewrite plans keyed by (canonical walk, generation).
         self.rewrite_cache = RewriteCache(rewrite_cache_size)
+        from .result_cache import ResultCache
+
+        #: LRU cache of full query outcomes keyed by
+        #: (canonical walk, generation, optimize flag); 0 disables.
+        self.result_cache = ResultCache(
+            DEFAULT_RESULT_CACHE_SIZE
+            if result_cache_size is None
+            else result_cache_size
+        )
         from .registry import QueryRegistry
 
         #: Saved analytical processes (named walks) with revalidation.
@@ -336,11 +378,14 @@ class MDM:
     def bump_generation(self) -> int:
         """Advance the metadata generation (cached rewrites become cold).
 
-        Called internally by every mutating registration; exposed for
-        embedders that mutate the graphs directly.
+        Called internally by every mutating registration (which already
+        holds the write lock — the acquisition below is reentrant);
+        exposed for embedders that mutate the graphs directly, whose
+        bump is then serialized against in-flight queries too.
         """
-        self._generation += 1
-        return self._generation
+        with self.metadata_lock.write_locked():
+            self._generation += 1
+            return self._generation
 
     def configure_execution(
         self,
@@ -348,6 +393,7 @@ class MDM:
         retry_policy: Optional[RetryPolicy] = None,
         optimize: Optional[bool] = None,
         validate_plans: Optional[bool] = None,
+        result_cache_size: Optional[int] = None,
     ) -> Dict[str, object]:
         """Adjust the fetch pool / retry / optimizer; returns the live config."""
         if max_fetch_workers is not None:
@@ -360,6 +406,8 @@ class MDM:
             self.optimize = bool(optimize)
         if validate_plans is not None:
             self.validate_plans = bool(validate_plans)
+        if result_cache_size is not None:
+            self.result_cache.resize(result_cache_size)
         return self.execution_config()
 
     def execution_config(self) -> Dict[str, object]:
@@ -371,6 +419,8 @@ class MDM:
             "validate_plans": self.validate_plans,
             "generation": self._generation,
             "rewrite_cache": self.rewrite_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+            "metadata_lock": self.metadata_lock.state(),
         }
 
     # ------------------------------------------------------------------ #
@@ -379,34 +429,39 @@ class MDM:
 
     def add_concept(self, concept: IRI, label: Optional[str] = None) -> IRI:
         """Declare a concept in the global graph."""
-        self.bump_generation()
-        return self.global_graph.add_concept(concept, label)
+        with self.metadata_lock.write_locked():
+            self.bump_generation()
+            return self.global_graph.add_concept(concept, label)
 
     def add_feature(
         self, feature: IRI, concept: IRI, label: Optional[str] = None
     ) -> IRI:
         """Attach a (non-identifier) feature to a concept."""
-        self.bump_generation()
-        return self.global_graph.add_feature(feature, concept, label)
+        with self.metadata_lock.write_locked():
+            self.bump_generation()
+            return self.global_graph.add_feature(feature, concept, label)
 
     def add_identifier(
         self, feature: IRI, concept: IRI, label: Optional[str] = None
     ) -> IRI:
         """Attach an identifier feature (``rdfs:subClassOf sc:identifier``)."""
-        self.bump_generation()
-        return self.global_graph.add_identifier(feature, concept, label)
+        with self.metadata_lock.write_locked():
+            self.bump_generation()
+            return self.global_graph.add_identifier(feature, concept, label)
 
     def relate(self, source: IRI, prop: IRI, target: IRI) -> Triple:
         """Relate two concepts with a user-defined property."""
-        self.bump_generation()
-        return self.global_graph.relate(source, prop, target)
+        with self.metadata_lock.write_locked():
+            self.bump_generation()
+            return self.global_graph.relate(source, prop, target)
 
     def load_uml(self, model: UmlModel) -> GlobalGraph:
         """Compile a UML model (Figure 1) into this MDM's global graph."""
         compiled = model.compile()
-        self.global_graph.graph.add_all(iter(compiled.graph))
-        self.bump_generation()
-        return self.global_graph
+        with self.metadata_lock.write_locked():
+            self.global_graph.graph.add_all(iter(compiled.graph))
+            self.bump_generation()
+            return self.global_graph
 
     # ------------------------------------------------------------------ #
     # (b) source & wrapper registration
@@ -414,15 +469,16 @@ class MDM:
 
     def register_source(self, name: str, label: Optional[str] = None) -> IRI:
         """Declare a data source; returns its IRI (idempotent)."""
-        self.bump_generation()
-        iri = self.source_graph.add_data_source(name, label)
-        self._sources_by_name[name] = iri
-        self.metadata.collection("sources").replace_one(
-            {"name": name}, {"name": name, "iri": iri.value, "label": label or name}
-        ) or self.metadata.collection("sources").insert_one(
-            {"name": name, "iri": iri.value, "label": label or name}
-        )
-        return iri
+        with self.metadata_lock.write_locked():
+            self.bump_generation()
+            iri = self.source_graph.add_data_source(name, label)
+            self._sources_by_name[name] = iri
+            self.metadata.collection("sources").replace_one(
+                {"name": name}, {"name": name, "iri": iri.value, "label": label or name}
+            ) or self.metadata.collection("sources").insert_one(
+                {"name": name, "iri": iri.value, "label": label or name}
+            )
+            return iri
 
     def source_iri(self, name: str) -> IRI:
         """The IRI of a registered source (raises if unknown)."""
@@ -457,16 +513,21 @@ class MDM:
         ``new-source`` for the source's first wrapper and ``evolution``
         afterwards.
         """
-        source = self.source_iri(source_name)
-        previous = self.source_graph.wrappers_of(source)
-        registration = self.source_graph.register_wrapper(
-            source, wrapper.name, wrapper.attributes
-        )
-        self.wrappers[wrapper.name] = wrapper
-        resolved_kind = kind or (KIND_EVOLUTION if previous else KIND_NEW_SOURCE)
-        self.governance.record(source_name, registration, resolved_kind, changes)
-        self.bump_generation()
-        return registration
+        with self.metadata_lock.write_locked():
+            source = self.source_iri(source_name)
+            previous = self.source_graph.wrappers_of(source)
+            registration = self.source_graph.register_wrapper(
+                source, wrapper.name, wrapper.attributes
+            )
+            self.wrappers[wrapper.name] = wrapper
+            resolved_kind = kind or (
+                KIND_EVOLUTION if previous else KIND_NEW_SOURCE
+            )
+            self.governance.record(
+                source_name, registration, resolved_kind, changes
+            )
+            self.bump_generation()
+            return registration
 
     def wrapper_iri(self, wrapper_name: str) -> IRI:
         """The IRI of a registered wrapper (raises if unknown)."""
@@ -521,12 +582,13 @@ class MDM:
         """
         from .matching import suggest_links
 
-        return suggest_links(
-            self.global_graph,
-            self.source_graph,
-            self.wrapper_iri(wrapper_name),
-            concepts=concepts,
-        )
+        with self.metadata_lock.read_locked():
+            return suggest_links(
+                self.global_graph,
+                self.source_graph,
+                self.wrapper_iri(wrapper_name),
+                concepts=concepts,
+            )
 
     def profile_wrapper(self, wrapper_name: str):
         """Profile a registered wrapper's live output (types, nullability).
@@ -625,35 +687,45 @@ class MDM:
         the ``hasFeature`` edge of every mapped feature plus the given
         relation edges.
         """
-        wrapper = self.wrapper_iri(wrapper_name)
-        registration_attributes = {
-            (self.source_graph.attribute_name(a) or ""): a
-            for a in self.source_graph.attributes_of(wrapper)
-        }
-        same_as: Dict[IRI, IRI] = {}
-        for attribute_name, feature in features_by_attribute.items():
-            attribute = registration_attributes.get(attribute_name)
-            if attribute is None:
-                raise MappingError(
-                    f"wrapper {wrapper_name!r} has no attribute "
-                    f"{attribute_name!r}; signature is "
-                    f"{self.source_graph.signature_of(wrapper)}"
-                )
-            same_as[attribute] = feature
-        subgraph: List[Triple] = []
-        for feature in sorted(set(same_as.values()), key=lambda i: i.value):
-            concept = self.global_graph.concept_of(feature)
-            if concept is None:
-                raise MappingError(f"{feature} is not attached to any concept")
-            subgraph.append(Triple(concept, G.hasFeature, feature))
-        for s, p, o in edges:
-            subgraph.append(Triple(s, p, o))
-        self.mappings.define(wrapper, subgraph, same_as)
-        self.bump_generation()
-        return self.mappings.view(wrapper)
+        with self.metadata_lock.write_locked():
+            wrapper = self.wrapper_iri(wrapper_name)
+            registration_attributes = {
+                (self.source_graph.attribute_name(a) or ""): a
+                for a in self.source_graph.attributes_of(wrapper)
+            }
+            same_as: Dict[IRI, IRI] = {}
+            for attribute_name, feature in features_by_attribute.items():
+                attribute = registration_attributes.get(attribute_name)
+                if attribute is None:
+                    raise MappingError(
+                        f"wrapper {wrapper_name!r} has no attribute "
+                        f"{attribute_name!r}; signature is "
+                        f"{self.source_graph.signature_of(wrapper)}"
+                    )
+                same_as[attribute] = feature
+            subgraph: List[Triple] = []
+            for feature in sorted(set(same_as.values()), key=lambda i: i.value):
+                concept = self.global_graph.concept_of(feature)
+                if concept is None:
+                    raise MappingError(
+                        f"{feature} is not attached to any concept"
+                    )
+                subgraph.append(Triple(concept, G.hasFeature, feature))
+            for s, p, o in edges:
+                subgraph.append(Triple(s, p, o))
+            self.mappings.define(wrapper, subgraph, same_as)
+            self.bump_generation()
+            return self.mappings.view(wrapper)
 
     def suggest_mapping(self, wrapper_name: str) -> MappingSuggestion:
         """Semi-automatic accommodation for an evolved source's wrapper."""
+        self.metadata_lock.acquire_read()
+        try:
+            return self._suggest_mapping_locked(wrapper_name)
+        finally:
+            self.metadata_lock.release_read()
+
+    def _suggest_mapping_locked(self, wrapper_name: str) -> MappingSuggestion:
         wrapper = self.wrapper_iri(wrapper_name)
         source = self.source_graph.source_of(wrapper)
         if source is None:
@@ -683,35 +755,40 @@ class MDM:
         extra_edges: Iterable[Tuple[IRI, IRI, IRI]] = (),
     ) -> MappingView:
         """Apply a mapping suggestion, optionally completed by the steward."""
-        wrapper = suggestion.wrapper
-        same_as = dict(suggestion.same_as)
-        if extra_features_by_attribute:
-            by_name = {
-                (self.source_graph.attribute_name(a) or ""): a
-                for a in self.source_graph.attributes_of(wrapper)
-            }
-            for attribute_name, feature in extra_features_by_attribute.items():
-                attribute = by_name.get(attribute_name)
-                if attribute is None:
+        with self.metadata_lock.write_locked():
+            wrapper = suggestion.wrapper
+            same_as = dict(suggestion.same_as)
+            if extra_features_by_attribute:
+                by_name = {
+                    (self.source_graph.attribute_name(a) or ""): a
+                    for a in self.source_graph.attributes_of(wrapper)
+                }
+                for attribute_name, feature in (
+                    extra_features_by_attribute.items()
+                ):
+                    attribute = by_name.get(attribute_name)
+                    if attribute is None:
+                        raise MappingError(
+                            f"wrapper has no attribute {attribute_name!r}"
+                        )
+                    same_as[attribute] = feature
+            subgraph: List[Triple] = list(suggestion.subgraph)
+            for feature in set(same_as.values()):
+                concept = self.global_graph.concept_of(feature)
+                if concept is None:
                     raise MappingError(
-                        f"wrapper has no attribute {attribute_name!r}"
+                        f"{feature} is not attached to any concept"
                     )
-                same_as[attribute] = feature
-        subgraph: List[Triple] = list(suggestion.subgraph)
-        for feature in set(same_as.values()):
-            concept = self.global_graph.concept_of(feature)
-            if concept is None:
-                raise MappingError(f"{feature} is not attached to any concept")
-            triple = Triple(concept, G.hasFeature, feature)
-            if triple not in subgraph:
-                subgraph.append(triple)
-        for s, p, o in extra_edges:
-            triple = Triple(s, p, o)
-            if triple not in subgraph:
-                subgraph.append(triple)
-        self.mappings.define(wrapper, subgraph, same_as)
-        self.bump_generation()
-        return self.mappings.view(wrapper)
+                triple = Triple(concept, G.hasFeature, feature)
+                if triple not in subgraph:
+                    subgraph.append(triple)
+            for s, p, o in extra_edges:
+                triple = Triple(s, p, o)
+                if triple not in subgraph:
+                    subgraph.append(triple)
+            self.mappings.define(wrapper, subgraph, same_as)
+            self.bump_generation()
+            return self.mappings.view(wrapper)
 
     # ------------------------------------------------------------------ #
     # (d) querying
@@ -719,9 +796,10 @@ class MDM:
 
     def walk_from_nodes(self, nodes: Iterable[IRI]) -> Walk:
         """Complete a node selection into a validated walk."""
-        walk = Walk.from_nodes(self.global_graph, nodes)
-        walk.validate(self.global_graph)
-        return walk
+        with self.metadata_lock.read_locked():
+            walk = Walk.from_nodes(self.global_graph, nodes)
+            walk.validate(self.global_graph)
+            return walk
 
     def rewrite(self, walk: Walk, use_cache: bool = True) -> RewriteResult:
         """Run the three-phase LAV rewriting for a walk.
@@ -739,8 +817,9 @@ class MDM:
         bypassed the cache whenever the tracer was enabled, so traced
         runs never exercised the code path users actually run).
         """
-        result, _ = self._rewrite_with_status(walk, use_cache)
-        return result
+        with self.metadata_lock.read_locked():
+            result, _ = self._rewrite_with_status(walk, use_cache)
+            return result
 
     def _rewrite_with_status(
         self, walk: Walk, use_cache: bool = True
@@ -804,22 +883,87 @@ class MDM:
             raise ValueError(
                 "on_wrapper_error must be 'raise', 'skip' or 'partial'"
             )
+        with self.metadata_lock.read_locked():
+            return self._execute_locked(walk, on_wrapper_error, analyze, use_cache)
+
+    def _execute_locked(
+        self,
+        walk: Walk,
+        on_wrapper_error: str,
+        analyze: bool,
+        use_cache: bool,
+    ) -> QueryOutcome:
+        """The body of :meth:`execute`, run under the metadata read lock.
+
+        Holding the read lock end-to-end means the whole query — rewrite,
+        fetch, optimize, execute — sees one metadata generation; the
+        captured ``generation`` is therefore exact, which is what makes
+        the result cache's generation keying sound.
+        """
         tracer = get_tracer()
         root = tracer.span("execute")
         timer = PhaseTimer()
         memory = MemoryWatch()
         started_wall = time.time()
+        generation = self._generation
         relations: Dict[str, Relation] = {}
         attempts: Dict[str, int] = {}
         failed: List[str] = []
         result: Optional[RewriteResult] = None
         cache_status = "bypass"
+        rc_status = "off"
         stats: Optional[OperatorStats] = None
         subplan_hits = 0
         subplan_misses = 0
         try:
             with memory, root:
                 analyze = analyze or root.is_recording
+                if self.result_cache.enabled:
+                    rc_status = "bypass"
+                    if use_cache:
+                        with tracer.span("result-cache") as rc_span:
+                            cached = self.result_cache.get(
+                                walk,
+                                generation,
+                                self.optimize,
+                                require_analyzed=analyze,
+                            )
+                            rc_status = "hit" if cached is not None else "miss"
+                            rc_span.set_tag("cache", rc_status)
+                        if cached is not None:
+                            served = copy.copy(cached)
+                            served.result_cache = "hit"
+                            root.set_tag("cache", "result-hit")
+                            root.set_tag("rows", len(served.relation))
+                            root.set_tag("generation", generation)
+                            phase_ms = timer.finish()
+                            self._log_query(
+                                root=root,
+                                walk=walk,
+                                result=served.rewrite,
+                                started_wall=started_wall,
+                                duration_ms=timer.total_s * 1000.0,
+                                phase_ms=phase_ms,
+                                cache_status="hit",
+                                relations={},
+                                attempts={},
+                                failed=[],
+                                rows_returned=len(served.relation),
+                                subplan_hits=0,
+                                subplan_misses=0,
+                                status="ok",
+                                result_cache="hit",
+                            )
+                            metrics = get_metrics()
+                            metrics.counter(
+                                "mdm_queries_total",
+                                "OMQs executed end-to-end.",
+                            ).inc()
+                            metrics.histogram(
+                                "mdm_execute_seconds",
+                                "End-to-end OMQ execution latency.",
+                            ).observe(timer.total_s)
+                            return served
                 with timer.phase("rewrite"):
                     result, cache_status = self._rewrite_with_status(
                         walk, use_cache
@@ -923,6 +1067,7 @@ class MDM:
                 subplan_misses=subplan_misses,
                 status="error",
                 error=exc,
+                result_cache=rc_status,
             )
             raise
         phase_ms = timer.finish()
@@ -951,6 +1096,7 @@ class MDM:
             subplan_hits=subplan_hits,
             subplan_misses=subplan_misses,
             status="partial" if failed else "ok",
+            result_cache=rc_status,
         )
         metrics = get_metrics()
         metrics.counter("mdm_queries_total", "OMQs executed end-to-end.").inc()
@@ -967,7 +1113,7 @@ class MDM:
                 subplan_counter.inc(subplan_hits, result="hit")
             if subplan_misses:
                 subplan_counter.inc(subplan_misses, result="miss")
-        return QueryOutcome(
+        outcome = QueryOutcome(
             result,
             relation,
             tuple(sorted(failed)),
@@ -982,7 +1128,14 @@ class MDM:
             plan_findings=plan_findings,
             plan_validated=self.validate_plans,
             profile=profile,
+            generation=generation,
+            result_cache=rc_status,
         )
+        if rc_status == "miss":
+            # put() refuses partial outcomes; everything else computed at
+            # this generation is safe to serve until the next mutation.
+            self.result_cache.put(walk, generation, self.optimize, outcome)
+        return outcome
 
     @staticmethod
     def _rows_scanned(stats: Optional[OperatorStats], fallback: int) -> int:
@@ -1017,6 +1170,7 @@ class MDM:
         subplan_misses: int,
         status: str,
         error: Optional[Exception] = None,
+        result_cache: str = "off",
     ) -> QueryLogRecord:
         """Append this query's record to the process query log.
 
@@ -1060,6 +1214,7 @@ class MDM:
             skipped_wrappers=tuple(failed),
             trace_decision=decision,
             error=f"{type(error).__name__}: {error}" if error else None,
+            result_cache=result_cache,
         )
         return get_query_log().record(record)
 
@@ -1179,8 +1334,9 @@ class MDM:
         """
         from .sparql_frontend import walk_from_sparql
 
-        walk = walk_from_sparql(self.global_graph, text)
-        return self.execute(walk, on_wrapper_error=on_wrapper_error)
+        with self.metadata_lock.read_locked():
+            walk = walk_from_sparql(self.global_graph, text)
+            return self.execute(walk, on_wrapper_error=on_wrapper_error)
 
     def sparql(self, text: str):
         """Evaluate SPARQL over the whole MDM dataset (union of graphs).
@@ -1188,7 +1344,8 @@ class MDM:
         Useful for metadata introspection — e.g. listing concepts, or
         querying LAV named graphs with ``GRAPH``.
         """
-        return evaluate_text(text, self.dataset, union_default=True)
+        with self.metadata_lock.read_locked():
+            return evaluate_text(text, self.dataset, union_default=True)
 
     def impact_of_source(self, source_name: str) -> Dict[str, object]:
         """Impact analysis for an upcoming release of ``source_name``.
@@ -1200,28 +1357,31 @@ class MDM:
         source, which logged queries depend on them, and which global
         features would lose coverage if the source's wrappers all broke.
         """
-        source = self.source_iri(source_name)
-        wrapper_names = sorted(
-            self.source_graph.wrapper_name(w) or w.local_name()
-            for w in self.source_graph.wrappers_of(source)
-        )
-        wrapper_set = set(wrapper_names)
-        affected_queries = [
-            q
-            for q in self.metadata.collection("queries").find()
-            if wrapper_set & set(q.get("wrappers", []))
-        ]
-        # Features populated only by this source's wrappers.
-        coverage: Dict[str, set] = {}
-        for wrapper_iri in self.mappings.mapped_wrappers():
-            view = self.mappings.view(wrapper_iri)
-            for feature in view.features:
-                coverage.setdefault(feature.value, set()).add(view.wrapper_name)
-        exclusive = sorted(
-            feature
-            for feature, providers in coverage.items()
-            if providers and providers <= wrapper_set
-        )
+        with self.metadata_lock.read_locked():
+            source = self.source_iri(source_name)
+            wrapper_names = sorted(
+                self.source_graph.wrapper_name(w) or w.local_name()
+                for w in self.source_graph.wrappers_of(source)
+            )
+            wrapper_set = set(wrapper_names)
+            affected_queries = [
+                q
+                for q in self.metadata.collection("queries").find()
+                if wrapper_set & set(q.get("wrappers", []))
+            ]
+            # Features populated only by this source's wrappers.
+            coverage: Dict[str, set] = {}
+            for wrapper_iri in self.mappings.mapped_wrappers():
+                view = self.mappings.view(wrapper_iri)
+                for feature in view.features:
+                    coverage.setdefault(feature.value, set()).add(
+                        view.wrapper_name
+                    )
+            exclusive = sorted(
+                feature
+                for feature, providers in coverage.items()
+                if providers and providers <= wrapper_set
+            )
         return {
             "source": source_name,
             "wrappers": wrapper_names,
@@ -1236,28 +1396,33 @@ class MDM:
 
     def summary(self) -> Dict[str, int]:
         """Counts of the main metadata entities."""
-        return {
-            "concepts": len(self.global_graph.concepts()),
-            "features": len(self.global_graph.features()),
-            "sources": len(self.source_graph.data_sources()),
-            "wrappers": len(self.source_graph.wrappers()),
-            "mappings": len(self.mappings.mapped_wrappers()),
-            "releases": len(self.governance.history()),
-            "triples": len(self.dataset),
-        }
+        with self.metadata_lock.read_locked():
+            return {
+                "concepts": len(self.global_graph.concepts()),
+                "features": len(self.global_graph.features()),
+                "sources": len(self.source_graph.data_sources()),
+                "wrappers": len(self.source_graph.wrappers()),
+                "mappings": len(self.mappings.mapped_wrappers()),
+                "releases": len(self.governance.history()),
+                "triples": len(self.dataset),
+            }
 
     def validate(self) -> List[str]:
         """All structural issues across global graph, source graph, mappings."""
-        issues = self.global_graph.validate()
-        issues.extend(self.source_graph.validate())
-        for wrapper_iri in self.mappings.mapped_wrappers():
-            name = self.source_graph.wrapper_name(wrapper_iri)
-            if name is not None and name not in self.wrappers:
-                issues.append(f"mapped wrapper {name!r} has no runtime object")
-        return issues
+        with self.metadata_lock.read_locked():
+            issues = self.global_graph.validate()
+            issues.extend(self.source_graph.validate())
+            for wrapper_iri in self.mappings.mapped_wrappers():
+                name = self.source_graph.wrapper_name(wrapper_iri)
+                if name is not None and name not in self.wrappers:
+                    issues.append(
+                        f"mapped wrapper {name!r} has no runtime object"
+                    )
+            return issues
 
     def to_trig(self) -> str:
         """Serialize the full metadata dataset as TriG (TDB snapshot)."""
         from ..rdf.trig import serialize_trig
 
-        return serialize_trig(self.dataset)
+        with self.metadata_lock.read_locked():
+            return serialize_trig(self.dataset)

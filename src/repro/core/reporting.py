@@ -152,9 +152,16 @@ def render_report(report: Dict[str, object]) -> str:
                     else ""
                 )
                 if entry["type"] == "histogram":
+                    # Empty series report mean/percentiles as None
+                    # ("no data"), not 0.0.
+                    if series["mean"] is None:
+                        lines.append(
+                            f"  {name}{label_text}: count=0 (no data)"
+                        )
+                        continue
                     mean_ms = series["mean"] * 1000.0
                     quantiles = ""
-                    if "p50" in series:
+                    if series.get("p50") is not None:
                         quantiles = (
                             f" p50={series['p50'] * 1000.0:.3f}ms"
                             f" p95={series['p95'] * 1000.0:.3f}ms"

@@ -1,0 +1,196 @@
+"""An LRU cache of full query *outcomes*, coherent under evolution.
+
+The rewrite cache (:mod:`repro.core.rewrite_cache`) already memoizes the
+UCQ *plan*; a repeated OMQ still re-fetches every wrapper and re-runs the
+executor.  For the interactive-analyst workload of paper §2.5 — many
+users posing the same handful of walks between releases — the expensive
+part is exactly that tail, so this cache stores the finished
+:class:`~repro.core.mdm.QueryOutcome` keyed by::
+
+    (canonical walk, metadata generation, optimize flag)
+
+Generation keying makes invalidation free: any of the nine metadata
+mutators bumps the generation, so every cached outcome becomes
+unreachable the moment the metadata it was computed under changes —
+the same coherence argument as the rewrite cache, extended to rows.
+
+Two deliberate exclusions:
+
+- **Partial outcomes are never cached.**  A result degraded by wrapper
+  failures (``QueryOutcome.partial``) is a transient condition, not a
+  function of the metadata; serving it after the source recovered would
+  be a freshness bug with no invalidation signal.
+- **The cache is opt-in for embedders** (capacity 0 by default).
+  Wrappers federate *live* sources whose rows can change without any
+  metadata mutation; caching outcomes trades that freshness for
+  throughput, which is the right default for the multi-client service
+  (``repro-mdm serve`` enables it) but not for a library caller pointed
+  at moving data.
+
+Hit/miss/eviction counts flow into the process metrics registry
+(``mdm_result_cache_*``); hits are visible per-query as a
+``result-cache`` span tagged ``cache=hit`` and as a ``Result cache:``
+line in ``EXPLAIN ANALYZE``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import get_metrics
+from .rewrite_cache import walk_cache_key
+from .walks import Walk
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU of ``(walk, generation, optimize) -> QueryOutcome``.
+
+    Thread-safe; capacity 0 disables the cache entirely (every probe is
+    a bypass, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 0):
+        if capacity < 0:
+            raise ValueError("result cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, int, bool], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self.capacity > 0
+
+    # ------------------------------------------------------------------ #
+    # lookup / fill
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_for(walk: Walk, generation: int, optimize: bool) -> Tuple[str, int, bool]:
+        """The canonical cache key for a walk at a generation."""
+        return (walk_cache_key(walk), generation, bool(optimize))
+
+    def get(
+        self,
+        walk: Walk,
+        generation: int,
+        optimize: bool,
+        require_analyzed: bool = False,
+    ) -> Optional[Any]:
+        """The cached outcome for ``walk`` at ``generation``, or None.
+
+        ``require_analyzed=True`` treats an entry without operator
+        statistics as a miss: an ``analyze=True`` caller (or a recorded
+        trace) was promised per-operator stats, which a plain cached run
+        cannot supply.  The re-executed, analyzed outcome then replaces
+        the plain entry, so later analyzed probes hit.
+        """
+        if not self.enabled:
+            return None
+        key = self.key_for(walk, generation, optimize)
+        metrics = get_metrics()
+        with self._lock:
+            outcome = self._entries.get(key)
+            if outcome is not None and require_analyzed:
+                if getattr(outcome, "operator_stats", None) is None:
+                    outcome = None
+            if outcome is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                metrics.counter(
+                    "mdm_result_cache_hits_total",
+                    "Query outcomes served from the result cache.",
+                ).inc()
+                return outcome
+            self.misses += 1
+            metrics.counter(
+                "mdm_result_cache_misses_total",
+                "Result-cache probes that fell through to execution.",
+            ).inc()
+            return None
+
+    def put(self, walk: Walk, generation: int, optimize: bool, outcome: Any) -> None:
+        """Cache ``outcome`` (LRU-evicting); partial outcomes are refused."""
+        if not self.enabled:
+            return
+        if getattr(outcome, "partial", False):
+            return  # degraded by wrapper failures — never cacheable
+        key = self.key_for(walk, generation, optimize)
+        with self._lock:
+            self._entries[key] = outcome
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                get_metrics().counter(
+                    "mdm_result_cache_evictions_total",
+                    "Result-cache LRU evictions.",
+                ).inc()
+            get_metrics().gauge(
+                "mdm_result_cache_size",
+                "Entries currently held by the result cache.",
+            ).set(len(self._entries))
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity in place (trimming LRU-first; 0 clears)."""
+        if capacity < 0:
+            raise ValueError("result cache capacity must be >= 0")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            get_metrics().gauge(
+                "mdm_result_cache_size",
+                "Entries currently held by the result cache.",
+            ).set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they are cumulative)."""
+        with self._lock:
+            self._entries.clear()
+            get_metrics().gauge(
+                "mdm_result_cache_size",
+                "Entries currently held by the result cache.",
+            ).set(0)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-shaped cumulative statistics (reports, benchmarks)."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "enabled": self.enabled,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {len(self)}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )

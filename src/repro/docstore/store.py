@@ -8,6 +8,11 @@ persistence so a store survives process restarts.
 
 Documents are plain dicts.  Every inserted document gets a string ``_id``
 (caller-provided or auto-minted, unique per collection).
+
+Collections are thread-safe: the multi-client service records a query
+document per ``execute()`` and concurrent inserts would otherwise race
+on the id counter and the backing dict.  Reads return deep copies, so a
+caller never holds a reference a concurrent writer could mutate.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import copy
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
 
@@ -35,6 +41,7 @@ class Collection:
         self.name = name
         self._documents: Dict[str, Dict[str, Any]] = {}
         self._counter = 0
+        self._lock = threading.RLock()
 
     def _mint_id(self) -> str:
         while True:
@@ -50,16 +57,19 @@ class Collection:
     def insert_one(self, document: Mapping[str, Any]) -> str:
         """Insert a copy of ``document``; returns its ``_id``."""
         doc = copy.deepcopy(dict(document))
-        doc_id = doc.get("_id")
-        if doc_id is None:
-            doc_id = self._mint_id()
-            doc["_id"] = doc_id
-        elif not isinstance(doc_id, str):
-            raise TypeError("_id must be a string")
-        if doc_id in self._documents:
-            raise DuplicateKeyError(f"duplicate _id {doc_id!r} in {self.name!r}")
-        self._documents[doc_id] = doc
-        return doc_id
+        with self._lock:
+            doc_id = doc.get("_id")
+            if doc_id is None:
+                doc_id = self._mint_id()
+                doc["_id"] = doc_id
+            elif not isinstance(doc_id, str):
+                raise TypeError("_id must be a string")
+            if doc_id in self._documents:
+                raise DuplicateKeyError(
+                    f"duplicate _id {doc_id!r} in {self.name!r}"
+                )
+            self._documents[doc_id] = doc
+            return doc_id
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> List[str]:
         """Insert several documents; returns their ids."""
@@ -67,30 +77,33 @@ class Collection:
 
     def replace_one(self, query: Mapping[str, Any], document: Mapping[str, Any]) -> int:
         """Replace the first match wholesale (keeping its ``_id``)."""
-        for doc_id, existing in self._documents.items():
-            if matches(existing, query):
-                replacement = copy.deepcopy(dict(document))
-                replacement["_id"] = doc_id
-                self._documents[doc_id] = replacement
-                return 1
-        return 0
+        with self._lock:
+            for doc_id, existing in self._documents.items():
+                if matches(existing, query):
+                    replacement = copy.deepcopy(dict(document))
+                    replacement["_id"] = doc_id
+                    self._documents[doc_id] = replacement
+                    return 1
+            return 0
 
     def update_one(self, query: Mapping[str, Any], update: Mapping[str, Any]) -> int:
         """Apply ``$set``/``$unset``/``$push``/``$inc`` to the first match."""
-        for document in self._documents.values():
-            if matches(document, query):
-                self._apply_update(document, update)
-                return 1
-        return 0
+        with self._lock:
+            for document in self._documents.values():
+                if matches(document, query):
+                    self._apply_update(document, update)
+                    return 1
+            return 0
 
     def update_many(self, query: Mapping[str, Any], update: Mapping[str, Any]) -> int:
         """Apply an update to every match; returns the count."""
-        count = 0
-        for document in self._documents.values():
-            if matches(document, query):
-                self._apply_update(document, update)
-                count += 1
-        return count
+        with self._lock:
+            count = 0
+            for document in self._documents.values():
+                if matches(document, query):
+                    self._apply_update(document, update)
+                    count += 1
+            return count
 
     @staticmethod
     def _apply_update(document: Dict[str, Any], update: Mapping[str, Any]) -> None:
@@ -119,22 +132,24 @@ class Collection:
 
     def delete_one(self, query: Mapping[str, Any]) -> int:
         """Delete the first match; returns 0 or 1."""
-        for doc_id, document in self._documents.items():
-            if matches(document, query):
-                del self._documents[doc_id]
-                return 1
-        return 0
+        with self._lock:
+            for doc_id, document in self._documents.items():
+                if matches(document, query):
+                    del self._documents[doc_id]
+                    return 1
+            return 0
 
     def delete_many(self, query: Mapping[str, Any]) -> int:
         """Delete every match; returns the count."""
-        victims = [
-            doc_id
-            for doc_id, document in self._documents.items()
-            if matches(document, query)
-        ]
-        for doc_id in victims:
-            del self._documents[doc_id]
-        return len(victims)
+        with self._lock:
+            victims = [
+                doc_id
+                for doc_id, document in self._documents.items()
+                if matches(document, query)
+            ]
+            for doc_id in victims:
+                del self._documents[doc_id]
+            return len(victims)
 
     # ------------------------------------------------------------------ #
     # reads
@@ -152,11 +167,12 @@ class Collection:
         ``sort`` is a dot path; documents missing it sort first.
         """
         query = query or {}
-        results = [
-            copy.deepcopy(document)
-            for document in self._documents.values()
-            if matches(document, query)
-        ]
+        with self._lock:
+            results = [
+                copy.deepcopy(document)
+                for document in self._documents.values()
+                if matches(document, query)
+            ]
         if sort is not None:
             def sort_key(document: Dict[str, Any]):
                 values = resolve_path(document, sort)
@@ -179,14 +195,18 @@ class Collection:
 
     def get(self, doc_id: str) -> Optional[Dict[str, Any]]:
         """Fetch by ``_id`` (copy) or None."""
-        document = self._documents.get(doc_id)
-        return copy.deepcopy(document) if document is not None else None
+        with self._lock:
+            document = self._documents.get(doc_id)
+            return copy.deepcopy(document) if document is not None else None
 
     def count(self, query: Optional[Mapping[str, Any]] = None) -> int:
         """Number of matching documents."""
-        if not query:
-            return len(self._documents)
-        return sum(1 for d in self._documents.values() if matches(d, query))
+        with self._lock:
+            if not query:
+                return len(self._documents)
+            return sum(
+                1 for d in self._documents.values() if matches(d, query)
+            )
 
     def distinct(self, path: str, query: Optional[Mapping[str, Any]] = None) -> List[Any]:
         """Distinct values at ``path`` across matching documents."""
@@ -200,7 +220,8 @@ class Collection:
         return seen
 
     def __len__(self) -> int:
-        return len(self._documents)
+        with self._lock:
+            return len(self._documents)
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.find())
@@ -238,17 +259,19 @@ class DocumentStore:
 
     def __init__(self, path: Optional[os.PathLike] = None):
         self._collections: Dict[str, Collection] = {}
+        self._lock = threading.Lock()
         self._path = Path(path) if path is not None else None
         if self._path is not None and self._path.exists():
             self._load()
 
     def collection(self, name: str) -> Collection:
         """Get or create the collection called ``name``."""
-        existing = self._collections.get(name)
-        if existing is None:
-            existing = Collection(name)
-            self._collections[name] = existing
-        return existing
+        with self._lock:
+            existing = self._collections.get(name)
+            if existing is None:
+                existing = Collection(name)
+                self._collections[name] = existing
+            return existing
 
     def drop_collection(self, name: str) -> bool:
         """Delete a collection entirely; True if it existed."""

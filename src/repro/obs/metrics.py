@@ -261,20 +261,22 @@ class Histogram(Metric):
         out.append((float("inf"), series.count if series else 0))
         return out
 
-    def percentile(self, q: float, **labels: Any) -> float:
+    def percentile(self, q: float, **labels: Any) -> Optional[float]:
         """Estimated ``q``-th percentile (0–100) of the labeled series.
 
         Linear interpolation over the cumulative bucket counts — the
         standard scrape-side estimate (à la ``histogram_quantile``), so
         the resolution is bounded by the bucket ladder.  Observations in
         the ``+Inf`` bucket clamp to the last finite bound; an empty
-        series yields 0.0.
+        (or unknown) series yields ``None`` — "no data" must not be
+        confusable with "p99 of zero seconds" in dashboards and
+        benchmark gates.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be within [0, 100]")
         series = self._series.get(self._key(labels))
         if series is None or series.count == 0:
-            return 0.0
+            return None
         target = (q / 100.0) * series.count
         running = 0
         lower = 0.0
@@ -290,8 +292,8 @@ class Histogram(Metric):
 
     def percentiles(
         self, qs: Sequence[float] = (50.0, 95.0, 99.0), **labels: Any
-    ) -> Dict[str, float]:
-        """``{"p50": ..., "p95": ...}`` for the labeled series."""
+    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ...}`` (``None`` per empty series)."""
         return {
             f"p{int(q) if float(q).is_integer() else q}": self.percentile(
                 q, **labels
@@ -324,7 +326,7 @@ class Histogram(Metric):
                     "labels": self.labels_of(key),
                     "count": series.count,
                     "sum": series.total,
-                    "mean": (series.total / series.count) if series.count else 0.0,
+                    "mean": (series.total / series.count) if series.count else None,
                     **self.percentiles(**self.labels_of(key)),
                 }
                 for key, series in sorted(self._series.items())
@@ -424,7 +426,7 @@ class MetricsRegistry:
                             metric.sum(**metric.labels_of(key))
                             / metric.count(**metric.labels_of(key))
                             if metric.count(**metric.labels_of(key))
-                            else 0.0
+                            else None
                         ),
                         **metric.percentiles(**metric.labels_of(key)),
                     }

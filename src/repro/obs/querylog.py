@@ -62,6 +62,7 @@ class QueryLogRecord:
     skipped_wrappers: Tuple[str, ...] = ()
     trace_decision: str = "off"
     error: Optional[str] = None
+    result_cache: str = "off"  # "hit" | "miss" | "bypass" | "off"
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "QueryLogRecord":
@@ -83,6 +84,7 @@ class QueryLogRecord:
             skipped_wrappers=tuple(data.get("skipped_wrappers") or ()),
             trace_decision=str(data.get("trace_decision", "off")),
             error=data.get("error"),
+            result_cache=str(data.get("result_cache", "off")),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -104,6 +106,7 @@ class QueryLogRecord:
             "skipped_wrappers": list(self.skipped_wrappers),
             "trace_decision": self.trace_decision,
             "error": self.error,
+            "result_cache": self.result_cache,
         }
 
     def summary_line(self) -> str:

@@ -3,9 +3,12 @@
 from .api import MdmService
 from .http import JsonRequest, JsonResponse, Router, ServiceError
 from .persistence import attach_wrappers, load_mdm, save_mdm
+from .server import MdmHttpServer, serve
 
 __all__ = [
     "MdmService",
+    "MdmHttpServer",
+    "serve",
     "Router",
     "JsonRequest",
     "JsonResponse",

@@ -294,6 +294,8 @@ class MdmService:
             payload["rows"] = rows
         if outcome is not None:
             payload["partial"] = outcome.partial
+            payload["generation"] = outcome.generation
+            payload["result_cache"] = outcome.result_cache
             if outcome.partial:
                 payload["skipped_wrappers"] = list(outcome.skipped_wrappers)
         return payload
@@ -514,6 +516,7 @@ class MdmService:
         """Tune the fetch pool and retry policy at runtime.
 
         Body: ``{"max_fetch_workers"?: int, "optimize"?: bool,
+        "result_cache_size"?: int,
         "retry"?: {"attempts"?, "timeout_s"?, "backoff_base_s"?,
         "backoff_multiplier"?, "max_backoff_s"?}}`` — omitted parts keep
         their current value.
@@ -548,10 +551,12 @@ class MdmService:
                 raise ServiceError(400, f"invalid retry policy: {exc}") from exc
         try:
             optimize = body.get("optimize")
+            rc_size = body.get("result_cache_size")
             self.mdm.configure_execution(
                 max_fetch_workers=body.get("max_fetch_workers"),
                 retry_policy=policy,
                 optimize=None if optimize is None else bool(optimize),
+                result_cache_size=None if rc_size is None else int(rc_size),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, str(exc)) from exc

@@ -1,0 +1,230 @@
+"""The socket front end: a real HTTP server over the in-process router.
+
+The paper's backend is "a set of REST APIs" consumed by a web frontend
+over HTTP (§2.5).  :mod:`repro.service.http` keeps that interaction
+shape in-process for deterministic unit tests; this module puts actual
+sockets in front of the same :class:`~repro.service.api.MdmService` so
+many OS-level clients can hit one MDM concurrently:
+
+- :class:`MdmHttpServer` is a ``ThreadingHTTPServer`` whose handler
+  adapts each socket request (method, path, query string, JSON body)
+  onto ``Router.dispatch`` — one handler thread per connection, JSON in
+  / JSON out, ``str`` bodies passed through as ``text/plain`` so
+  ``GET /metrics`` stays scrapeable by Prometheus.
+- **Admission control**: a bounded in-flight-request semaphore.  When
+  ``max_in_flight`` requests are already executing, new ones are turned
+  away immediately with ``429 Too Many Requests`` + a ``Retry-After``
+  header instead of queueing unboundedly; rejections are counted in
+  ``mdm_requests_rejected_total``.
+- **Graceful shutdown**: :meth:`MdmHttpServer.stop` stops accepting,
+  joins every handler thread (``block_on_close``), and closes the
+  listening socket — no stray threads survive it.
+
+The in-process router remains the unit-test surface; this wrapper adds
+only transport and back-pressure, never routing logic.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qsl, urlparse
+
+from ..obs import get_metrics
+from .api import MdmService
+
+__all__ = ["MdmHttpServer", "serve"]
+
+#: Requests already executing before new ones are bounced with a 429.
+DEFAULT_MAX_IN_FLIGHT = 32
+#: Seconds suggested to rejected clients via the ``Retry-After`` header.
+DEFAULT_RETRY_AFTER_S = 1
+
+
+class _MdmRequestHandler(BaseHTTPRequestHandler):
+    """Adapts one socket request onto the service's router."""
+
+    # HTTP/1.0: the connection closes after each response, so handler
+    # threads never linger on keep-alive sockets and stop() can join
+    # them all.  Clients pay a reconnect per request, which is the right
+    # trade for a governance service (queries dominate, not chatter).
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-mdm"
+    sys_version = ""
+
+    # The driving server (typed for readers; set by socketserver).
+    server: "MdmHttpServer"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence the default per-request stderr line.
+
+        The router already feeds ``mdm_http_requests_total`` and the
+        request-latency histogram; a second, unstructured log stream
+        would just interleave garbage under concurrency.
+        """
+
+    # One implementation for every verb the router understands.
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_body(self) -> Tuple[bool, Any]:
+        """(ok, parsed JSON body or None) — draining the socket either way."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return True, None
+        raw = self.rfile.read(length)
+        try:
+            return True, json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return False, None
+
+    def _handle(self, method: str) -> None:
+        server = self.server
+        if not server.admission.acquire(blocking=False):
+            # Saturated: drain the request so the client can read the
+            # response, then bounce with back-pressure advice.
+            self._read_body()
+            get_metrics().counter(
+                "mdm_requests_rejected_total",
+                "Requests refused by admission control (HTTP 429).",
+            ).inc()
+            self._send(
+                429,
+                {"error": "server saturated; retry later"},
+                extra_headers={"Retry-After": str(server.retry_after_s)},
+            )
+            return
+        try:
+            ok, body = self._read_body()
+            if not ok:
+                self._send(400, {"error": "request body is not valid JSON"})
+                return
+            parsed = urlparse(self.path)
+            query = dict(parse_qsl(parsed.query))
+            response = server.service.request(method, parsed.path, body, query)
+            self._send(response.status, response.body)
+        finally:
+            server.admission.release()
+
+    def _send(
+        self,
+        status: int,
+        body: Any,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        if isinstance(body, str):
+            # Plain-text passthrough — the Prometheus exposition format
+            # of GET /metrics must not be JSON-wrapped.
+            data = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up mid-response; nothing left to salvage
+
+
+class MdmHttpServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MdmService`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    resolved address.  Use :meth:`start`/:meth:`stop` for a background
+    server or :meth:`serve_forever` to block the calling thread (the
+    CLI path).
+    """
+
+    daemon_threads = True
+    # block_on_close stays at the ThreadingMixIn default (True):
+    # server_close() joins every handler thread, which is exactly the
+    # "graceful shutdown leaves no stray threads" guarantee.
+
+    def __init__(
+        self,
+        service: MdmService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        retry_after_s: int = DEFAULT_RETRY_AFTER_S,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        super().__init__((host, port), _MdmRequestHandler)
+        self.service = service
+        self.max_in_flight = max_in_flight
+        self.retry_after_s = retry_after_s
+        self.admission = threading.BoundedSemaphore(max_in_flight)
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (resolved even for ephemeral ports)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MdmHttpServer":
+        """Serve on a background thread; returns self for chaining."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server is already running")
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="mdm-http-serve", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, join all handler threads, close the socket."""
+        self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+        self.server_close()
+
+    def __enter__(self) -> "MdmHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve(
+    service: MdmService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    retry_after_s: int = DEFAULT_RETRY_AFTER_S,
+) -> MdmHttpServer:
+    """Start a background :class:`MdmHttpServer`; caller owns ``stop()``."""
+    return MdmHttpServer(
+        service,
+        host=host,
+        port=port,
+        max_in_flight=max_in_flight,
+        retry_after_s=retry_after_s,
+    ).start()

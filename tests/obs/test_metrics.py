@@ -238,8 +238,41 @@ class TestHistogramPercentiles:
     def hist(self):
         return Histogram("lat", "t", buckets=(1.0, 2.0, 4.0, 8.0))
 
-    def test_empty_series_yields_zero(self):
-        assert self.hist().percentile(95.0) == 0.0
+    def test_empty_series_yields_none(self):
+        # "No data" must be distinguishable from "p95 of zero seconds".
+        assert self.hist().percentile(95.0) is None
+
+    def test_empty_series_percentiles_are_all_none(self):
+        assert self.hist().percentiles() == {
+            "p50": None,
+            "p95": None,
+            "p99": None,
+        }
+
+    def test_unknown_labeled_series_yields_none(self):
+        h = Histogram("lat", "t", buckets=(1.0,), labelnames=("route",))
+        h.observe(0.5, route="/query")
+        assert h.percentile(95.0, route="/nope") is None
+        assert h.percentile(95.0, route="/query") is not None
+
+    def test_still_rejects_out_of_range_quantiles_when_empty(self):
+        with pytest.raises(ValueError):
+            self.hist().percentile(101.0)
+
+    def test_empty_series_summary_reports_none(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "t", labelnames=("route",))
+        hist.observe(0.5, route="/query")
+        # Force an empty series into existence alongside the real one.
+        series_cls = type(next(iter(hist._series.values())))
+        hist._series.setdefault(
+            hist._key({"route": "/empty"}), series_cls(len(hist.buckets))
+        )
+        summary = registry.summary()["lat_seconds"]["series"]
+        by_route = {s["labels"]["route"]: s for s in summary}
+        assert by_route["/empty"]["mean"] is None
+        assert by_route["/empty"]["p99"] is None
+        assert by_route["/query"]["p99"] is not None
 
     def test_interpolates_within_a_bucket(self):
         h = self.hist()

@@ -1,0 +1,1 @@
+"""Concurrency stress tests and the reusable load generator."""

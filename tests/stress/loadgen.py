@@ -1,0 +1,186 @@
+"""A reusable concurrent load generator for MDM services.
+
+Both the stress tests and ``benchmarks/bench_concurrent_service.py``
+need the same thing: N client threads hammering one operation for a
+fixed wall-clock window, with per-request latency captured in a way
+that yields the p50/p95/p99 the ROADMAP asks benchmarks to report.
+
+:func:`run_load` is transport-agnostic — the operation is any callable
+``op(client_index, iteration) -> status`` — so the same harness drives
+the in-process router (unit-fast) and the socket server (end-to-end).
+Latency lands in a standalone :class:`repro.obs.metrics.Histogram`
+(already thread-safe, already percentile-capable), not the process
+registry, so load runs don't pollute service metrics under test.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["LoadReport", "run_load", "http_op", "LATENCY_BUCKETS"]
+
+#: Sub-millisecond to multi-second ladder — in-process dispatches sit in
+#: the low buckets, sleep-dominated wrapper fetches in the upper ones.
+LATENCY_BUCKETS = (
+    0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+    0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 2.0, 5.0, 10.0,
+)
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced, shaped for assertions and artifacts."""
+
+    clients: int
+    duration_s: float
+    requests: int
+    statuses: Dict[str, int]
+    errors: List[str]
+    latency: Histogram = field(repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock window."""
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def rejected(self) -> int:
+        """Requests turned away by admission control (HTTP 429)."""
+        return self.statuses.get("429", 0)
+
+    @property
+    def rejection_rate(self) -> float:
+        """429s as a fraction of all completed requests."""
+        return self.rejected / self.requests if self.requests else 0.0
+
+    def latency_percentiles_ms(self) -> Dict[str, Optional[float]]:
+        """p50/p95/p99 in milliseconds (None when nothing was measured)."""
+        return {
+            name: None if seconds is None else seconds * 1000.0
+            for name, seconds in self.latency.percentiles().items()
+        }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-shaped summary (BENCH artifacts)."""
+        percentiles = self.latency_percentiles_ms()
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 6),
+            "requests": self.requests,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "statuses": dict(sorted(self.statuses.items())),
+            "rejected": self.rejected,
+            "rejection_rate": round(self.rejection_rate, 6),
+            "latency_ms": {
+                name: None if value is None else round(value, 3)
+                for name, value in percentiles.items()
+            },
+            "errors": len(self.errors),
+        }
+
+
+def run_load(
+    op: Callable[[int, int], Any],
+    clients: int,
+    duration_s: float,
+    name: str = "load",
+) -> LoadReport:
+    """Drive ``op`` from ``clients`` threads for ``duration_s`` seconds.
+
+    ``op(client_index, iteration)`` performs one request and returns its
+    status (anything str()-able; HTTP codes by convention).  Exceptions
+    are captured per-request into :attr:`LoadReport.errors` — a stress
+    run must report failures, not die on the first one.  All clients
+    start together (barrier) so the measured window is fully loaded.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    latency = Histogram(
+        f"{name}_latency_seconds",
+        "Per-request latency measured by the load generator.",
+        buckets=LATENCY_BUCKETS,
+    )
+    lock = threading.Lock()
+    statuses: Dict[str, int] = {}
+    errors: List[str] = []
+    completed = 0
+    barrier = threading.Barrier(clients + 1)
+    stop = threading.Event()
+
+    def client(index: int) -> None:
+        nonlocal completed
+        barrier.wait()
+        iteration = 0
+        while not stop.is_set():
+            started = time.perf_counter()
+            try:
+                status = op(index, iteration)
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                with lock:
+                    errors.append(
+                        f"client {index} iteration {iteration}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+            else:
+                latency.observe(time.perf_counter() - started)
+                with lock:
+                    completed += 1
+                    key = str(status)
+                    statuses[key] = statuses.get(key, 0) + 1
+            iteration += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"{name}-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    window_started = time.perf_counter()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - window_started
+    return LoadReport(
+        clients=clients,
+        duration_s=wall,
+        requests=completed,
+        statuses=statuses,
+        errors=errors,
+        latency=latency,
+    )
+
+
+def http_op(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Any = None,
+    timeout_s: float = 10.0,
+) -> int:
+    """One socket request against a running server; returns the status.
+
+    Non-2xx responses are normal load-test outcomes (429 especially), so
+    ``HTTPError`` maps to its code instead of raising.
+    """
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base_url + path, data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        exc.close()
+        return exc.code
