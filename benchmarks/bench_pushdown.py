@@ -1,0 +1,250 @@
+"""Federated pushdown benchmark: rows over the wire + wall clock + cache.
+
+Models the cost the ISSUE targets — moving source rows across the
+wrapper boundary — with a REST endpoint whose response latency grows
+with the payload it serves (a fixed per-request floor plus a per-byte
+transfer cost).  One selective walk (equality filter matching ~1/4 of
+the rows) and one non-selective walk (no filter) run with pushdown off
+and on, plus a warm-wrapper-cache pass.
+
+Gates (exit non-zero when any fails):
+
+- selective: pushdown must cut rows transferred by at least
+  ``TRANSFER_CUT_FLOOR`` (2x) and not be slower than the full fetch;
+- non-selective: pushdown may not regress wall clock by more than
+  ``REGRESSION_CEILING`` (10%) — there is nothing to push, so the two
+  paths should be the same fetch;
+- warm cache: with the wrapper cache enabled, a repeated selective walk
+  must touch the source **zero** times (asserted against the mock
+  server's request log, not our own bookkeeping).
+
+Runnable two ways:
+
+- ``python benchmarks/bench_pushdown.py [--smoke]`` — the CI entry
+  point: prints the comparison, writes ``BENCH_pushdown.json`` next to
+  this file and exits non-zero when a gate fails;
+- ``pytest benchmarks/bench_pushdown.py`` — the same check as a test
+  (smoke-sized so it stays in the tier-1 wall-time budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.mdm import MDM
+from repro.core.walks import FilterCondition
+from repro.rdf.namespaces import Namespace
+from repro.sources.restapi import Endpoint, MockRestServer
+from repro.sources.wrappers import RestWrapper
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_pushdown.json"
+
+#: Selective pushdown must transfer at most 1/2 of the full-fetch rows.
+TRANSFER_CUT_FLOOR = 2.0
+#: Non-selective pushdown may be at most 10% slower than full fetch.
+REGRESSION_CEILING = 1.10
+
+BM = Namespace("http://bench.pushdown/")
+CATEGORIES = 4  # the selective filter keeps ~1/4 of the rows
+
+
+class LatencyServer(MockRestServer):
+    """A mock REST server whose responses cost time proportional to size.
+
+    ``base_s`` is the per-request floor (connection + dispatch) and
+    ``per_byte_s`` the simulated transfer rate, so a prefiltered
+    response really is cheaper than a full dump — the effect the
+    benchmark measures, made deterministic.
+    """
+
+    def __init__(self, base_s: float, per_byte_s: float):
+        super().__init__()
+        self.base_s = base_s
+        self.per_byte_s = per_byte_s
+
+    def get(self, path, params=None):
+        response = super().get(path, params)
+        time.sleep(self.base_s + len(response.body) * self.per_byte_s)
+        return response
+
+
+def build_mdm(n_rows: int, base_s: float, per_byte_s: float):
+    server = LatencyServer(base_s, per_byte_s)
+    rows = [
+        {
+            "id": f"item-{i:05d}",
+            "category": f"cat{i % CATEGORIES}",
+            "payload": f"payload-{i:05d}-" + "x" * 40,
+        }
+        for i in range(n_rows)
+    ]
+    server.register(
+        Endpoint(name="items", version=1, payload_format="json", provider=lambda: rows)
+    )
+    mdm = MDM()
+    mdm.add_concept(BM.Item, "Item")
+    mdm.add_identifier(BM.itemId, BM.Item)
+    mdm.add_feature(BM.category, BM.Item)
+    mdm.add_feature(BM.payload, BM.Item)
+    mdm.register_source("items")
+    mdm.register_wrapper(
+        "items",
+        RestWrapper(
+            "w_items",
+            ["id", "category", "payload"],
+            server,
+            "/v1/items",
+            supports_filters=True,
+        ),
+    )
+    mdm.define_mapping(
+        "w_items", {"id": BM.itemId, "category": BM.category, "payload": BM.payload}
+    )
+    return mdm, server
+
+
+def _run(mdm, walk, runs: int) -> Dict:
+    times: List[float] = []
+    outcome = None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        outcome = mdm.execute(walk, use_cache=False)
+        times.append(time.perf_counter() - t0)
+    return {
+        "median_ms": round(statistics.median(times) * 1000.0, 3),
+        "all_ms": [round(t * 1000.0, 3) for t in times],
+        "rows_returned": len(outcome.relation),
+        "rows_transferred": outcome.profile.rows_transferred,
+    }
+
+
+def measure(
+    n_rows: int = 2000,
+    runs: int = 5,
+    base_ms: float = 2.0,
+    kb_per_ms: float = 20.0,
+) -> Dict:
+    # kb_per_ms KB/ms of simulated bandwidth -> seconds per byte.
+    per_byte_s = 1.0 / (kb_per_ms * 1024.0 * 1000.0)
+    mdm, server = build_mdm(n_rows, base_ms / 1000.0, per_byte_s)
+    selective = mdm.walk_from_nodes([BM.Item, BM.itemId, BM.payload]).with_filters(
+        FilterCondition(BM.category, "=", "cat0")
+    )
+    full = mdm.walk_from_nodes([BM.Item, BM.itemId, BM.payload])
+
+    mdm.configure_execution(pushdown=False)
+    mdm.execute(full, use_cache=False)  # warm-up
+    sel_off = _run(mdm, selective, runs)
+    full_off = _run(mdm, full, runs)
+    mdm.configure_execution(pushdown=True)
+    sel_on = _run(mdm, selective, runs)
+    full_on = _run(mdm, full, runs)
+
+    # Equivalence spot check: identical answers either way.
+    mdm.configure_execution(pushdown=False)
+    reference = mdm.execute(selective, use_cache=False).relation
+    mdm.configure_execution(pushdown=True)
+    pushed = mdm.execute(selective, use_cache=False).relation
+    assert reference.rows == pushed.rows and reference.schema.names == pushed.schema.names
+
+    # Warm wrapper cache: the second identical run must not hit the source.
+    mdm.configure_execution(wrapper_cache_size=32)
+    mdm.execute(selective, use_cache=False)  # populates the cache
+    before = len(server.request_log)
+    warm = mdm.execute(selective, use_cache=False)
+    warm_source_fetches = len(server.request_log) - before
+    assert warm.pushdown["wrapper_cache"]["hits"] >= 1
+
+    transfer_cut = (
+        sel_off["rows_transferred"] / sel_on["rows_transferred"]
+        if sel_on["rows_transferred"]
+        else float("inf")
+    )
+    sel_speedup = (
+        sel_off["median_ms"] / sel_on["median_ms"] if sel_on["median_ms"] else 0.0
+    )
+    full_slowdown = (
+        full_on["median_ms"] / full_off["median_ms"] if full_off["median_ms"] else 0.0
+    )
+    gates = {
+        "selective_transfer_cut": transfer_cut >= TRANSFER_CUT_FLOOR,
+        "selective_not_slower": sel_speedup >= 1.0,
+        "non_selective_regression": full_slowdown <= REGRESSION_CEILING,
+        "warm_cache_zero_source_fetches": warm_source_fetches == 0,
+    }
+    return {
+        "n_rows": n_rows,
+        "runs": runs,
+        "selectivity": f"1/{CATEGORIES}",
+        "selective": {"pushdown_off": sel_off, "pushdown_on": sel_on},
+        "non_selective": {"pushdown_off": full_off, "pushdown_on": full_on},
+        "transfer_cut": round(transfer_cut, 4),
+        "transfer_cut_floor": TRANSFER_CUT_FLOOR,
+        "selective_speedup": round(sel_speedup, 4),
+        "non_selective_slowdown": round(full_slowdown, 4),
+        "regression_ceiling": REGRESSION_CEILING,
+        "warm_cache_source_fetches": warm_source_fetches,
+        "gates": gates,
+        "pass": all(gates.values()),
+    }
+
+
+def test_pushdown_cuts_transfer_without_regression():
+    """Smoke-sized gate run (same checks as the CI entry point)."""
+    report = measure(n_rows=800, runs=3)
+    assert report["pass"], json.dumps(
+        {"gates": report["gates"], "transfer_cut": report["transfer_cut"],
+         "non_selective_slowdown": report["non_selective_slowdown"]},
+        indent=2,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer rows / fewer runs (the CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(ARTIFACT_PATH),
+        help=f"artifact path (default {ARTIFACT_PATH.name})",
+    )
+    args = parser.parse_args(argv)
+
+    n_rows, runs = (800, 3) if args.smoke else (2000, 7)
+    report = measure(n_rows=n_rows, runs=runs)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    sel, full = report["selective"], report["non_selective"]
+    print(
+        f"selective walk   off: {sel['pushdown_off']['median_ms']:.1f}ms / "
+        f"{sel['pushdown_off']['rows_transferred']} rows — "
+        f"on: {sel['pushdown_on']['median_ms']:.1f}ms / "
+        f"{sel['pushdown_on']['rows_transferred']} rows "
+        f"(transfer cut {report['transfer_cut']:.2f}x, floor {TRANSFER_CUT_FLOOR}x)\n"
+        f"non-selective    off: {full['pushdown_off']['median_ms']:.1f}ms — "
+        f"on: {full['pushdown_on']['median_ms']:.1f}ms "
+        f"(slowdown {report['non_selective_slowdown']:.3f}, "
+        f"ceiling {REGRESSION_CEILING})\n"
+        f"warm wrapper cache: {report['warm_cache_source_fetches']} source "
+        f"fetch(es) on repeat (must be 0)\n"
+        f"artifact: {args.out}"
+    )
+    if not report["pass"]:
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        print(f"FAIL: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -200,6 +200,10 @@ class _Checker:
         label = type(plan).__name__
         path = f"{path}/{label}" if path else label
         if isinstance(plan, Scan):
+            if plan.is_pushed():
+                bound = self.catalog.get(plan.binding_name())
+                if bound is not None:
+                    return bound
             schema = self.catalog.get(plan.relation_name)
             if schema is None:
                 self._report(
@@ -209,7 +213,35 @@ class _Checker:
                     path,
                     detail=plan.relation_name,
                 )
-            return schema
+                return None
+            if not plan.is_pushed():
+                return schema
+            # Pushed scans: validate the folded filters/columns against
+            # the base schema the way MDM102/MDM105 would have validated
+            # the original Select/Project nodes.
+            for column, op, _value in plan.filters:
+                attribute = self._require(schema, column, path, "pushed filter")
+                if (
+                    attribute is not None
+                    and op in _ORDERING_OPS
+                    and attribute.type is AttrType.BOOLEAN
+                ):
+                    self._report(
+                        "MDM105",
+                        f"pushed ordering filter {column} {op} … over "
+                        "boolean values",
+                        path,
+                    )
+            if plan.columns is None:
+                return schema
+            attributes = []
+            for name in plan.columns:
+                attribute = self._require(schema, name, path, "pushed projection")
+                if attribute is not None:
+                    attributes.append(attribute)
+            if len(attributes) != len(plan.columns):
+                return None
+            return RelationSchema(attributes)
         if isinstance(plan, Project):
             child = self.check(plan.child, path)
             if child is None:

@@ -27,8 +27,9 @@ Usage (``python -m repro <command>``):
 ``serve``
     expose the REST API over real HTTP sockets
     (:mod:`repro.service.server`): scenario or snapshot behind a
-    threading server with admission control and the query result cache
-    enabled (``--port``, ``--max-in-flight``, ``--result-cache``).
+    threading server with admission control and the query result and
+    wrapper data caches enabled (``--port``, ``--max-in-flight``,
+    ``--result-cache``, ``--wrapper-cache``).
 
 Snapshot-based commands (``--store DIR``) work without runtime wrappers;
 query execution needs live wrappers and therefore runs against the
@@ -129,6 +130,7 @@ def _apply_execution_flags(mdm, args) -> None:
         retry_policy=policy,
         optimize=False if getattr(args, "no_optimize", False) else None,
         validate_plans=validate,
+        pushdown=False if getattr(args, "no_pushdown", False) else None,
     )
 
 
@@ -428,9 +430,13 @@ def cmd_serve(args) -> int:
     mdm = MDM() if args.empty else _mdm_for(args)
     _apply_execution_flags(mdm, args)
     # Behind a server the metadata only changes through the write-locked
-    # mutators, so generation-keyed result caching is safe — enable it
-    # by default (unlike the library, where wrappers may be live feeds).
-    mdm.configure_execution(result_cache_size=args.result_cache)
+    # mutators, so generation-keyed result and wrapper-data caching are
+    # safe — enable them by default (unlike the library, where wrappers
+    # may be live feeds).
+    mdm.configure_execution(
+        result_cache_size=args.result_cache,
+        wrapper_cache_size=args.wrapper_cache,
+    )
     service = MdmService(mdm)
     server = MdmHttpServer(
         service,
@@ -442,7 +448,8 @@ def cmd_serve(args) -> int:
     print(
         f"serving MDM on {server.url} "
         f"(max in-flight {server.max_in_flight}, "
-        f"result cache {mdm.result_cache.capacity}, ctrl-C to stop)"
+        f"result cache {mdm.result_cache.capacity}, "
+        f"wrapper cache {mdm.wrapper_cache.capacity}, ctrl-C to stop)"
     )
     server.start()
     try:
@@ -492,6 +499,12 @@ def _add_execution_flags(parser) -> None:
         "--no-validate-plans",
         action="store_true",
         help="skip the static plan schema check before execution",
+    )
+    parser.add_argument(
+        "--no-pushdown",
+        action="store_true",
+        help="fetch full wrapper payloads instead of pushing predicates/"
+        "projections to the sources (default: push, or $MDM_PUSHDOWN)",
     )
 
 
@@ -673,6 +686,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="query result cache capacity, 0 disables (default 256)",
+    )
+    p_serve.add_argument(
+        "--wrapper-cache",
+        type=int,
+        default=128,
+        help="wrapper data cache capacity (fetched relations keyed by "
+        "request and generation), 0 disables (default 128)",
     )
     p_serve.add_argument(
         "--duration",

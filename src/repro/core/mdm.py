@@ -25,8 +25,10 @@ from __future__ import annotations
 import contextvars
 import copy
 import os
+import threading
 import time
 import uuid
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -44,6 +46,7 @@ from ..rdf.terms import IRI, Triple
 from ..relational.executor import Executor, OperatorStats
 from ..relational.optimizer import OptimizationStats, PlanOptimizer
 from ..relational.relation import Relation
+from ..sources.fetch import FULL_FETCH, FetchRequest, apply_fetch_request
 from ..sources.wrappers import RetryPolicy, Wrapper
 from ..sparql.evaluator import evaluate_text
 from .errors import MappingError, MdmError, PlanValidationError, SourceGraphError
@@ -86,6 +89,7 @@ class QueryOutcome:
         profile: Optional[ResourceProfile] = None,
         generation: int = -1,
         result_cache: str = "off",
+        pushdown: Optional[Dict[str, object]] = None,
     ):
         self.rewrite = rewrite
         self.relation = relation
@@ -127,6 +131,11 @@ class QueryOutcome:
         #: "bypass" (``use_cache=False``) or "hit" (this outcome was
         #: served from :class:`~repro.core.result_cache.ResultCache`).
         self.result_cache = result_cache
+        #: Federated-pushdown summary for this query (None when pushdown
+        #: was off): per-wrapper request shape (pushed/full), canonical
+        #: request, wrapper-cache disposition and row-transfer counts,
+        #: plus the per-query totals.
+        self.pushdown = pushdown
 
     @property
     def optimized(self) -> bool:
@@ -187,6 +196,28 @@ class QueryOutcome:
                 f"Shared subplans: {self.subplan_hits} memo hits / "
                 f"{self.subplan_misses} misses"
             )
+        if self.pushdown is not None:
+            pd = self.pushdown
+            lines.append(
+                f"Pushdown: {pd['pushed']} pushed / {pd['full']} full "
+                f"fetch(es); rows transferred={pd['rows_transferred']} "
+                f"saved={pd['rows_pushed_down']}"
+            )
+            for name, info in sorted(pd["requests"].items()):
+                if info["kind"] != "pushed":
+                    continue
+                suffix = (
+                    f" [cache {info['cache']}]"
+                    if info["cache"] != "off"
+                    else ""
+                )
+                lines.append(f"  {name} ⇐ {info['request']}{suffix}")
+            wc = pd.get("wrapper_cache") or {}
+            if wc.get("enabled"):
+                lines.append(
+                    f"Wrapper cache: {wc['hits']} hit(s) / "
+                    f"{wc['misses']} miss(es)"
+                )
         if self.plan_validated:
             if self.plan_findings:
                 lines.append(
@@ -296,6 +327,46 @@ DEFAULT_VALIDATE_PLANS = os.environ.get(
 #: ``repro-mdm serve`` opts in explicitly for the multi-client workload).
 DEFAULT_RESULT_CACHE_SIZE = int(os.environ.get("MDM_RESULT_CACHE", "0"))
 
+#: Default for federated pushdown — folding eligible predicates and
+#: projections into the wrapper fetch itself (``MDM_PUSHDOWN=0``
+#: disables, restoring full-payload fetches with mediator-side
+#: evaluation).
+DEFAULT_PUSHDOWN = os.environ.get("MDM_PUSHDOWN", "1").strip().lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+#: Default capacity of the generation-keyed wrapper data cache
+#: (0 = disabled; same opt-in freshness trade as the result cache).
+DEFAULT_WRAPPER_CACHE_SIZE = int(os.environ.get("MDM_WRAPPER_CACHE", "0"))
+
+
+def _merge_optimization_stats(
+    stage_a: Optional[OptimizationStats],
+    stage_b: Optional[OptimizationStats],
+) -> Optional[OptimizationStats]:
+    """One summary covering pushdown extraction plus the logical pass.
+
+    Row estimates come from the typed stage-B pass (stage A is
+    type-blind and never estimates).
+    """
+    if stage_a is None:
+        return stage_b
+    if stage_b is None:
+        return stage_a
+    merged = OptimizationStats(
+        rules=dict(stage_a.rules),
+        passes=stage_a.passes + stage_b.passes,
+        elapsed_s=stage_a.elapsed_s + stage_b.elapsed_s,
+        estimated_rows_before=stage_b.estimated_rows_before,
+        estimated_rows_after=stage_b.estimated_rows_after,
+    )
+    for rule, count in stage_b.rules.items():
+        merged.count(rule, count)
+    return merged
+
 
 class MDM:
     """The Metadata Management System."""
@@ -310,6 +381,8 @@ class MDM:
         result_cache_size: Optional[int] = None,
         optimize: Optional[bool] = None,
         validate_plans: Optional[bool] = None,
+        pushdown: Optional[bool] = None,
+        wrapper_cache_size: Optional[int] = None,
     ):
         self.dataset = Dataset(namespaces=mdm_namespace_manager())
         self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
@@ -339,6 +412,9 @@ class MDM:
         self.validate_plans = (
             DEFAULT_VALIDATE_PLANS if validate_plans is None else bool(validate_plans)
         )
+        #: Fold eligible predicates/projections into the wrapper fetch
+        #: (capability-gated; uncapable wrappers keep full fetches).
+        self.pushdown = DEFAULT_PUSHDOWN if pushdown is None else bool(pushdown)
         #: Metadata generation: bumped on every ontology/source/mapping
         #: mutation; the rewrite cache keys plans by it so evolution can
         #: never serve a stale UCQ.
@@ -361,6 +437,23 @@ class MDM:
             if result_cache_size is None
             else result_cache_size
         )
+        from .wrapper_cache import WrapperCache
+
+        #: LRU cache of fetched wrapper relations keyed by
+        #: (wrapper, canonical fetch request, generation); 0 disables.
+        self.wrapper_cache = WrapperCache(
+            DEFAULT_WRAPPER_CACHE_SIZE
+            if wrapper_cache_size is None
+            else wrapper_cache_size
+        )
+        #: Memoized stage-A pushdown extractions keyed by
+        #: (canonical walk, generation) — the extraction is a pure
+        #: function of the rewritten plan and the wrapper capabilities,
+        #: both frozen within a generation, so repeated queries skip it.
+        self._pushdown_plan_cache: "OrderedDict[Tuple[str, int], Tuple[object, Optional[OptimizationStats]]]" = (
+            OrderedDict()
+        )
+        self._pushdown_plan_lock = threading.Lock()
         from .registry import QueryRegistry
 
         #: Saved analytical processes (named walks) with revalidation.
@@ -394,6 +487,8 @@ class MDM:
         optimize: Optional[bool] = None,
         validate_plans: Optional[bool] = None,
         result_cache_size: Optional[int] = None,
+        pushdown: Optional[bool] = None,
+        wrapper_cache_size: Optional[int] = None,
     ) -> Dict[str, object]:
         """Adjust the fetch pool / retry / optimizer; returns the live config."""
         if max_fetch_workers is not None:
@@ -408,6 +503,10 @@ class MDM:
             self.validate_plans = bool(validate_plans)
         if result_cache_size is not None:
             self.result_cache.resize(result_cache_size)
+        if pushdown is not None:
+            self.pushdown = bool(pushdown)
+        if wrapper_cache_size is not None:
+            self.wrapper_cache.resize(wrapper_cache_size)
         return self.execution_config()
 
     def execution_config(self) -> Dict[str, object]:
@@ -417,9 +516,11 @@ class MDM:
             "retry": self.retry_policy.describe(),
             "optimize": self.optimize,
             "validate_plans": self.validate_plans,
+            "pushdown": self.pushdown,
             "generation": self._generation,
             "rewrite_cache": self.rewrite_cache.stats(),
             "result_cache": self.result_cache.stats(),
+            "wrapper_cache": self.wrapper_cache.stats(),
             "metadata_lock": self.metadata_lock.state(),
         }
 
@@ -908,6 +1009,7 @@ class MDM:
         generation = self._generation
         relations: Dict[str, Relation] = {}
         attempts: Dict[str, int] = {}
+        fetch_meta: Dict[str, Dict[str, object]] = {}
         failed: List[str] = []
         result: Optional[RewriteResult] = None
         cache_status = "bypass"
@@ -927,6 +1029,7 @@ class MDM:
                                 generation,
                                 self.optimize,
                                 require_analyzed=analyze,
+                                pushdown=self.pushdown,
                             )
                             rc_status = "hit" if cached is not None else "miss"
                             rc_span.set_tag("cache", rc_status)
@@ -973,15 +1076,47 @@ class MDM:
                 needed = {
                     name for q in result.queries for name in q.wrapper_names
                 }
+                # Stage A (pre-fetch): fold eligible predicates and
+                # projections into the Scans so the fetch requests below
+                # carry them across the wrapper boundary.  Runs over a
+                # type-blind signature catalog — real types exist only
+                # after fetching, which is exactly what pushdown avoids.
+                pushed_plan = result.plan
+                pushdown_stats: Optional[OptimizationStats] = None
+                if self.pushdown:
+                    with timer.phase("optimize"):
+                        pushed_plan, pushdown_stats = (
+                            self._extract_pushdown_cached(
+                                walk, result.plan, needed, generation
+                            )
+                        )
+                requests, register_as, derived = self._scan_requests(
+                    pushed_plan, needed
+                )
                 with timer.phase("fetch"):
-                    relations, attempts, errors = self._fetch_wrappers(
-                        sorted(needed)
+                    relations, attempts, errors, fetch_meta = (
+                        self._fetch_requests(requests, generation)
                     )
                 if errors and on_wrapper_error == "raise":
                     raise errors[min(errors)]
                 failed = sorted(errors)
+                registered: Dict[str, Relation] = {}
                 for name in sorted(relations):
-                    executor.register(name, relations[name])
+                    registered[register_as[name]] = relations[name]
+                    # A wrapper fetched in full but scanned pushed
+                    # elsewhere in the plan: derive those bindings
+                    # mediator-side (executor semantics, so exact).
+                    for scan in derived.get(name, ()):
+                        registered[scan.binding_name()] = apply_fetch_request(
+                            relations[name],
+                            FetchRequest(
+                                filters=scan.filters, columns=scan.columns
+                            ),
+                        )
+                for name in sorted(registered):
+                    executor.register(name, registered[name])
+                if self.pushdown:
+                    executor.base_resolver = self._base_resolver(generation)
                 if failed:
                     get_metrics().counter(
                         "mdm_query_partial_total",
@@ -1003,7 +1138,7 @@ class MDM:
                         union_all,
                     )
 
-                    plan = Distinct(
+                    naive_plan = Distinct(
                         union_all(
                             [
                                 Project(q.plan, result.projection)
@@ -1011,16 +1146,28 @@ class MDM:
                             ]
                         )
                     )
+                    if pushed_plan is result.plan:
+                        plan = naive_plan
+                    else:
+                        plan = self._drop_failed_branches(
+                            pushed_plan, set(failed)
+                        )
                 else:
-                    plan = result.plan
-                naive_plan = plan
-                optimization: Optional[OptimizationStats] = None
+                    plan = pushed_plan
+                    naive_plan = result.plan
+                optimization: Optional[OptimizationStats] = pushdown_stats
                 if self.optimize:
                     with timer.phase("optimize"):
-                        plan, optimization = self._optimize_plan(
+                        plan, stage_b = self._optimize_plan(
                             plan,
                             executor,
-                            {name: len(rel) for name, rel in relations.items()},
+                            {
+                                name: len(rel)
+                                for name, rel in registered.items()
+                            },
+                        )
+                        optimization = _merge_optimization_stats(
+                            pushdown_stats, stage_b
                         )
                 plan_findings: Tuple = ()
                 if self.validate_plans:
@@ -1072,6 +1219,15 @@ class MDM:
             raise
         phase_ms = timer.finish()
         rows_fetched = sum(len(rel) for rel in relations.values())
+        rows_transferred = sum(
+            int(m["rows_transferred"]) for m in fetch_meta.values()
+        )
+        rows_pushed_down = sum(
+            int(m["rows_source"]) - int(m["rows_transferred"])
+            for m in fetch_meta.values()
+            if m.get("rows_source") is not None
+            and int(m["rows_source"]) > int(m["rows_transferred"])
+        )
         profile = ResourceProfile(
             total_ms=timer.total_s * 1000.0,
             phase_ms=phase_ms,
@@ -1080,7 +1236,35 @@ class MDM:
             rows_returned=len(relation),
             peak_memory_bytes=memory.peak_bytes,
             operator_ms=rollup_operators(stats),
+            rows_transferred=rows_transferred,
+            rows_pushed_down=rows_pushed_down,
         )
+        pushdown_summary: Optional[Dict[str, object]] = None
+        if self.pushdown:
+            pushed_count = sum(
+                1 for m in fetch_meta.values() if m["kind"] == "pushed"
+            )
+            pushdown_summary = {
+                "enabled": True,
+                "pushed": pushed_count,
+                "full": len(fetch_meta) - pushed_count,
+                "requests": fetch_meta,
+                "rows_transferred": rows_transferred,
+                "rows_pushed_down": rows_pushed_down,
+                "wrapper_cache": {
+                    "enabled": self.wrapper_cache.enabled,
+                    "hits": sum(
+                        1
+                        for m in fetch_meta.values()
+                        if m["cache"] == "hit"
+                    ),
+                    "misses": sum(
+                        1
+                        for m in fetch_meta.values()
+                        if m["cache"] == "miss"
+                    ),
+                },
+            }
         self._log_query(
             root=root,
             walk=walk,
@@ -1130,11 +1314,14 @@ class MDM:
             profile=profile,
             generation=generation,
             result_cache=rc_status,
+            pushdown=pushdown_summary,
         )
         if rc_status == "miss":
             # put() refuses partial outcomes; everything else computed at
             # this generation is safe to serve until the next mutation.
-            self.result_cache.put(walk, generation, self.optimize, outcome)
+            self.result_cache.put(
+                walk, generation, self.optimize, outcome, pushdown=self.pushdown
+            )
         return outcome
 
     @staticmethod
@@ -1271,38 +1458,98 @@ class MDM:
     def _fetch_wrappers(
         self, names: Sequence[str]
     ) -> Tuple[Dict[str, Relation], Dict[str, int], Dict[str, Exception]]:
-        """Fetch the (deduplicated) wrappers ``names`` under the retry policy.
+        """Full-fetch the (deduplicated) wrappers ``names`` (legacy shape).
 
-        Runs through a bounded :class:`ThreadPoolExecutor` whenever more
-        than one worker and wrapper are involved — tracing included:
-        each task runs under a copy of the caller's :mod:`contextvars`
+        Kept for embedders; :meth:`execute` now goes through
+        :meth:`_fetch_requests`, which this delegates to with one full
+        :class:`~repro.sources.fetch.FetchRequest` per wrapper.
+        """
+        relations, attempts, errors, _ = self._fetch_requests(
+            {name: FULL_FETCH for name in names}, self._generation
+        )
+        return relations, attempts, errors
+
+    def _fetch_requests(
+        self,
+        requests: Mapping[str, FetchRequest],
+        generation: int,
+    ) -> Tuple[
+        Dict[str, Relation],
+        Dict[str, int],
+        Dict[str, Exception],
+        Dict[str, Dict[str, object]],
+    ]:
+        """Serve each wrapper's fetch request: cache first, then the source.
+
+        The wrapper cache is probed serially (cheap, lock-bound) under a
+        ``wrapper-cache`` span per wrapper; misses go to the sources
+        through a bounded :class:`ThreadPoolExecutor` whenever more than
+        one worker and wrapper are involved — tracing included: each
+        task runs under a copy of the caller's :mod:`contextvars`
         context (one copy per task, since a single context cannot be
         entered concurrently), so ``fetch:<name>`` spans opened inside
         the workers parent to the caller's current span.
 
-        Returns ``(relations, attempts, errors)`` keyed by wrapper name;
-        ``errors`` holds the terminal exception per failed wrapper —
-        any ``Exception`` counts, because ``fetch()`` is source-side
-        code whose failures must be degradable to a partial result.
+        Returns ``(relations, attempts, errors, meta)`` keyed by wrapper
+        name; cache hits report 0 attempts and 0 rows transferred;
+        ``errors`` holds the terminal exception per failed wrapper — any
+        ``Exception`` counts, because ``fetch()`` is source-side code
+        whose failures must be degradable to a partial result.
         """
+        names = sorted(requests)
         for name in names:
             if self.wrappers.get(name) is None:
                 raise MdmError(
                     f"wrapper {name!r} is mapped but has no runtime object"
                 )
         policy = self.retry_policy
+        tracer = get_tracer()
+        cache = self.wrapper_cache
         relations: Dict[str, Relation] = {}
         attempts: Dict[str, int] = {}
         errors: Dict[str, Exception] = {}
+        meta: Dict[str, Dict[str, object]] = {}
+        to_fetch: List[str] = []
+        for name in names:
+            request = requests[name]
+            entry: Dict[str, object] = {
+                "kind": "full" if request.is_full else "pushed",
+                "request": request.canonical(),
+                "cache": "off",
+                "rows_transferred": 0,
+                "rows_source": None,
+            }
+            meta[name] = entry
+            if cache.enabled:
+                with tracer.span("wrapper-cache") as span:
+                    span.set_tag("wrapper", name)
+                    cached = cache.lookup(name, request, generation)
+                    span.set_tag(
+                        "cache", "hit" if cached is not None else "miss"
+                    )
+                if cached is not None:
+                    entry["cache"] = "hit"
+                    relations[name] = cached
+                    attempts[name] = 0
+                    continue
+                entry["cache"] = "miss"
+            to_fetch.append(name)
 
-        def fetch_one(name: str) -> Tuple[Relation, int]:
-            return self.wrappers[name].fetch_relation_retrying(policy)
+        def fetch_one(name: str):
+            return self.wrappers[name].fetch_request(requests[name], policy)
 
-        workers = min(self.max_fetch_workers, len(names))
+        def record(name: str, fetched) -> None:
+            relations[name] = fetched.relation
+            meta[name]["rows_transferred"] = fetched.rows_transferred
+            meta[name]["rows_source"] = fetched.rows_source
+            cache.put(name, requests[name], generation, fetched.relation)
+
+        workers = min(self.max_fetch_workers, len(to_fetch))
         if workers <= 1:
-            for name in names:
+            for name in to_fetch:
                 try:
-                    relations[name], attempts[name] = fetch_one(name)
+                    fetched, attempts[name] = fetch_one(name)
+                    record(name, fetched)
                 except Exception as exc:  # noqa: BLE001 — mode decides
                     errors[name] = exc
                     attempts[name] = getattr(exc, "attempts", 1)
@@ -1314,15 +1561,211 @@ class MDM:
                     name: pool.submit(
                         contextvars.copy_context().run, fetch_one, name
                     )
-                    for name in names
+                    for name in to_fetch
                 }
-                for name in names:
+                for name in to_fetch:
                     try:
-                        relations[name], attempts[name] = futures[name].result()
+                        fetched, attempts[name] = futures[name].result()
+                        record(name, fetched)
                     except Exception as exc:  # noqa: BLE001 — mode decides
                         errors[name] = exc
                         attempts[name] = getattr(exc, "attempts", 1)
-        return relations, attempts, errors
+        metrics = get_metrics()
+        request_counter = metrics.counter(
+            "mdm_pushdown_requests_total",
+            "Wrapper fetch requests by shape (pushed vs full).",
+            labelnames=("kind",),
+        )
+        for name, entry in meta.items():
+            if name in errors:
+                continue
+            request_counter.inc(1, kind=str(entry["kind"]))
+            metrics.counter(
+                "mdm_pushdown_rows_transferred_total",
+                "Rows that crossed the wrapper boundary.",
+            ).inc(int(entry["rows_transferred"]))
+            source_rows = entry["rows_source"]
+            if (
+                source_rows is not None
+                and int(source_rows) > int(entry["rows_transferred"])
+            ):
+                metrics.counter(
+                    "mdm_pushdown_rows_saved_total",
+                    "Rows filtered out source-side before transfer.",
+                ).inc(int(source_rows) - int(entry["rows_transferred"]))
+        return relations, attempts, errors, meta
+
+    #: How many (walk, generation) stage-A extractions to keep memoized.
+    _PUSHDOWN_PLAN_CACHE_SIZE = 256
+
+    def _extract_pushdown_cached(self, walk, plan, needed, generation: int):
+        """Stage A with a per-(walk, generation) memo.
+
+        The extraction is deterministic given the rewritten plan and the
+        wrapper capability sets, and both are frozen for the duration of
+        a generation (any metadata mutation bumps it under the write
+        lock) — so a repeated query pays the optimizer pass once.
+        """
+        from .rewrite_cache import walk_cache_key
+
+        key = (walk_cache_key(walk), generation)
+        with self._pushdown_plan_lock:
+            hit = self._pushdown_plan_cache.get(key)
+            if hit is not None:
+                self._pushdown_plan_cache.move_to_end(key)
+                return hit
+        extracted = self._extract_pushdown(plan, needed)
+        with self._pushdown_plan_lock:
+            self._pushdown_plan_cache[key] = extracted
+            self._pushdown_plan_cache.move_to_end(key)
+            while len(self._pushdown_plan_cache) > self._PUSHDOWN_PLAN_CACHE_SIZE:
+                self._pushdown_plan_cache.popitem(last=False)
+        return extracted
+
+    def _extract_pushdown(self, plan, needed: Iterable[str]):
+        """Stage-A optimization: fold pushable work into the Scans.
+
+        Built on the wrappers' declared signatures with every attribute
+        typed ANY (``type_aware=False`` keeps the one type-sensitive
+        rule out) and their declared capabilities.  Best-effort exactly
+        like :meth:`_optimize_plan`: a bug here degrades to the naive
+        full-fetch plan, never fails the query.
+        """
+        try:
+            from ..relational.schema import Attribute, RelationSchema
+            from ..relational.types import AttrType
+
+            catalog = {}
+            capabilities = {}
+            for name in sorted(needed):
+                wrapper = self.wrappers.get(name)
+                if wrapper is None:
+                    continue
+                catalog[name] = RelationSchema(
+                    Attribute(a, AttrType.ANY) for a in wrapper.attributes
+                )
+                capabilities[name] = wrapper.capabilities()
+            optimizer = PlanOptimizer(
+                catalog,
+                pushdown_capabilities=capabilities,
+                type_aware=False,
+            )
+            return optimizer.extract_pushdown(plan)
+        except Exception:  # noqa: BLE001 — pushdown is best-effort
+            get_metrics().counter(
+                "mdm_optimizer_failures_total",
+                "Logical optimizations that failed and fell back to the "
+                "naive plan.",
+            ).inc()
+            return plan, None
+
+    @staticmethod
+    def _scan_requests(plan, needed: Iterable[str]):
+        """Decide what to ask each wrapper for, from the plan's Scans.
+
+        Per wrapper: exactly one distinct pushed Scan and no plain Scan
+        → its :class:`~repro.sources.fetch.FetchRequest` is pushed to
+        the source and the result registered under the Scan's binding
+        name.  Anything else (plain scans, several divergent pushed
+        scans) → one full fetch registered under the base name, with
+        each pushed Scan derived from it mediator-side (never fetch the
+        same source twice for one query).
+
+        Returns ``(requests, register_as, derived)`` keyed by wrapper
+        name.
+        """
+        from ..relational.algebra import Scan
+
+        pushed: Dict[str, Dict[str, object]] = {}
+        plain: set = set()
+
+        def visit(node) -> None:
+            if isinstance(node, Scan):
+                if node.is_pushed():
+                    pushed.setdefault(node.relation_name, {})[
+                        node.binding_name()
+                    ] = node
+                else:
+                    plain.add(node.relation_name)
+                return
+            for child in node.children():
+                visit(child)
+
+        visit(plan)
+        requests: Dict[str, FetchRequest] = {}
+        register_as: Dict[str, str] = {}
+        derived: Dict[str, Tuple] = {}
+        for name in sorted(needed):
+            scans = pushed.get(name, {})
+            if len(scans) == 1 and name not in plain:
+                scan = next(iter(scans.values()))
+                requests[name] = FetchRequest(
+                    filters=scan.filters, columns=scan.columns
+                )
+                register_as[name] = scan.binding_name()
+                derived[name] = ()
+            else:
+                requests[name] = FULL_FETCH
+                register_as[name] = name
+                derived[name] = tuple(scans[key] for key in sorted(scans))
+        return requests, register_as, derived
+
+    def _base_resolver(self, generation: int):
+        """An on-demand base-relation fetcher for the executor.
+
+        When pushdown registered only a Scan's binding, a later plan
+        over the same executor (provenance re-executes the original CQ
+        branches) may still scan the *base* name; the resolver fetches
+        it lazily — through the wrapper cache when enabled.
+        """
+
+        def resolve(name: str) -> Relation:
+            wrapper = self.wrappers.get(name)
+            if wrapper is None:
+                raise MdmError(
+                    f"wrapper {name!r} is mapped but has no runtime object"
+                )
+            cached = self.wrapper_cache.lookup(name, FULL_FETCH, generation)
+            if cached is not None:
+                return cached
+            relation, _ = wrapper.fetch_relation_retrying(self.retry_policy)
+            self.wrapper_cache.put(name, FULL_FETCH, generation, relation)
+            return relation
+
+        return resolve
+
+    @staticmethod
+    def _drop_failed_branches(plan, failed: set):
+        """Remove UCQ branches of a pushed plan that scan a failed wrapper.
+
+        Mirrors the naive partial-failure rebuild, but operating on the
+        already-pushed plan so surviving branches keep their pushed
+        Scans.  Pushed Scans report their *base* wrapper name from
+        ``scans()``, so membership checks work unchanged.
+        """
+        from ..relational.algebra import Distinct, Union, union_all
+
+        inner = plan
+        wrapped = isinstance(inner, Distinct)
+        if wrapped:
+            inner = inner.child
+
+        def flatten(node) -> List:
+            if isinstance(node, Union):
+                return flatten(node.left) + flatten(node.right)
+            return [node]
+
+        surviving = [
+            branch
+            for branch in flatten(inner)
+            if not (set(branch.scans()) & failed)
+        ]
+        if not surviving:
+            raise MdmError(
+                f"every CQ depends on a failed wrapper: {sorted(failed)}"
+            )
+        rebuilt = union_all(surviving)
+        return Distinct(rebuilt) if wrapped else rebuilt
 
     def sparql_query(self, text: str, on_wrapper_error: str = "raise") -> QueryOutcome:
         """Pose an OMQ written as SPARQL text (the expert-analyst path).

@@ -7,7 +7,7 @@ users posing the same handful of walks between releases — the expensive
 part is exactly that tail, so this cache stores the finished
 :class:`~repro.core.mdm.QueryOutcome` keyed by::
 
-    (canonical walk, metadata generation, optimize flag)
+    (canonical walk, metadata generation, optimize flag, pushdown flag)
 
 Generation keying makes invalidation free: any of the nine metadata
 mutators bumps the generation, so every cached outcome becomes
@@ -47,7 +47,7 @@ __all__ = ["ResultCache"]
 
 
 class ResultCache:
-    """Bounded LRU of ``(walk, generation, optimize) -> QueryOutcome``.
+    """Bounded LRU of ``(walk, generation, optimize, pushdown) -> QueryOutcome``.
 
     Thread-safe; capacity 0 disables the cache entirely (every probe is
     a bypass, nothing is stored).
@@ -57,7 +57,7 @@ class ResultCache:
         if capacity < 0:
             raise ValueError("result cache capacity must be >= 0")
         self.capacity = capacity
-        self._entries: "OrderedDict[Tuple[str, int, bool], Any]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[str, int, bool, bool], Any]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -73,9 +73,16 @@ class ResultCache:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def key_for(walk: Walk, generation: int, optimize: bool) -> Tuple[str, int, bool]:
-        """The canonical cache key for a walk at a generation."""
-        return (walk_cache_key(walk), generation, bool(optimize))
+    def key_for(
+        walk: Walk, generation: int, optimize: bool, pushdown: bool = False
+    ) -> Tuple[str, int, bool, bool]:
+        """The canonical cache key for a walk at a generation.
+
+        ``pushdown`` keys the outcome by whether federated pushdown was
+        on — the rows are byte-identical either way, but the attached
+        plans, profiles and pushdown summaries differ.
+        """
+        return (walk_cache_key(walk), generation, bool(optimize), bool(pushdown))
 
     def get(
         self,
@@ -83,6 +90,7 @@ class ResultCache:
         generation: int,
         optimize: bool,
         require_analyzed: bool = False,
+        pushdown: bool = False,
     ) -> Optional[Any]:
         """The cached outcome for ``walk`` at ``generation``, or None.
 
@@ -94,7 +102,7 @@ class ResultCache:
         """
         if not self.enabled:
             return None
-        key = self.key_for(walk, generation, optimize)
+        key = self.key_for(walk, generation, optimize, pushdown)
         metrics = get_metrics()
         with self._lock:
             outcome = self._entries.get(key)
@@ -116,13 +124,20 @@ class ResultCache:
             ).inc()
             return None
 
-    def put(self, walk: Walk, generation: int, optimize: bool, outcome: Any) -> None:
+    def put(
+        self,
+        walk: Walk,
+        generation: int,
+        optimize: bool,
+        outcome: Any,
+        pushdown: bool = False,
+    ) -> None:
         """Cache ``outcome`` (LRU-evicting); partial outcomes are refused."""
         if not self.enabled:
             return
         if getattr(outcome, "partial", False):
             return  # degraded by wrapper failures — never cacheable
-        key = self.key_for(walk, generation, optimize)
+        key = self.key_for(walk, generation, optimize, pushdown)
         with self._lock:
             self._entries[key] = outcome
             self._entries.move_to_end(key)

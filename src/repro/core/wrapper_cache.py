@@ -1,0 +1,183 @@
+"""A generation-keyed LRU of fetched wrapper *relations*.
+
+One level below the result cache (:mod:`repro.core.result_cache`): where
+that cache stores finished query outcomes, this one stores the typed
+relation a single wrapper returned for a single canonical
+:class:`~repro.sources.fetch.FetchRequest`, keyed by::
+
+    (wrapper name, canonical request, metadata generation)
+
+Generation keying reuses the write-lock generation counter: any metadata
+mutation bumps it and every cached payload becomes unreachable, which is
+exactly the invalidation semantics the rewrite and result caches already
+follow.  Between generations the cache assumes *source stability* — the
+same freshness trade the result cache makes, so it is likewise opt-in
+(capacity 0 by default, enabled via ``MDM(wrapper_cache_size=…)``,
+``$MDM_WRAPPER_CACHE`` or ``POST /config/execution``).
+
+A lookup for a pushed request that misses may still be served from a
+cached *full* fetch of the same wrapper at the same generation: the
+request is applied mediator-side with executor semantics, so the derived
+relation is byte-identical to what the source would have returned.
+Relations are immutable (tuple-backed rows), so entries are shared
+without copying.
+
+Hits, misses and evictions flow into the process metrics registry
+(``mdm_wrapper_cache_*``); per-query hits surface as ``wrapper-cache``
+spans tagged ``cache=hit`` and in the ``EXPLAIN ANALYZE`` pushdown
+section.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import get_metrics
+from ..relational.relation import Relation
+from ..sources.fetch import FULL_FETCH, FetchRequest, apply_fetch_request
+
+__all__ = ["WrapperCache"]
+
+_Key = Tuple[str, str, int]
+
+
+class WrapperCache:
+    """Bounded LRU of ``(wrapper, request, generation) -> Relation``.
+
+    Thread-safe; capacity 0 disables the cache entirely.
+    """
+
+    def __init__(self, capacity: int = 0):
+        if capacity < 0:
+            raise ValueError("wrapper cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[_Key, Relation]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self.capacity > 0
+
+    @staticmethod
+    def key_for(wrapper: str, request: FetchRequest, generation: int) -> _Key:
+        """The canonical cache key for one wrapper fetch at a generation."""
+        return (wrapper, request.canonical(), generation)
+
+    def lookup(
+        self, wrapper: str, request: FetchRequest, generation: int
+    ) -> Optional[Relation]:
+        """The relation answering ``request``, or None (one hit OR miss).
+
+        Probes the exact request key first, then — for a pushed request —
+        the wrapper's full-fetch entry at the same generation, deriving
+        the pushed relation locally.  The derived relation is stored
+        under the exact key so later probes hit directly.
+        """
+        if not self.enabled:
+            return None
+        key = self.key_for(wrapper, request, generation)
+        metrics = get_metrics()
+        with self._lock:
+            relation = self._entries.get(key)
+            if relation is None and not request.is_full:
+                full = self._entries.get((wrapper, FULL_FETCH.canonical(), generation))
+                if full is not None:
+                    relation = apply_fetch_request(full, request)
+                    self._store_locked(key, relation)
+            if relation is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                metrics.counter(
+                    "mdm_wrapper_cache_hits_total",
+                    "Wrapper fetches served from the wrapper data cache.",
+                ).inc()
+                return relation
+            self.misses += 1
+            metrics.counter(
+                "mdm_wrapper_cache_misses_total",
+                "Wrapper-cache probes that fell through to a source fetch.",
+            ).inc()
+            return None
+
+    def put(
+        self, wrapper: str, request: FetchRequest, generation: int, relation: Relation
+    ) -> None:
+        """Cache one fetched relation (LRU-evicting)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._store_locked(self.key_for(wrapper, request, generation), relation)
+
+    def _store_locked(self, key: _Key, relation: Relation) -> None:
+        self._entries[key] = relation
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            get_metrics().counter(
+                "mdm_wrapper_cache_evictions_total",
+                "Wrapper-cache LRU evictions.",
+            ).inc()
+        get_metrics().gauge(
+            "mdm_wrapper_cache_size",
+            "Entries currently held by the wrapper data cache.",
+        ).set(len(self._entries))
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity in place (trimming LRU-first; 0 clears)."""
+        if capacity < 0:
+            raise ValueError("wrapper cache capacity must be >= 0")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            get_metrics().gauge(
+                "mdm_wrapper_cache_size",
+                "Entries currently held by the wrapper data cache.",
+            ).set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they are cumulative)."""
+        with self._lock:
+            self._entries.clear()
+            get_metrics().gauge(
+                "mdm_wrapper_cache_size",
+                "Entries currently held by the wrapper data cache.",
+            ).set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-shaped cumulative statistics (reports, benchmarks)."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "enabled": self.enabled,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<WrapperCache {len(self)}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )

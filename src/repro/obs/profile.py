@@ -139,6 +139,14 @@ class ResourceProfile:
     rows_returned: int = 0
     peak_memory_bytes: Optional[int] = None
     operator_ms: Mapping[str, float] = field(default_factory=dict)
+    #: Rows that actually crossed the wrapper boundary this query
+    #: (0 for wrapper-cache hits; < rows_fetched when filters/limits
+    #: were applied source-side).
+    rows_transferred: int = 0
+    #: Rows the sources filtered out before transfer — the saving the
+    #: federated pushdown bought (only counted where the source knows
+    #: its full cardinality).
+    rows_pushed_down: int = 0
 
     @property
     def phase_total_ms(self) -> float:
@@ -153,6 +161,8 @@ class ResourceProfile:
             "rows_fetched": self.rows_fetched,
             "rows_scanned": self.rows_scanned,
             "rows_returned": self.rows_returned,
+            "rows_transferred": self.rows_transferred,
+            "rows_pushed_down": self.rows_pushed_down,
             "peak_memory_bytes": self.peak_memory_bytes,
             "operator_ms": {
                 k: round(v, 6) for k, v in self.operator_ms.items()
@@ -171,6 +181,11 @@ class ResourceProfile:
             f"  rows: fetched={self.rows_fetched} "
             f"scanned={self.rows_scanned} returned={self.rows_returned}",
         ]
+        if self.rows_transferred != self.rows_fetched or self.rows_pushed_down:
+            lines.append(
+                f"  pushdown: transferred={self.rows_transferred} "
+                f"pushed_down={self.rows_pushed_down}"
+            )
         if self.peak_memory_bytes is not None:
             lines.append(
                 f"  peak memory: {self.peak_memory_bytes / 1024.0:.1f} KiB"

@@ -29,14 +29,15 @@ language.  Operators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .expressions import Expr
 from .schema import RelationSchema, SchemaError
 
 __all__ = [
     "PlanNode",
+    "canonical_scan_filters",
     "Scan",
     "Project",
     "Select",
@@ -51,6 +52,24 @@ __all__ = [
 
 #: Maps scan names to their schemas for static schema derivation.
 Catalog = Dict[str, RelationSchema]
+
+
+def canonical_scan_filters(
+    filters: Sequence[Tuple[str, str, Any]],
+) -> Tuple[Tuple[str, str, Any], ...]:
+    """Sorted, de-duplicated pushed-filter conjuncts (canonical order).
+
+    The sort key includes the value's type name so equal-but-distinct
+    constants (``1`` vs ``True``) order deterministically.  Conjuncts
+    form a set — applying one twice keeps the same rows — so duplicates
+    are dropped.  Canonical order makes structurally equal pushed scans
+    compare equal, share one ``plan_key``, one fetch, and one
+    wrapper-cache entry.
+    """
+    unique = {tuple(f) for f in filters}
+    return tuple(
+        sorted(unique, key=lambda f: (f[0], f[1], type(f[2]).__name__, repr(f[2])))
+    )
 
 
 class PlanNode:
@@ -87,18 +106,76 @@ class PlanNode:
 
 @dataclass(frozen=True)
 class Scan(PlanNode):
-    """A base relation, by catalog name (= wrapper name in MDM)."""
+    """A base relation, by catalog name (= wrapper name in MDM).
+
+    A scan may additionally carry *pushed-down* work extracted by the
+    optimizer's pushdown pass (see ``PlanOptimizer.extract_pushdown``):
+
+    ``filters``
+        equality/comparison conjuncts ``(column, op, value)`` the source
+        applies before rows cross the wrapper boundary.  Semantics are
+        exactly those of an executor-side ``Select`` with the same
+        conjunction — NULL comparisons are False, incomparable types
+        fall back to string comparison for ``=``/``!=`` only.
+    ``columns``
+        the needed-column list (a projection the source applies), or
+        ``None`` for all signature columns.
+
+    A plain ``Scan(name)`` is a full fetch; ``is_pushed()`` tells the
+    two apart and ``binding_name()`` gives the catalog name the fetched
+    (filtered/projected) relation is registered under.
+    """
 
     relation_name: str
+    filters: Tuple[Tuple[str, str, Any], ...] = field(default=())
+    columns: Optional[Tuple[str, ...]] = field(default=None)
+
+    def is_pushed(self) -> bool:
+        """Whether this scan carries pushed filters or a column list."""
+        return bool(self.filters) or self.columns is not None
+
+    def binding_name(self) -> str:
+        """Catalog/executor name for this scan's (possibly pushed) output.
+
+        Deterministic in the canonical filter order, so structurally
+        equal scans share one binding (and one wrapper fetch).
+        """
+        if not self.is_pushed():
+            return self.relation_name
+        parts = [self.relation_name]
+        if self.filters:
+            rendered = ",".join(f"{c}{op}{v!r}" for c, op, v in self.filters)
+            parts.append(f"σ[{rendered}]")
+        if self.columns is not None:
+            parts.append(f"π[{','.join(self.columns)}]")
+        return "".join(parts)
 
     def output_schema(self, catalog: Catalog) -> RelationSchema:
+        if self.is_pushed():
+            bound = catalog.get(self.binding_name())
+            if bound is not None:
+                return bound
         try:
-            return catalog[self.relation_name]
+            base = catalog[self.relation_name]
         except KeyError:
             raise SchemaError(f"unknown relation {self.relation_name!r}") from None
+        for column, _op, _value in self.filters:
+            base.index_of(column)  # existence check against the base schema
+        if self.columns is not None:
+            return base.project(self.columns)
+        return base
 
     def pretty(self) -> str:
-        return self.relation_name
+        if not self.is_pushed():
+            return self.relation_name
+        inner = []
+        if self.filters:
+            inner.append(
+                "σ: " + " ∧ ".join(f"{c} {op} {v!r}" for c, op, v in self.filters)
+            )
+        if self.columns is not None:
+            inner.append("π: " + ", ".join(self.columns))
+        return f"{self.relation_name}⟨{'; '.join(inner)}⟩"
 
     def children(self) -> Tuple[PlanNode, ...]:
         return ()

@@ -29,15 +29,57 @@ from .algebra import (
     Select,
     Union,
 )
+from .expressions import Cmp, Col, Const, Expr, conjoin
 from .optimizer import plan_key
 from .relation import Relation
 from .schema import RelationSchema, SchemaError
 
-__all__ = ["Executor", "ExecutionError", "OperatorStats"]
+__all__ = [
+    "Executor",
+    "ExecutionError",
+    "OperatorStats",
+    "apply_pushdown",
+    "pushdown_predicate",
+]
 
 
 class ExecutionError(RuntimeError):
     """Raised when a plan cannot be executed (unknown scan, bad schema...)."""
+
+
+def pushdown_predicate(filters: Iterable[Tuple[str, str, Any]]) -> Expr:
+    """The ``Select`` predicate equivalent to pushed filter conjuncts."""
+    return conjoin([Cmp(op, Col(column), Const(value)) for column, op, value in filters])
+
+
+def apply_pushdown(
+    relation: Relation,
+    filters: Tuple[Tuple[str, str, Any], ...] = (),
+    columns: Optional[Tuple[str, ...]] = None,
+    limit: Optional[int] = None,
+) -> Relation:
+    """Apply pushed scan work to a full relation, with executor semantics.
+
+    This is the single definition of what a pushed filter/projection
+    *means*: capable wrappers, the uncapable-wrapper fallback, and the
+    executor's residual path all funnel through it, so pushdown can
+    relocate the work without ever changing the rows.
+    """
+    result = relation
+    if filters:
+        predicate = pushdown_predicate(filters)
+        names = result.schema.names
+        kept = [
+            row for row in result if predicate.evaluate(dict(zip(names, row)))
+        ]
+        result = Relation(result.schema, kept)
+    if limit is not None:
+        result = Relation(result.schema, list(result.rows)[:limit])
+    if columns is not None:
+        indices = [result.schema.index_of(n) for n in columns]
+        schema = result.schema.project(columns)
+        result = Relation(schema, [tuple(row[i] for i in indices) for row in result])
+    return result
 
 
 @dataclass(frozen=True)
@@ -121,6 +163,18 @@ def _op_label(plan: PlanNode, catalog: Optional[Catalog] = None) -> str:
     joins of a chain walk instead of printing ``NaturalJoin`` thrice.
     """
     if isinstance(plan, Scan):
+        if plan.is_pushed():
+            detail = []
+            if plan.filters:
+                rendered = " ∧ ".join(
+                    f"{c} {op} {v!r}" for c, op, v in plan.filters
+                )
+                if len(rendered) > 40:
+                    rendered = rendered[:37] + "..."
+                detail.append(f"σ[{rendered}]")
+            if plan.columns is not None:
+                detail.append(f"π[{len(plan.columns)} cols]")
+            return f"Scan({plan.relation_name} {' '.join(detail)})"
         return f"Scan({plan.relation_name})"
     if isinstance(plan, Project):
         return f"Project[{len(plan.names)} cols]"
@@ -196,6 +250,11 @@ class Executor:
         memoize_shared: bool = True,
     ):
         self._relations: Dict[str, Relation] = {}
+        #: Optional hook resolving a base relation that was never
+        #: registered (pushdown registers filtered *bindings*; provenance
+        #: re-executes naive per-CQ plans over base names).  Called with
+        #: the missing name; may return None to decline.
+        self.base_resolver: Optional[Any] = None
         #: While analyzing: a stack of child-stat accumulators, innermost
         #: last.  None in the unobserved fast path.
         self._analyze_stack: Optional[List[List[OperatorStats]]] = None
@@ -228,14 +287,24 @@ class Executor:
         return {name: rel.schema for name, rel in self._relations.items()}
 
     def relation(self, name: str) -> Relation:
-        """The base relation registered under ``name``."""
-        try:
-            return self._relations[name]
-        except KeyError:
+        """The base relation registered under ``name``.
+
+        Falls back to :attr:`base_resolver` (registering what it returns)
+        so a pushdown-era executor can still serve naive base-name plans
+        (provenance re-execution) by lazily fetching the full relation.
+        """
+        rel = self._relations.get(name)
+        if rel is None and self.base_resolver is not None:
+            fetched = self.base_resolver(name)
+            if fetched is not None:
+                self._relations[name] = fetched
+                rel = fetched
+        if rel is None:
             raise ExecutionError(
                 f"unknown base relation {name!r}; registered: "
                 f"{sorted(self._relations)}"
-            ) from None
+            )
+        return rel
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -345,7 +414,7 @@ class Executor:
 
     def _dispatch(self, plan: PlanNode) -> Relation:
         if isinstance(plan, Scan):
-            return self.relation(plan.relation_name)
+            return self._scan(plan)
         if isinstance(plan, Project):
             return self._project(plan)
         if isinstance(plan, Select):
@@ -368,6 +437,22 @@ class Executor:
             rows = [row + (plan.value,) for row in child]
             return Relation(schema, rows)
         raise ExecutionError(f"unknown plan node {plan!r}")
+
+    def _scan(self, plan: Scan) -> Relation:
+        if not plan.is_pushed():
+            return self.relation(plan.relation_name)
+        binding = plan.binding_name()
+        bound = self._relations.get(binding)
+        if bound is not None:
+            return bound
+        # Residual fallback: the pushed binding was never fetched (e.g. a
+        # hand-built plan, or a wrapper that declined) — derive it from
+        # the full base relation with identical semantics, and register
+        # it so repeated scans of the same binding reuse the result.
+        base = self.relation(plan.relation_name)
+        derived = apply_pushdown(base, plan.filters, plan.columns)
+        self._relations[binding] = derived
+        return derived
 
     def _aggregate(self, plan: Aggregate) -> Relation:
         child = self.execute(plan.child)

@@ -85,7 +85,10 @@ def plan_key(plan: PlanNode, cache: Optional[Dict[int, str]] = None) -> str:
         if hit is not None:
             return hit
     if isinstance(plan, Scan):
-        key = f"S({plan.relation_name!r})"
+        if plan.is_pushed():
+            key = f"S({plan.relation_name!r};{plan.filters!r};{plan.columns!r})"
+        else:
+            key = f"S({plan.relation_name!r})"
     elif isinstance(plan, Project):
         key = f"P({plan_key(plan.child, cache)};{plan.names!r})"
     elif isinstance(plan, Select):
@@ -176,7 +179,14 @@ class CardinalityEstimator:
     def rows(self, plan: PlanNode) -> float:
         """Estimated output cardinality of ``plan``."""
         if isinstance(plan, Scan):
-            return self.row_counts.get(plan.relation_name, self.default_rows)
+            if plan.is_pushed():
+                bound = self.row_counts.get(plan.binding_name())
+                if bound is not None:
+                    return bound
+            base = self.row_counts.get(plan.relation_name, self.default_rows)
+            for _column, op, _value in plan.filters:
+                base *= 0.1 if op == "=" else (0.9 if op == "!=" else 0.3)
+            return base
         if isinstance(plan, Select):
             return self.rows(plan.child) * self.selectivity(plan.predicate)
         if isinstance(plan, (Project, Rename, Extend)):
@@ -300,11 +310,27 @@ class PlanOptimizer:
         self,
         catalog: Optional[Catalog] = None,
         row_counts: Optional[Mapping[str, int]] = None,
+        *,
+        pushdown_capabilities: Optional[Mapping[str, frozenset]] = None,
+        type_aware: bool = True,
     ):
         self.catalog: Catalog = dict(catalog or {})
         self.estimator = CardinalityEstimator(self.catalog, row_counts)
+        #: scan name → wrapper capability set ("filters"/"projection"/
+        #: "limit").  When set, σ/π nodes sitting on a capable Scan fold
+        #: into the scan itself (the pushdown-extraction rules).
+        self.pushdown_capabilities: Optional[Dict[str, frozenset]] = (
+            None
+            if pushdown_capabilities is None
+            else {k: frozenset(v) for k, v in pushdown_capabilities.items()}
+        )
+        #: False when the catalog carries placeholder (ANY) types — e.g.
+        #: the pre-fetch pushdown pass built from wrapper signatures.
+        #: Disables the one rewrite whose safety test inspects attribute
+        #: types (σ-through-∪), which would vacuously pass on ANY.
+        self.type_aware = type_aware
 
-    # -- public entry point -------------------------------------------- #
+    # -- public entry points ------------------------------------------- #
 
     def optimize(self, plan: PlanNode) -> Tuple[PlanNode, OptimizationStats]:
         """Optimized plan plus a record of every rule that fired."""
@@ -319,6 +345,28 @@ class PlanOptimizer:
             # Pruning inserts Projects that may now fuse or be noops.
             plan = self._fixpoint(plan, stats)
         stats.estimated_rows_after = self.estimator.rows(plan)
+        stats.elapsed_s = time.perf_counter() - started
+        self._emit_metrics(stats)
+        return plan, stats
+
+    def extract_pushdown(
+        self, plan: PlanNode
+    ) -> Tuple[PlanNode, OptimizationStats]:
+        """The pre-fetch pushdown pass: fold σ/π into capable scans.
+
+        Runs the fixpoint rules (with the fold rules armed via
+        ``pushdown_capabilities``) plus projection pruning — but *not*
+        join reordering, which needs real row counts that do not exist
+        before the fetch.  Meant to be called with a signature-derived
+        (ANY-typed) catalog and ``type_aware=False``; every rule that
+        fires under those settings is name-based and result-preserving.
+        """
+        stats = OptimizationStats()
+        started = time.perf_counter()
+        plan = self._fixpoint(plan, stats)
+        pruned = self._try_prune(plan, stats)
+        if pruned is not None:
+            plan = self._fixpoint(pruned, stats)
         stats.elapsed_s = time.perf_counter() - started
         self._emit_metrics(stats)
         return plan, stats
@@ -391,6 +439,8 @@ class PlanOptimizer:
             return node
         child = plan.child
         refs = set(plan.predicate.references())
+        if isinstance(child, Scan):
+            return self._fold_select_scan(plan, child, stats)
         # A predicate on a column absent from the child's output evaluates
         # to NULL→False rather than erroring, so pushing it somewhere the
         # column *does* exist would change results: every pushdown below
@@ -437,6 +487,84 @@ class PlanOptimizer:
                 )
         return None
 
+    # Pushdown-extraction rules (armed via ``pushdown_capabilities``) --- #
+
+    #: Mirror ops for flipping ``Const op Col`` into ``Col op Const``.
+    _FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+    #: Constant types a pushed filter may carry across the boundary.
+    _PUSHABLE_VALUE_TYPES = (str, int, float, bool, type(None))
+
+    @classmethod
+    def _pushable_conjunct(cls, expr: Expr) -> Optional[Tuple[str, str, object]]:
+        """``(column, op, value)`` if ``expr`` is a pushable comparison."""
+        from .expressions import Cmp, Col, Const
+
+        if not isinstance(expr, Cmp):
+            return None
+        op = expr.op
+        if isinstance(expr.left, Col) and isinstance(expr.right, Const):
+            column, value = expr.left.name, expr.right.value
+        elif isinstance(expr.left, Const) and isinstance(expr.right, Col):
+            column, value = expr.right.name, expr.left.value
+            op = cls._FLIPPED_OPS[op]
+        else:
+            return None
+        if not isinstance(value, cls._PUSHABLE_VALUE_TYPES):
+            return None
+        return (column, op, value)
+
+    def _fold_select_scan(
+        self, plan: Select, child: Scan, stats: OptimizationStats
+    ) -> Optional[PlanNode]:
+        """σ(Scan) → Scan with the conjunct folded into pushed filters.
+
+        Only fires when the wrapper declared the ``filters`` capability
+        and the conjunct is a simple column/constant comparison over a
+        column visible in the scan's *output* (a pushed filter evaluates
+        against the base row, where a projected-away column would wrongly
+        come back to life).
+        """
+        if self.pushdown_capabilities is None:
+            return None
+        caps = self.pushdown_capabilities.get(child.relation_name)
+        if not caps or "filters" not in caps:
+            return None
+        conjunct = self._pushable_conjunct(plan.predicate)
+        if conjunct is None:
+            return None
+        try:
+            visible = set(child.output_schema(self.catalog).names)
+        except SchemaError:
+            return None
+        if conjunct[0] not in visible:
+            return None
+        from .algebra import canonical_scan_filters
+
+        folded = canonical_scan_filters(child.filters + (conjunct,))
+        stats.count("select_pushed_into_scan")
+        return Scan(child.relation_name, folded, child.columns)
+
+    def _fold_project_scan(
+        self, plan: Project, child: Scan, stats: OptimizationStats
+    ) -> Optional[PlanNode]:
+        """π(Scan) → Scan with the needed-column list pushed down."""
+        if self.pushdown_capabilities is None:
+            return None
+        caps = self.pushdown_capabilities.get(child.relation_name)
+        if not caps or "projection" not in caps:
+            return None
+        try:
+            current = child.output_schema(self.catalog).names
+        except SchemaError:
+            return None
+        if plan.names == current:
+            return None  # the noop rule drops this Project instead
+        if not set(plan.names) <= set(current):
+            return None
+        stats.count("project_pushed_into_scan")
+        return Scan(child.relation_name, child.filters, tuple(plan.names))
+
     def _push_select_union(
         self, plan: Select, child: Union, stats: OptimizationStats
     ) -> Optional[PlanNode]:
@@ -446,8 +574,12 @@ class PlanOptimizer:
         the predicate would see the rows; below the union the predicate
         sees each branch's raw values.  Only push when every referenced
         column already has the widened type on both sides, so the values
-        the predicate evaluates are unchanged.
+        the predicate evaluates are unchanged.  Requires a type-aware
+        catalog: on placeholder (ANY) schemas the test would vacuously
+        pass, so a type-blind optimizer never fires this rule.
         """
+        if not self.type_aware:
+            return None
         refs = plan.predicate.references()
         try:
             left_schema = child.left.output_schema(self.catalog)
@@ -542,13 +674,54 @@ class PlanOptimizer:
         if isinstance(child, Project):
             stats.count("project_fused")
             return Project(child.child, plan.names)
+        if isinstance(child, Scan):
+            folded = self._fold_project_scan(plan, child, stats)
+            if folded is not None:
+                return folded
         try:
             if plan.names == child.output_schema(self.catalog).names:
                 stats.count("project_noop_dropped")
                 return child
         except SchemaError:
             return None
+        if isinstance(child, Rename) and isinstance(child.child, Scan):
+            return self._push_project_rename(plan, child, stats)
         return None
+
+    def _push_project_rename(
+        self, plan: Project, child: Rename, stats: OptimizationStats
+    ) -> Optional[PlanNode]:
+        """π(ρ(Scan)) → ρ(π(Scan)), only to expose a pushable Scan.
+
+        As a general rewrite the swap is cosmetic, so it is gated on a
+        projection-capable Scan directly under the rename: there it lets
+        the inner Project fold into the Scan on the next pass, carrying
+        the column list across the wrapper boundary.
+        """
+        scan = child.child
+        if self.pushdown_capabilities is None:
+            return None
+        caps = self.pushdown_capabilities.get(scan.relation_name)
+        if not caps or "projection" not in caps:
+            return None
+        try:
+            renamed_visible = child.output_schema(self.catalog).names
+        except SchemaError:
+            return None
+        if not set(plan.names) <= set(renamed_visible):
+            return None
+        inverse = {new: old for old, new in child.mapping}
+        pre = tuple(inverse.get(name, name) for name in plan.names)
+        if len(set(pre)) != len(pre):
+            return None
+        kept = {
+            old: new for old, new in child.mapping if old in set(pre)
+        }
+        stats.count("project_pushdown_rename")
+        projected = Project(scan, pre)
+        if not kept:
+            return projected
+        return Rename.from_dict(projected, kept)
 
     # Distinct rules --------------------------------------------------- #
 

@@ -29,15 +29,18 @@ class Relation:
     ):
         self.schema = schema
         self.name = name
-        self._rows: List[Row] = []
         width = len(schema)
+        checked: List[Row] = []
         for row in rows:
             row_tuple = tuple(row)
             if len(row_tuple) != width:
                 raise SchemaError(
                     f"row width {len(row_tuple)} != schema width {width}: {row_tuple!r}"
                 )
-            self._rows.append(row_tuple)
+            checked.append(row_tuple)
+        # Frozen after validation: relations are shared across caches and
+        # concurrent queries, so the row store must be immutable.
+        self._rows: Tuple[Row, ...] = tuple(checked)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -65,22 +68,40 @@ class Relation:
                         seen_set.add(key)
                         seen.append(key)
             attribute_order = seen
-        types: Dict[str, AttrType] = {n: AttrType.ANY for n in attribute_order}
+        names = list(attribute_order)
+        # Single pass over the records: track each column's running
+        # common type, and which columns ever saw two different concrete
+        # types.  A column with one concrete type needs no coercion at
+        # all — coerce(v, T) is the identity whenever infer_type(v) is T
+        # (and None passes through) — which is the overwhelmingly common
+        # case on the wrapper-fetch hot path.
+        types: Dict[str, AttrType] = {n: AttrType.ANY for n in names}
+        mixed: set = set()
         for record in records:
-            for key in attribute_order:
-                types[key] = common_type(types[key], infer_type(record.get(key)))
-        schema = RelationSchema(
-            Attribute(n, types[n]) for n in attribute_order
-        )
-        # Coerce cells to the inferred column type so a relation's rows
-        # always conform to its schema (a mixed int/str column becomes
+            for key in names:
+                inferred = infer_type(record.get(key))
+                if inferred is AttrType.ANY:
+                    continue  # NULL observes nothing
+                current = types[key]
+                if current is AttrType.ANY:
+                    types[key] = inferred
+                elif inferred is not current:
+                    types[key] = common_type(current, inferred)
+                    mixed.add(key)
+        schema = RelationSchema(Attribute(n, types[n]) for n in names)
+        if not mixed:
+            rows = [tuple(record.get(n) for n in names) for record in records]
+            return cls(schema, rows, name=name)
+        # Coerce only the mixed columns so a relation's rows always
+        # conform to its schema (a mixed int/str column becomes
         # all-string, exactly as a widening union would make it).
-        rows = [
-            tuple(
-                coerce(record.get(n), types[n]) for n in attribute_order
-            )
-            for record in records
-        ]
+        mixed_at = [(i, types[n]) for i, n in enumerate(names) if n in mixed]
+        rows = []
+        for record in records:
+            cells = [record.get(n) for n in names]
+            for index, target in mixed_at:
+                cells[index] = coerce(cells[index], target)
+            rows.append(tuple(cells))
         return cls(schema, rows, name=name)
 
     @classmethod
@@ -102,8 +123,14 @@ class Relation:
         return iter(self._rows)
 
     @property
-    def rows(self) -> List[Row]:
-        """The rows as a list of tuples (do not mutate)."""
+    def rows(self) -> Tuple[Row, ...]:
+        """The rows as an immutable tuple of tuples.
+
+        Immutability is load-bearing: cached relations (result cache,
+        wrapper cache, executor memo) are handed to multiple queries
+        concurrently, and a caller-side ``append`` on a shared list
+        would silently corrupt every later read.
+        """
         return self._rows
 
     def column(self, name: str) -> List[Any]:

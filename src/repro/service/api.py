@@ -296,6 +296,8 @@ class MdmService:
             payload["partial"] = outcome.partial
             payload["generation"] = outcome.generation
             payload["result_cache"] = outcome.result_cache
+            if outcome.pushdown is not None:
+                payload["pushdown"] = outcome.pushdown
             if outcome.partial:
                 payload["skipped_wrappers"] = list(outcome.skipped_wrappers)
         return payload
@@ -516,7 +518,8 @@ class MdmService:
         """Tune the fetch pool and retry policy at runtime.
 
         Body: ``{"max_fetch_workers"?: int, "optimize"?: bool,
-        "result_cache_size"?: int,
+        "result_cache_size"?: int, "pushdown"?: bool,
+        "wrapper_cache_size"?: int,
         "retry"?: {"attempts"?, "timeout_s"?, "backoff_base_s"?,
         "backoff_multiplier"?, "max_backoff_s"?}}`` — omitted parts keep
         their current value.
@@ -552,11 +555,15 @@ class MdmService:
         try:
             optimize = body.get("optimize")
             rc_size = body.get("result_cache_size")
+            pushdown = body.get("pushdown")
+            wc_size = body.get("wrapper_cache_size")
             self.mdm.configure_execution(
                 max_fetch_workers=body.get("max_fetch_workers"),
                 retry_policy=policy,
                 optimize=None if optimize is None else bool(optimize),
                 result_cache_size=None if rc_size is None else int(rc_size),
+                pushdown=None if pushdown is None else bool(pushdown),
+                wrapper_cache_size=None if wc_size is None else int(wc_size),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, str(exc)) from exc

@@ -25,6 +25,15 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs import get_metrics, get_tracer
 from ..relational.relation import Relation
+from ..relational.types import AttrType
+from .fetch import (
+    CAP_FILTERS,
+    CAP_LIMIT,
+    CAP_PROJECTION,
+    FetchRequest,
+    FetchResult,
+    apply_fetch_request,
+)
 from .formats import decode_csv, decode_json, decode_xml, flatten_record
 from .restapi import HttpError, MockRestServer, Response
 
@@ -163,20 +172,58 @@ class Wrapper:
         """The current rows as dicts keyed exactly by the signature."""
         raise NotImplementedError
 
-    def _fetch_bounded(self, timeout_s: Optional[float], attempt: int) -> List[Record]:
+    def capabilities(self) -> frozenset:
+        """Pushdown capabilities this wrapper declares.
+
+        A subset of ``{"filters", "projection", "limit"}``.  Declaring
+        ``filters`` is a contract: the wrapper's :meth:`_fetch_push`
+        returns exactly the rows an executor-side ``Select`` with the
+        same conjunction would keep.  The base wrapper declares nothing,
+        so unknown subclasses transparently fall back to full fetches
+        with residual evaluation mediator-side.
+        """
+        return frozenset()
+
+    def _fetch_push(self, request: FetchRequest) -> FetchResult:
+        """One pushed-fetch attempt.
+
+        The base implementation is the uncapable fallback: fetch the
+        full payload and apply the request mediator-side with executor
+        semantics, so ``rows_transferred`` stays the full cardinality.
+        Capable subclasses override this to apply (part of) the request
+        before rows cross the boundary.
+        """
+        rows = self.fetch()
+        relation = Relation.from_dicts(
+            rows, attribute_order=list(self.attributes), name=self.name
+        )
+        return FetchResult(
+            relation=apply_fetch_request(relation, request),
+            rows_transferred=len(rows),
+            rows_source=len(rows),
+        )
+
+    def _fetch_bounded(
+        self,
+        timeout_s: Optional[float],
+        attempt: int,
+        call: Optional[Callable[[], Any]] = None,
+    ) -> Any:
         """One fetch attempt, bounded by ``timeout_s`` when given.
 
         The bounded variant runs the fetch in a daemon thread and abandons
         it on timeout (the thread finishes in the background); sources here
         are in-process, so an abandoned attempt holds no scarce resources.
+        ``call`` substitutes the work (default: plain :meth:`fetch`).
         """
+        call = call if call is not None else self.fetch
         if timeout_s is None:
-            return self.fetch()
+            return call()
         result: Dict[str, Any] = {}
 
         def attempt_fetch() -> None:
             try:
-                result["rows"] = self.fetch()
+                result["rows"] = call()
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 result["error"] = exc
 
@@ -192,8 +239,10 @@ class Wrapper:
         return result["rows"]
 
     def fetch_retrying(
-        self, policy: Optional["RetryPolicy"] = None
-    ) -> Tuple[List[Record], int]:
+        self,
+        policy: Optional["RetryPolicy"] = None,
+        call: Optional[Callable[[], Any]] = None,
+    ) -> Tuple[Any, int]:
         """``fetch()`` under a :class:`RetryPolicy`; returns ``(rows, attempts)``.
 
         Each failed attempt short of the cap increments
@@ -207,7 +256,7 @@ class Wrapper:
         metrics = get_metrics()
         if policy.attempts == 1 and policy.timeout_s is None:
             try:
-                return self.fetch(), 1
+                return (call() if call is not None else self.fetch()), 1
             except Exception:
                 metrics.counter(
                     "mdm_wrapper_failure_total",
@@ -218,7 +267,7 @@ class Wrapper:
         last_error: Optional[BaseException] = None
         for attempt in range(1, policy.attempts + 1):
             try:
-                return self._fetch_bounded(policy.timeout_s, attempt), attempt
+                return self._fetch_bounded(policy.timeout_s, attempt, call), attempt
             except Exception as exc:  # noqa: BLE001 — policy decides
                 last_error = exc
                 if attempt < policy.attempts:
@@ -258,11 +307,49 @@ class Wrapper:
         self, retry: Optional["RetryPolicy"] = None
     ) -> Tuple[Relation, int]:
         """:meth:`fetch_relation` returning ``(relation, attempts_used)``."""
+        result, attempts = self.fetch_request(None, retry)
+        return result.relation, attempts
+
+    def fetch_request(
+        self,
+        request: Optional[FetchRequest] = None,
+        retry: Optional["RetryPolicy"] = None,
+    ) -> Tuple[FetchResult, int]:
+        """Instrumented fetch honoring an optional pushed request.
+
+        ``request=None`` (or a full request) is the legacy path: the
+        whole payload crosses the boundary and ``rows_transferred``
+        equals the relation's cardinality.  A pushed request routes
+        through :meth:`_fetch_push` under the same retry policy, span
+        (``fetch:<name>``, tagged with the canonical request), and
+        metrics — ``mdm_wrapper_rows_total`` counts rows that actually
+        crossed the boundary.
+        """
         metrics = get_metrics()
         started = time.perf_counter()
+        pushed = request is not None and not request.is_full
         with get_tracer().span(f"fetch:{self.name}", wrapper=self.name) as span:
+            if pushed:
+                assert request is not None
+                span.set_tag("request", request.canonical())
             try:
-                rows, attempts = self.fetch_retrying(retry)
+                if pushed:
+                    assert request is not None
+                    bound_request = request
+                    result, attempts = self.fetch_retrying(
+                        retry, call=lambda: self._fetch_push(bound_request)
+                    )
+                else:
+                    rows, attempts = self.fetch_retrying(retry)
+                    result = FetchResult(
+                        relation=Relation.from_dicts(
+                            rows,
+                            attribute_order=list(self.attributes),
+                            name=self.name,
+                        ),
+                        rows_transferred=len(rows),
+                        rows_source=len(rows),
+                    )
             except Exception as exc:
                 metrics.counter(
                     "mdm_wrapper_errors_total",
@@ -280,15 +367,10 @@ class Wrapper:
                 "mdm_wrapper_rows_total",
                 "Rows delivered by wrapper fetches.",
                 labelnames=("wrapper",),
-            ).inc(len(rows), wrapper=self.name)
-            span.set_tag("rows", len(rows))
+            ).inc(result.rows_transferred, wrapper=self.name)
+            span.set_tag("rows", result.rows_transferred)
             span.set_tag("attempts", attempts)
-            return (
-                Relation.from_dicts(
-                    rows, attribute_order=list(self.attributes), name=self.name
-                ),
-                attempts,
-            )
+            return result, attempts
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.signature}>"
@@ -311,6 +393,29 @@ class StaticWrapper(Wrapper):
     def fetch(self) -> List[Record]:
         return [dict(r) for r in self._rows]
 
+    def capabilities(self) -> frozenset:
+        return frozenset({CAP_FILTERS, CAP_PROJECTION, CAP_LIMIT})
+
+    def _fetch_push(self, request: FetchRequest) -> FetchResult:
+        """Apply the request source-side: only matching rows 'transfer'.
+
+        Rows are obtained via :meth:`fetch` (subclasses inject delays or
+        failures there) and typed over the *full* row set, so the
+        filtered relation carries exactly the schema and coerced values
+        an unpushed fetch would have produced — byte-exact by
+        construction.
+        """
+        rows = self.fetch()
+        relation = Relation.from_dicts(
+            rows, attribute_order=list(self.attributes), name=self.name
+        )
+        filtered = apply_fetch_request(relation, request)
+        return FetchResult(
+            relation=filtered,
+            rows_transferred=len(filtered),
+            rows_source=len(rows),
+        )
+
 
 class RestWrapper(Wrapper):
     """A wrapper that issues a GET against a (mock) REST endpoint.
@@ -330,6 +435,17 @@ class RestWrapper(Wrapper):
         When True (default), a missing payload key raises
         :class:`WrapperSchemaError`; when False it yields NULL (the
         "silently partial results" failure mode the paper warns about).
+    supports_filters:
+        Opt-in declaration that the endpoint's query parameters are a
+        *safe prefilter* for pushed equality filters: the server may
+        drop only rows the exact predicate would drop too.  The mock
+        server compares ``str(raw_field) == value``, which matches the
+        typed predicate for type-stable string columns but can disagree
+        on e.g. mixed boolean columns (``str(True)`` is ``"True"``, the
+        coerced cell is ``"true"``) — hence off by default.  The exact
+        predicate is always re-applied to the typed rows after the
+        prefilter, so a *superset*-returning server is safe; an
+        under-returning one is not.
     """
 
     def __init__(
@@ -342,6 +458,7 @@ class RestWrapper(Wrapper):
         params: Optional[Mapping[str, str]] = None,
         strict: bool = True,
         paginate: bool = False,
+        supports_filters: bool = False,
     ):
         super().__init__(name, attributes)
         self.server = server
@@ -351,6 +468,7 @@ class RestWrapper(Wrapper):
         self.strict = strict
         #: Fetch every page of a paginated endpoint instead of one GET.
         self.paginate = paginate
+        self.supports_filters = supports_filters
 
     def _decode(self, response: Response) -> List[Record]:
         if "json" in response.content_type:
@@ -365,18 +483,22 @@ class RestWrapper(Wrapper):
             )
         return [flatten_record(r) for r in records]
 
-    def _responses(self) -> List[Response]:
+    def _responses(self, params: Optional[Mapping[str, str]] = None) -> List[Response]:
+        send = dict(self.params if params is None else params)
         if not self.paginate:
-            return [self.server.get_or_raise(self.path, self.params)]
-        responses = self.server.get_all_pages(self.path, self.params)
+            return [self.server.get_or_raise(self.path, send)]
+        responses = self.server.get_all_pages(self.path, send)
         for response in responses:
             if not response.ok:
                 raise HttpError(response.status, response.body)
         return responses
 
     def fetch(self) -> List[Record]:
+        return self._fetch_with_params(None)
+
+    def _fetch_with_params(self, params: Optional[Mapping[str, str]]) -> List[Record]:
         try:
-            responses = self._responses()
+            responses = self._responses(params)
         except HttpError as exc:
             raise WrapperSchemaError(
                 self.name, "*", f"endpoint {self.path} failed: {exc}"
@@ -412,3 +534,64 @@ class RestWrapper(Wrapper):
                         row[attribute] = None
             rows.append(row)
         return rows
+
+    def capabilities(self) -> frozenset:
+        caps = {CAP_PROJECTION}
+        if self.supports_filters:
+            caps.add(CAP_FILTERS)
+        return frozenset(caps)
+
+    def _prefilter_params(self, request: FetchRequest) -> Optional[Dict[str, str]]:
+        """Query params for the server-side prefilter, or None if unusable.
+
+        Only plain-string equality filters whose attribute maps to a
+        top-level (dot-free) payload key that does not collide with the
+        wrapper's standing params can ride as query parameters; anything
+        else stays mediator-side.  Returns None when no filter qualifies.
+        """
+        if not self.supports_filters or not request.filters:
+            return None
+        params = dict(self.params)
+        sent = False
+        for column, op, value in request.filters:
+            if op != "=" or not isinstance(value, str):
+                continue
+            spec = self.attribute_map.get(column, column)
+            if not isinstance(spec, str) or "." in spec:
+                continue
+            if spec in params or spec in ("page", "per_page"):
+                continue
+            params[spec] = value
+            sent = True
+        return params if sent else None
+
+    def _fetch_push(self, request: FetchRequest) -> FetchResult:
+        """Prefilter at the endpoint, then apply the exact request.
+
+        Every signature attribute is still mapped (and strict-checked)
+        for every returned record, so a schema break surfaces exactly as
+        on the unpushed path.  If the prefiltered subset types a column
+        as ANY (all-null slice) or comes back empty, the full payload is
+        re-fetched: subset type inference could otherwise diverge from
+        the full-fetch schema.
+        """
+        params = self._prefilter_params(request)
+        rows = self._fetch_with_params(params)
+        prefiltered = params is not None
+        relation = Relation.from_dicts(
+            rows, attribute_order=list(self.attributes), name=self.name
+        )
+        if prefiltered and (
+            not rows
+            or any(a.type is AttrType.ANY for a in relation.schema.attributes)
+        ):
+            rows = self._fetch_with_params(None)
+            relation = Relation.from_dicts(
+                rows, attribute_order=list(self.attributes), name=self.name
+            )
+            prefiltered = False  # the full payload crossed after all
+        return FetchResult(
+            relation=apply_fetch_request(relation, request),
+            rows_transferred=len(rows),
+            rows_source=None if prefiltered else len(rows),
+        )

@@ -86,7 +86,7 @@ class TestAnalystApi:
         mdm.define_mapping("wt", {"id": EX.thingId, "name": EX.thingName})
         walk = mdm.walk_from_nodes([EX.Thing, EX.thingName])
         outcome = mdm.execute(walk)
-        assert outcome.relation.rows == [("A",), ("B",)]
+        assert outcome.relation.rows == (("A",), ("B",),)
         assert outcome.rewrite.ucq_size == 1
 
     def test_query_log_written(self, mdm):

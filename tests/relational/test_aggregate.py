@@ -71,14 +71,14 @@ class TestExecution:
 
     def test_global_aggregate(self, executor):
         plan = Aggregate(Scan("players"), (), (("count", "*", "n"),))
-        assert executor.execute(plan).rows == [(4,)]
+        assert executor.execute(plan).rows == ((4,),)
 
     def test_global_aggregate_empty_input(self):
         executor = Executor(
             {"empty": Relation.from_dicts([], attribute_order=["a"])}
         )
         plan = Aggregate(Scan("empty"), (), (("count", "*", "n"),))
-        assert executor.execute(plan).rows == [(0,)]
+        assert executor.execute(plan).rows == ((0,),)
 
     def test_all_null_group_yields_none(self, executor):
         plan = Aggregate(Scan("players"), (), (("avg", "height", "avgH"),))

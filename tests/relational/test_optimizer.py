@@ -440,7 +440,7 @@ def test_memo_is_per_call_and_sees_reregistration(executor):
     executor.register("B", rel([{"id": 1, "y": "new"}], ["id", "y"]))
     second = executor.execute(plan)
     assert first.rows != second.rows
-    assert second.rows == [("new",)]
+    assert second.rows == (("new",),)
 
 
 def test_memo_disabled(executor):

@@ -140,7 +140,7 @@ class TestRelation:
             [{"b": 2, "a": 1}], attribute_order=["a", "b"]
         )
         assert rel.schema.names == ("a", "b")
-        assert rel.rows == [(1, 2)]
+        assert rel.rows == ((1, 2),)
 
     def test_column(self):
         rel = Relation.from_dicts([{"a": 1}, {"a": 2}])
@@ -152,7 +152,7 @@ class TestRelation:
 
     def test_distinct_preserves_order(self):
         rel = Relation(RelationSchema.of("a"), [(1,), (2,), (1,)])
-        assert rel.distinct().rows == [(1,), (2,)]
+        assert rel.distinct().rows == ((1,), (2,),)
 
     def test_sorted_nulls_first(self):
         rel = Relation(RelationSchema.of("a"), [(2,), (None,), (1,)])
@@ -161,7 +161,7 @@ class TestRelation:
     def test_coerced(self):
         rel = Relation(RelationSchema.of("a"), [("1",), ("2",)])
         target = RelationSchema.typed([("a", AttrType.INTEGER)])
-        assert rel.coerced(target).rows == [(1,), (2,)]
+        assert rel.coerced(target).rows == ((1,), (2,),)
 
     def test_coerced_name_mismatch(self):
         rel = Relation(RelationSchema.of("a"), [])

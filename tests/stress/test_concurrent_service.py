@@ -183,5 +183,18 @@ class TestConcurrentService:
         }
         assert not divergent, f"non-deterministic responses: {divergent}"
 
-        # (3) the cache hit path was actually exercised by the race.
-        assert mdm.result_cache.hits > 0
+        # (3) the cache hit path is exercised and held to the oracle.
+        # Whether the *race* produced hits is a coin flip (a hit needs
+        # two queries inside one ~10ms generation window), so force a
+        # deterministic same-generation pair now that the mutators have
+        # stopped: the second response must be a cache hit and byte-
+        # identical to the first.
+        hits_before = mdm.result_cache.hits
+        first = service.request("POST", "/query", {"nodes": nodes})
+        second = service.request("POST", "/query", {"nodes": nodes})
+        assert first.status == second.status == 200
+        assert first.body["generation"] == second.body["generation"]
+        assert json.dumps(first.body["rows"], sort_keys=True) == json.dumps(
+            second.body["rows"], sort_keys=True
+        )
+        assert mdm.result_cache.hits > hits_before
