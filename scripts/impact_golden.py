@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Golden-file gate for the evolution-impact analyzer (CI ``impact`` job).
+
+Runs the static analyzer over two fixed scenarios — retiring the
+``wPeople`` wrapper from the seeded-broken fixture, and the scripted v2
+football release (rename/nest/retype over ``w1``'s signature) — and
+diffs the normalized JSON reports against the golden files under
+``tests/analysis/golden/``.  A behaviour change in the analyzer shows up
+as a readable diff; run with ``--update`` to re-bless the goldens.
+
+Usage:
+    PYTHONPATH=src python scripts/impact_golden.py            # check
+    PYTHONPATH=src python scripts/impact_golden.py --update   # re-bless
+"""
+
+import argparse
+import difflib
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "analysis"
+    / "golden"
+)
+
+#: The scripted v2 football release, expressed over ``w1``'s registered
+#: signature through the JSON change protocol the CLI/service accept.
+FOOTBALL_V2 = {
+    "release": {
+        "source": "players",
+        "wrapper": "w1v2",
+        "base_wrapper": "w1",
+        "changes": [
+            {"op": "rename", "old": "pName", "new": "fullName"},
+            {"op": "nest", "names": ["height", "weight"], "under": "physique"},
+            {"op": "retype", "name": "teamId"},
+        ],
+    }
+}
+
+BROKEN_RETIRE = {"retire": "wPeople"}
+
+
+def normalize(payload):
+    """Strip fields that may vary across runs without a behaviour change."""
+    payload = dict(payload)
+    payload.pop("generation", None)
+    return payload
+
+
+def compute_reports():
+    from repro.analysis.impact import change_from_json
+    from repro.scenarios.broken import broken_mdm
+    from repro.scenarios.football import FootballScenario
+
+    scenario = FootballScenario.build(anchors_only=True)
+    scenario.mdm.saved_queries.save(
+        "player-team", scenario.walk_player_team_names()
+    )
+    return {
+        "impact_broken_retire.json": normalize(
+            broken_mdm()
+            .analyze_impact(change_from_json(BROKEN_RETIRE))
+            .to_json_dict()
+        ),
+        "impact_football_v2.json": normalize(
+            scenario.mdm.analyze_impact(change_from_json(FOOTBALL_V2))
+            .to_json_dict()
+        ),
+    }
+
+
+def render(payload):
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the golden files instead of diffing against them",
+    )
+    args = parser.parse_args(argv)
+
+    reports = compute_reports()
+    if args.update:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        for name, payload in reports.items():
+            (GOLDEN_DIR / name).write_text(render(payload))
+            print(f"blessed {GOLDEN_DIR / name}")
+        return 0
+
+    failed = False
+    for name, payload in reports.items():
+        golden_path = GOLDEN_DIR / name
+        if not golden_path.exists():
+            print(f"MISSING golden file {golden_path}; run with --update")
+            failed = True
+            continue
+        expected = golden_path.read_text()
+        actual = render(payload)
+        if actual != expected:
+            failed = True
+            print(f"DIFF against {golden_path}:")
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    expected.splitlines(keepends=True),
+                    actual.splitlines(keepends=True),
+                    fromfile=f"golden/{name}",
+                    tofile="analyzer output",
+                )
+            )
+        else:
+            print(f"ok {name} (verdict {payload['verdict']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,7 @@ LOCATION_KINDS = (
     "mapping",
     "saved-query",
     "plan-operator",
+    "release",
 )
 
 

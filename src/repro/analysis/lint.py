@@ -1,6 +1,7 @@
 """``mdm lint``: the whole-system static-analysis pass.
 
-:func:`lint_mdm` runs the metadata rule pack (MDM001–MDM011) and, for
+:func:`lint_mdm` runs the metadata rule pack (MDM001–MDM011,
+MDM019–MDM020) and, for
 every saved query that still rewrites, the plan schema checker
 (MDM101–MDM105) against a catalog derived from the registered wrapper
 signatures — no wrapper is fetched, so the pass is safe to run in CI or
@@ -11,7 +12,7 @@ renders as text or JSON and maps to a process exit code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from ..obs import get_metrics
 from ..relational.schema import RelationSchema
@@ -26,6 +27,9 @@ from .diagnostics import (
 )
 from .metadata_rules import run_metadata_rules
 from .plan_checker import check_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.mdm import MDM
 
 __all__ = ["LintReport", "lint_mdm", "wrapper_catalog"]
 
@@ -79,7 +83,7 @@ class LintReport:
         }
 
 
-def wrapper_catalog(mdm) -> Dict[str, RelationSchema]:
+def wrapper_catalog(mdm: "MDM") -> Dict[str, RelationSchema]:
     """Scan-name → schema catalog from registered wrapper signatures.
 
     Mirrors what the executor's catalog looks like after fetching: one
@@ -98,7 +102,7 @@ def wrapper_catalog(mdm) -> Dict[str, RelationSchema]:
     return catalog
 
 
-def _check_saved_plans(mdm) -> Tuple[List[Finding], int]:
+def _check_saved_plans(mdm: "MDM") -> Tuple[List[Finding], int]:
     """MDM1xx findings over the rewrite plans of all saved queries."""
     from ..core.errors import MdmError
 
@@ -134,8 +138,7 @@ def _check_saved_plans(mdm) -> Tuple[List[Finding], int]:
     return findings, checked
 
 
-def lint_mdm(
-    mdm, replay_saved: bool = True, check_plans: bool = True
+def lint_mdm(mdm: "MDM", replay_saved: bool = True, check_plans: bool = True
 ) -> LintReport:
     """Run every static rule against ``mdm`` and return the report.
 

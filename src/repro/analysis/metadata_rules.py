@@ -7,8 +7,8 @@ Each rule is a generator ``rule(mdm) -> Iterator[Finding]`` over a live
 
 Two code ranges live here:
 
-- ``MDM001``–``MDM011`` — whole-system lint rules (:data:`METADATA_RULES`),
-  run by ``repro-mdm lint`` / ``GET /lint``;
+- ``MDM001``–``MDM011``, ``MDM019``–``MDM020`` — whole-system lint rules
+  (:data:`METADATA_RULES`), run by ``repro-mdm lint`` / ``GET /lint``;
 - ``MDM012``–``MDM018`` — per-mapping well-formedness rules
   (:data:`MAPPING_RULES`), the constraint set
   :meth:`~repro.core.lav.LavMappingStore.define` enforces; registering
@@ -18,12 +18,25 @@ Two code ranges live here:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Set,
+    Tuple,
+)
 
 from ..rdf.paths import connected_components
 from ..rdf.reasoner import superclass_closure
 from ..rdf.terms import IRI
 from .diagnostics import Finding, Severity, SourceLocation, register_rule_info
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.mdm import MDM
 
 __all__ = ["METADATA_RULES", "MAPPING_RULES", "run_metadata_rules"]
 
@@ -107,6 +120,22 @@ METADATA_RULES = {
         "A mapped wrapper has no runtime object; executing a query that "
         "selects it will fail.",
     ),
+    "MDM019": register_rule_info(
+        "MDM019",
+        "wrapper-orphaned",
+        Severity.WARNING,
+        "A mapped wrapper's named graph touches no concept; unreachable "
+        "from every concept contour, no OMQ can ever select it.",
+    ),
+    "MDM020": register_rule_info(
+        "MDM020",
+        "saved-query-pinned",
+        Severity.WARNING,
+        "A saved query's rewriting selects a wrapper superseded by a "
+        "later release of the same source (superset signature) while no "
+        "superseding wrapper contributes; the query is pinned to the old "
+        "release.",
+    ),
 }
 
 MAPPING_RULES = {
@@ -165,7 +194,7 @@ def _local(iri: IRI) -> str:
     return iri.value
 
 
-def _wrapper_display(mdm, wrapper: IRI) -> str:
+def _wrapper_display(mdm: "MDM", wrapper: IRI) -> str:
     return mdm.source_graph.wrapper_name(wrapper) or wrapper.local_name()
 
 
@@ -174,7 +203,7 @@ def _wrapper_display(mdm, wrapper: IRI) -> str:
 # --------------------------------------------------------------------- #
 
 
-def rule_named_graph_subgraph(mdm) -> Iterator[Finding]:
+def rule_named_graph_subgraph(mdm: "MDM") -> Iterator[Finding]:
     """MDM001 + MDM014: each named graph ⊆ global graph and connected."""
     for wrapper in mdm.mappings.mapped_wrappers():
         name = _wrapper_display(mdm, wrapper)
@@ -195,7 +224,7 @@ def rule_named_graph_subgraph(mdm) -> Iterator[Finding]:
             )
 
 
-def rule_sameas_targets(mdm) -> Iterator[Finding]:
+def rule_sameas_targets(mdm: "MDM") -> Iterator[Finding]:
     """MDM002: every sameAs target is a feature inside the named graph."""
     from ..core.vocabulary import G
 
@@ -235,7 +264,7 @@ def rule_sameas_targets(mdm) -> Iterator[Finding]:
 # --------------------------------------------------------------------- #
 
 
-def rule_unmapped_attributes(mdm) -> Iterator[Finding]:
+def rule_unmapped_attributes(mdm: "MDM") -> Iterator[Finding]:
     """MDM003: wrapper attributes that populate no feature."""
     for wrapper in mdm.mappings.mapped_wrappers():
         name = _wrapper_display(mdm, wrapper)
@@ -251,7 +280,7 @@ def rule_unmapped_attributes(mdm) -> Iterator[Finding]:
                 )
 
 
-def rule_conflicting_mappings(mdm) -> Iterator[Finding]:
+def rule_conflicting_mappings(mdm: "MDM") -> Iterator[Finding]:
     """MDM008: attribute→several-features or feature←several-attributes."""
     seen_attributes: Set[IRI] = set()
     for wrapper in mdm.mappings.mapped_wrappers():
@@ -283,7 +312,7 @@ def rule_conflicting_mappings(mdm) -> Iterator[Finding]:
                 )
 
 
-def rule_unmapped_wrappers(mdm) -> Iterator[Finding]:
+def rule_unmapped_wrappers(mdm: "MDM") -> Iterator[Finding]:
     """MDM009: registered wrappers with no LAV mapping."""
     mapped = set(mdm.mappings.mapped_wrappers())
     for wrapper in mdm.source_graph.wrappers():
@@ -295,7 +324,7 @@ def rule_unmapped_wrappers(mdm) -> Iterator[Finding]:
             )
 
 
-def rule_missing_runtimes(mdm) -> Iterator[Finding]:
+def rule_missing_runtimes(mdm: "MDM") -> Iterator[Finding]:
     """MDM011: mapped wrappers with no runtime object."""
     for wrapper in mdm.mappings.mapped_wrappers():
         name = _wrapper_display(mdm, wrapper)
@@ -307,12 +336,24 @@ def rule_missing_runtimes(mdm) -> Iterator[Finding]:
             )
 
 
+def rule_orphan_wrappers(mdm: "MDM") -> Iterator[Finding]:
+    """MDM019: mapped wrappers whose named graph covers no concept."""
+    for wrapper in mdm.mappings.mapped_wrappers():
+        if not mdm.mappings.view(wrapper).concepts:
+            name = _wrapper_display(mdm, wrapper)
+            yield METADATA_RULES["MDM019"].finding(
+                f"wrapper {name!r} is mapped but its named graph touches "
+                "no concept; it is unreachable from any OMQ",
+                SourceLocation("wrapper", name),
+            )
+
+
 # --------------------------------------------------------------------- #
 # MDM004 / MDM005 / MDM006 / MDM007 — global-graph well-formedness
 # --------------------------------------------------------------------- #
 
 
-def rule_concept_identifiers(mdm) -> Iterator[Finding]:
+def rule_concept_identifiers(mdm: "MDM") -> Iterator[Finding]:
     """MDM004: every concept has an identifier, own or inherited."""
     gg = mdm.global_graph
     for concept in gg.concepts():
@@ -328,7 +369,7 @@ def rule_concept_identifiers(mdm) -> Iterator[Finding]:
             )
 
 
-def rule_unreachable_concepts(mdm) -> Iterator[Finding]:
+def rule_unreachable_concepts(mdm: "MDM") -> Iterator[Finding]:
     """MDM005: concepts covered by no mapping."""
     covered: Set[IRI] = set()
     for wrapper in mdm.mappings.mapped_wrappers():
@@ -342,7 +383,7 @@ def rule_unreachable_concepts(mdm) -> Iterator[Finding]:
             )
 
 
-def rule_dangling_features(mdm) -> Iterator[Finding]:
+def rule_dangling_features(mdm: "MDM") -> Iterator[Finding]:
     """MDM006: features owned by zero (or several) concepts."""
     from ..core.errors import GlobalGraphError
     from ..core.vocabulary import G
@@ -370,7 +411,7 @@ def rule_dangling_features(mdm) -> Iterator[Finding]:
             )
 
 
-def rule_taxonomy_cycles(mdm) -> Iterator[Finding]:
+def rule_taxonomy_cycles(mdm: "MDM") -> Iterator[Finding]:
     """MDM007: rdfs:subClassOf cycles among concepts."""
     gg = mdm.global_graph
     reported: Set[frozenset] = set()
@@ -399,7 +440,7 @@ def rule_taxonomy_cycles(mdm) -> Iterator[Finding]:
 # --------------------------------------------------------------------- #
 
 
-def rule_saved_queries(mdm) -> Iterator[Finding]:
+def rule_saved_queries(mdm: "MDM") -> Iterator[Finding]:
     """MDM010: saved OMQs whose rewriting would now fail or be empty."""
     from ..core.errors import MdmError
 
@@ -423,6 +464,61 @@ def rule_saved_queries(mdm) -> Iterator[Finding]:
             )
 
 
+def rule_pinned_saved_queries(mdm: "MDM") -> Iterator[Finding]:
+    """MDM020: saved queries pinned to superseded releases.
+
+    Release B *supersedes* release A when both wrap the same source,
+    B came later, and B's signature contains A's — the evolution case
+    where the new wrapper fully replaces the old one.  A query whose
+    rewriting selects A but none of its superseders has not been
+    re-validated since the release and silently ignores the newer cover.
+    """
+    from ..core.errors import MdmError
+
+    registry = getattr(mdm, "saved_queries", None)
+    governance = getattr(mdm, "governance", None)
+    if registry is None or governance is None:
+        return
+    releases: Dict[str, Tuple[int, str, FrozenSet[str]]] = {}
+    for release in governance.history():
+        releases[release.wrapper_name] = (
+            release.sequence,
+            release.source_name,
+            frozenset(release.attributes),
+        )
+    superseders: Dict[str, List[str]] = {}
+    for old, (old_seq, old_src, old_attrs) in releases.items():
+        for new, (new_seq, new_src, new_attrs) in releases.items():
+            if (
+                new != old
+                and new_src == old_src
+                and new_seq > old_seq
+                and old_attrs <= new_attrs
+            ):
+                superseders.setdefault(old, []).append(new)
+    if not superseders:
+        return
+    for name in registry.names():
+        saved = registry.get(name)
+        try:
+            result = mdm.rewriter.rewrite(saved.walk)
+        except MdmError:
+            continue  # MDM010's territory
+        used: Set[str] = set()
+        for cq in result.queries:
+            used.update(cq.wrapper_names)
+        for old in sorted(used):
+            successors = superseders.get(old, [])
+            if successors and not any(s in used for s in successors):
+                yield METADATA_RULES["MDM020"].finding(
+                    f"saved query {name!r} selects wrapper {old!r}, "
+                    f"superseded by {sorted(successors)} which contribute "
+                    "nothing to its rewriting; the query is pinned to the "
+                    "old release",
+                    SourceLocation("saved-query", name, old),
+                )
+
+
 #: All whole-system rules in execution order.
 ALL_RULES: Tuple[Callable[..., Iterable[Finding]], ...] = (
     rule_named_graph_subgraph,
@@ -431,6 +527,7 @@ ALL_RULES: Tuple[Callable[..., Iterable[Finding]], ...] = (
     rule_conflicting_mappings,
     rule_unmapped_wrappers,
     rule_missing_runtimes,
+    rule_orphan_wrappers,
     rule_concept_identifiers,
     rule_unreachable_concepts,
     rule_dangling_features,
@@ -438,11 +535,12 @@ ALL_RULES: Tuple[Callable[..., Iterable[Finding]], ...] = (
 )
 
 
-def run_metadata_rules(mdm, replay_saved: bool = True) -> List[Finding]:
-    """All metadata findings for ``mdm`` (MDM001–MDM011)."""
+def run_metadata_rules(mdm: "MDM", replay_saved: bool = True) -> List[Finding]:
+    """All metadata findings for ``mdm`` (MDM001–MDM011, MDM019–MDM020)."""
     findings: List[Finding] = []
     for rule in ALL_RULES:
         findings.extend(rule(mdm))
     if replay_saved:
         findings.extend(rule_saved_queries(mdm))
+        findings.extend(rule_pinned_saved_queries(mdm))
     return findings

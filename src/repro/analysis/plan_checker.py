@@ -100,7 +100,7 @@ PLAN_RULES = {
 class _Checker:
     """One traversal: accumulates findings, returns schemas (None on error)."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self.findings: List[Finding] = []
 

@@ -177,7 +177,49 @@ def cmd_validate(args) -> int:
 
 def cmd_impact(args) -> int:
     mdm = _mdm_for(args)
+
+    proposals = []
+    if args.retire:
+        from .analysis.impact import WrapperRetirement
+
+        proposals.extend(WrapperRetirement(name) for name in args.retire)
+    if args.propose or args.propose_file:
+        from .analysis.impact import change_from_json_text
+
+        text = args.propose or open(args.propose_file).read()
+        proposals.append(change_from_json_text(text))
+
+    if proposals:
+        exit_code = 0
+        payloads = []
+        for change in proposals:
+            report = mdm.analyze_impact(change)
+            if args.format == "json":
+                payloads.append(report.to_json_dict())
+            else:
+                if payloads:  # separator between multiple reports
+                    print()
+                payloads.append(None)
+                print(report.render_text())
+            exit_code = max(exit_code, report.exit_code(strict=args.strict))
+        if args.format == "json":
+            import json
+
+            out = payloads[0] if len(payloads) == 1 else payloads
+            print(json.dumps(out, indent=2, sort_keys=True))
+        return exit_code
+
+    if not args.source:
+        raise SystemExit(
+            "impact needs a SOURCE (descriptive report) or a proposed "
+            "change (--retire / --propose / --propose-file)"
+        )
     report = mdm.impact_of_source(args.source)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0
     print(f"source   : {report['source']}")
     print(f"wrappers : {', '.join(report['wrappers'])}")
     print(f"affected queries : {report['affected_queries']}")
@@ -537,10 +579,47 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--store", help="snapshot directory (overrides --scenario)")
         p.set_defaults(func=func)
 
-    p_impact = sub.add_parser("impact", help="release impact analysis for a source")
-    p_impact.add_argument("source")
+    p_impact = sub.add_parser(
+        "impact",
+        help="impact analysis: source report or what-if over proposed changes",
+        description=(
+            "With SOURCE alone, print the descriptive impact report for an "
+            "existing source. With --retire/--propose/--propose-file, run "
+            "the static what-if analyzer: the proposed change is applied to "
+            "a shadow copy of the metadata graph and every saved query, "
+            "concept and feature is classified SAFE / DEGRADED / BROKEN "
+            "(MDM2xx diagnostics) without fetching a single source row."
+        ),
+        epilog=(
+            "exit codes mirror `lint`: 0 = SAFE (or DEGRADED without "
+            "--strict), 1 = BROKEN, or DEGRADED under --strict."
+        ),
+    )
+    p_impact.add_argument(
+        "source",
+        nargs="?",
+        help="source name for the descriptive report (omit for what-if mode)",
+    )
     p_impact.add_argument("--scenario", default="football")
     p_impact.add_argument("--store", help="snapshot directory")
+    p_impact.add_argument(
+        "--retire",
+        action="append",
+        metavar="WRAPPER",
+        help="what-if: retire this wrapper (repeatable)",
+    )
+    p_impact.add_argument(
+        "--propose",
+        help="what-if: proposed change as inline JSON "
+        '(e.g. \'{"retire": "w1"}\' or \'{"release": {...}}\')',
+    )
+    p_impact.add_argument(
+        "--propose-file", help="what-if: file with the proposed-change JSON"
+    )
+    p_impact.add_argument("--format", choices=["text", "json"], default="text")
+    p_impact.add_argument(
+        "--strict", action="store_true", help="exit non-zero on DEGRADED too"
+    )
     p_impact.set_defaults(func=cmd_impact)
 
     p_snapshot = sub.add_parser("snapshot", help="persist a scenario to a directory")
@@ -549,7 +628,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_snapshot.set_defaults(func=cmd_snapshot)
 
     p_lint = sub.add_parser(
-        "lint", help="static diagnostics: metadata rules + plan schema checks"
+        "lint",
+        help="static diagnostics: metadata rules + plan schema checks",
+        epilog=(
+            "exit codes: 0 = clean, or warnings only without --strict; "
+            "1 = any error-severity finding, or any warning under "
+            "--strict. --format json changes the output shape only, "
+            "never the exit code."
+        ),
     )
     p_lint.add_argument(
         "--scenario",

@@ -21,6 +21,7 @@ __all__ = [
     "DisconnectedWalkError",
     "GavUnfoldingError",
     "PlanValidationError",
+    "ImpactGateError",
 ]
 
 
@@ -61,6 +62,21 @@ class PlanValidationError(MdmError):
     def __init__(self, message, findings=()):
         super().__init__(message)
         self.findings = tuple(findings)
+
+
+class ImpactGateError(MdmError):
+    """A blocking evolution-impact gate rejected a proposed release.
+
+    Raised before any metadata mutation happens when the impact gate is
+    ``"blocking"`` and the static analyzer classified the release as
+    ``BROKEN``; ``report`` carries the full
+    :class:`repro.analysis.impact.ImpactReport` so the steward can read
+    the blast radius straight off the exception.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class WalkError(MdmError):

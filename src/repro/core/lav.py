@@ -362,12 +362,18 @@ class LavMappingStore:
         return self.dataset.graph(wrapper)
 
     def same_as_of(self, wrapper: IRI) -> Dict[IRI, IRI]:
-        """Attribute → feature links for ``wrapper``'s attributes."""
+        """Attribute → feature links for ``wrapper``'s attributes.
+
+        Valid metadata has at most one link per attribute; with
+        conflicting links (the MDM008 situation) the IRI-smallest
+        feature wins so the view — and everything derived from it — is
+        deterministic regardless of hash seed.
+        """
         out: Dict[IRI, IRI] = {}
         for attribute in self.source_graph.attributes_of(wrapper):
-            for feature in self.source_graph.graph.objects(attribute, OWL.sameAs):
-                if isinstance(feature, IRI):
-                    out[attribute] = feature
+            features = self.same_as_of_attribute(attribute)
+            if features:
+                out[attribute] = features[0]
         return out
 
     def same_as_of_attribute(self, attribute: IRI) -> List[IRI]:

@@ -28,7 +28,7 @@ import os
 import threading
 import time
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -49,7 +49,13 @@ from ..relational.relation import Relation
 from ..sources.fetch import FULL_FETCH, FetchRequest, apply_fetch_request
 from ..sources.wrappers import RetryPolicy, Wrapper
 from ..sparql.evaluator import evaluate_text
-from .errors import MappingError, MdmError, PlanValidationError, SourceGraphError
+from .errors import (
+    ImpactGateError,
+    MappingError,
+    MdmError,
+    PlanValidationError,
+    SourceGraphError,
+)
 from .global_graph import GlobalGraph, UmlModel
 from .lav import LavMappingStore, MappingView
 from .locking import ReadWriteLock
@@ -342,6 +348,24 @@ DEFAULT_PUSHDOWN = os.environ.get("MDM_PUSHDOWN", "1").strip().lower() not in (
 #: (0 = disabled; same opt-in freshness trade as the result cache).
 DEFAULT_WRAPPER_CACHE_SIZE = int(os.environ.get("MDM_WRAPPER_CACHE", "0"))
 
+#: Valid postures of the evolution-impact gate.
+IMPACT_GATES = ("off", "advisory", "blocking")
+
+#: Default posture of the evolution-impact gate on wrapper releases:
+#: ``off`` (no pre-release analysis), ``advisory`` (analyze and record
+#: the verdict on the release document) or ``blocking`` (additionally
+#: refuse BROKEN releases before any metadata mutates).
+DEFAULT_IMPACT_GATE = os.environ.get("MDM_IMPACT_GATE", "off").strip().lower()
+
+
+def _validated_impact_gate(value: str) -> str:
+    gate = str(value).strip().lower()
+    if gate not in IMPACT_GATES:
+        raise ValueError(
+            f"impact_gate must be one of {IMPACT_GATES}, not {value!r}"
+        )
+    return gate
+
 
 def _merge_optimization_stats(
     stage_a: Optional[OptimizationStats],
@@ -383,6 +407,7 @@ class MDM:
         validate_plans: Optional[bool] = None,
         pushdown: Optional[bool] = None,
         wrapper_cache_size: Optional[int] = None,
+        impact_gate: Optional[str] = None,
     ):
         self.dataset = Dataset(namespaces=mdm_namespace_manager())
         self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
@@ -415,6 +440,14 @@ class MDM:
         #: Fold eligible predicates/projections into the wrapper fetch
         #: (capability-gated; uncapable wrappers keep full fetches).
         self.pushdown = DEFAULT_PUSHDOWN if pushdown is None else bool(pushdown)
+        #: Evolution-impact gate posture for wrapper releases
+        #: (off/advisory/blocking — see :meth:`analyze_impact`).
+        self.impact_gate = _validated_impact_gate(
+            DEFAULT_IMPACT_GATE if impact_gate is None else impact_gate
+        )
+        #: Ring of the most recent :class:`ImpactReport` objects, newest
+        #: last (served by ``GET /impact/recent``).
+        self.impact_log: "deque" = deque(maxlen=50)
         #: Metadata generation: bumped on every ontology/source/mapping
         #: mutation; the rewrite cache keys plans by it so evolution can
         #: never serve a stale UCQ.
@@ -489,6 +522,7 @@ class MDM:
         result_cache_size: Optional[int] = None,
         pushdown: Optional[bool] = None,
         wrapper_cache_size: Optional[int] = None,
+        impact_gate: Optional[str] = None,
     ) -> Dict[str, object]:
         """Adjust the fetch pool / retry / optimizer; returns the live config."""
         if max_fetch_workers is not None:
@@ -507,6 +541,8 @@ class MDM:
             self.pushdown = bool(pushdown)
         if wrapper_cache_size is not None:
             self.wrapper_cache.resize(wrapper_cache_size)
+        if impact_gate is not None:
+            self.impact_gate = _validated_impact_gate(impact_gate)
         return self.execution_config()
 
     def execution_config(self) -> Dict[str, object]:
@@ -517,6 +553,7 @@ class MDM:
             "optimize": self.optimize,
             "validate_plans": self.validate_plans,
             "pushdown": self.pushdown,
+            "impact_gate": self.impact_gate,
             "generation": self._generation,
             "rewrite_cache": self.rewrite_cache.stats(),
             "result_cache": self.result_cache.stats(),
@@ -613,19 +650,51 @@ class MDM:
         recorded in the governance log.  ``kind`` defaults to
         ``new-source`` for the source's first wrapper and ``evolution``
         afterwards.
+
+        When :attr:`impact_gate` is not ``"off"`` the release is first
+        run through :meth:`analyze_impact` against the *unmodified*
+        metadata; ``blocking`` raises :class:`ImpactGateError` for a
+        BROKEN verdict before a single triple mutates, ``advisory`` just
+        records the verdict on the release document.
         """
         with self.metadata_lock.write_locked():
             source = self.source_iri(source_name)
             previous = self.source_graph.wrappers_of(source)
+            resolved_kind = kind or (
+                KIND_EVOLUTION if previous else KIND_NEW_SOURCE
+            )
+            impact_report = None
+            if self.impact_gate != "off":
+                from ..analysis.impact import WrapperRelease
+
+                impact_report = self.analyze_impact(
+                    WrapperRelease(
+                        source=source_name,
+                        wrapper=wrapper.name,
+                        attributes=tuple(wrapper.attributes),
+                        auto_map=False,
+                        kind=resolved_kind,
+                    )
+                )
+                if self.impact_gate == "blocking" and not impact_report.ok:
+                    raise ImpactGateError(
+                        f"impact gate: release of wrapper {wrapper.name!r} "
+                        f"under {source_name!r} is classified "
+                        f"{str(impact_report.verdict).upper()} — blocked "
+                        "before any metadata mutation",
+                        report=impact_report,
+                    )
             registration = self.source_graph.register_wrapper(
                 source, wrapper.name, wrapper.attributes
             )
             self.wrappers[wrapper.name] = wrapper
-            resolved_kind = kind or (
-                KIND_EVOLUTION if previous else KIND_NEW_SOURCE
-            )
             self.governance.record(
-                source_name, registration, resolved_kind, changes
+                source_name,
+                registration,
+                resolved_kind,
+                changes,
+                impact=impact_report,
+                gate=self.impact_gate,
             )
             self.bump_generation()
             return registration
@@ -1110,7 +1179,9 @@ class MDM:
                         registered[scan.binding_name()] = apply_fetch_request(
                             relations[name],
                             FetchRequest(
-                                filters=scan.filters, columns=scan.columns
+                                filters=scan.filters,
+                                columns=scan.columns,
+                                limit=scan.limit,
                             ),
                         )
                 for name in sorted(registered):
@@ -1700,7 +1771,9 @@ class MDM:
             if len(scans) == 1 and name not in plain:
                 scan = next(iter(scans.values()))
                 requests[name] = FetchRequest(
-                    filters=scan.filters, columns=scan.columns
+                    filters=scan.filters,
+                    columns=scan.columns,
+                    limit=scan.limit,
                 )
                 register_as[name] = scan.binding_name()
                 derived[name] = ()
@@ -1789,6 +1862,41 @@ class MDM:
         """
         with self.metadata_lock.read_locked():
             return evaluate_text(text, self.dataset, union_default=True)
+
+    def analyze_impact(self, change):
+        """Statically classify a proposed change's blast radius.
+
+        ``change`` is a :class:`repro.analysis.impact.WrapperRelease`,
+        :class:`~repro.analysis.impact.WrapperRetirement` or
+        :class:`~repro.analysis.impact.MetadataMutation`.  The analysis
+        runs under the metadata *read* lock against a shadow copy of the
+        graphs — zero generation bumps, zero wrapper fetches — and
+        returns an :class:`~repro.analysis.impact.ImpactReport` whose
+        verdict is SAFE, DEGRADED or BROKEN.  Every analysis is traced
+        (an ``impact`` span), counted
+        (``mdm_impact_checks_total{verdict}``) and kept in
+        :attr:`impact_log`.
+        """
+        from ..analysis.impact import analyze_impact as _analyze_impact
+
+        with self.metadata_lock.read_locked():
+            with get_tracer().span("impact") as span:
+                report = _analyze_impact(self, change)
+                span.set_tag("verdict", str(report.verdict))
+                span.set_tag("queries", report.checked_queries)
+        get_metrics().counter(
+            "mdm_impact_checks_total",
+            "Evolution-impact analyses by verdict.",
+            labelnames=("verdict",),
+        ).inc(1, verdict=str(report.verdict))
+        self.impact_log.append(report)
+        return report
+
+    def recent_impact(self, limit: int = 20) -> List:
+        """The most recent impact reports, newest first."""
+        reports = list(self.impact_log)
+        reports.reverse()
+        return reports[: max(0, limit)]
 
     def impact_of_source(self, source_name: str) -> Dict[str, object]:
         """Impact analysis for an upcoming release of ``source_name``.

@@ -76,10 +76,29 @@ class GovernanceLog:
         registration: WrapperRegistration,
         kind: str,
         changes: Sequence[str] = (),
+        impact=None,
+        gate: str = "off",
     ) -> Release:
-        """Append a release for ``registration`` and return it."""
+        """Append a release for ``registration`` and return it.
+
+        ``impact`` optionally carries the pre-release
+        :class:`repro.analysis.impact.ImpactReport`; its verdict is
+        stored on the release document.  With ``gate="blocking"`` a
+        BROKEN verdict raises :class:`ImpactGateError` instead of
+        recording — the defense-in-depth half of the gate
+        ``MDM.register_wrapper`` applies before mutating anything.
+        """
         if kind not in (KIND_NEW_SOURCE, KIND_EVOLUTION):
             raise ValueError(f"unknown release kind {kind!r}")
+        if impact is not None and gate == "blocking" and not impact.ok:
+            from .errors import ImpactGateError
+
+            raise ImpactGateError(
+                f"impact gate: release of wrapper "
+                f"{registration.wrapper_name!r} under {source_name!r} is "
+                f"classified {str(impact.verdict).upper()} — not recorded",
+                report=impact,
+            )
         collection = self._store.collection(self.COLLECTION)
         sequence = collection.count() + 1
         release = Release(
@@ -91,17 +110,22 @@ class GovernanceLog:
             reused_attributes=registration.reused_attributes,
             changes=tuple(changes),
         )
-        collection.insert_one(
-            {
-                "sequence": release.sequence,
-                "source": release.source_name,
-                "wrapper": release.wrapper_name,
-                "kind": release.kind,
-                "attributes": list(release.attributes),
-                "reused_attributes": list(release.reused_attributes),
-                "changes": list(release.changes),
+        document = {
+            "sequence": release.sequence,
+            "source": release.source_name,
+            "wrapper": release.wrapper_name,
+            "kind": release.kind,
+            "attributes": list(release.attributes),
+            "reused_attributes": list(release.reused_attributes),
+            "changes": list(release.changes),
+        }
+        if impact is not None:
+            document["impact"] = {
+                "verdict": str(impact.verdict),
+                "gate": gate,
+                "summary": dict(impact.summary),
             }
-        )
+        collection.insert_one(document)
         return release
 
     def history(self, source_name: Optional[str] = None) -> List[Release]:

@@ -120,6 +120,10 @@ class Scan(PlanNode):
     ``columns``
         the needed-column list (a projection the source applies), or
         ``None`` for all signature columns.
+    ``limit``
+        row cap the source applies *after* filtering, or ``None`` for
+        all rows (mirrors ``FetchRequest.limit``; only meaningful for
+        wrappers declaring the ``limit`` capability).
 
     A plain ``Scan(name)`` is a full fetch; ``is_pushed()`` tells the
     two apart and ``binding_name()`` gives the catalog name the fetched
@@ -129,10 +133,15 @@ class Scan(PlanNode):
     relation_name: str
     filters: Tuple[Tuple[str, str, Any], ...] = field(default=())
     columns: Optional[Tuple[str, ...]] = field(default=None)
+    limit: Optional[int] = field(default=None)
 
     def is_pushed(self) -> bool:
-        """Whether this scan carries pushed filters or a column list."""
-        return bool(self.filters) or self.columns is not None
+        """Whether this scan carries pushed filters, columns or a limit."""
+        return (
+            bool(self.filters)
+            or self.columns is not None
+            or self.limit is not None
+        )
 
     def binding_name(self) -> str:
         """Catalog/executor name for this scan's (possibly pushed) output.
@@ -148,6 +157,8 @@ class Scan(PlanNode):
             parts.append(f"σ[{rendered}]")
         if self.columns is not None:
             parts.append(f"π[{','.join(self.columns)}]")
+        if self.limit is not None:
+            parts.append(f"limit[{self.limit}]")
         return "".join(parts)
 
     def output_schema(self, catalog: Catalog) -> RelationSchema:
@@ -175,6 +186,8 @@ class Scan(PlanNode):
             )
         if self.columns is not None:
             inner.append("π: " + ", ".join(self.columns))
+        if self.limit is not None:
+            inner.append(f"limit: {self.limit}")
         return f"{self.relation_name}⟨{'; '.join(inner)}⟩"
 
     def children(self) -> Tuple[PlanNode, ...]:

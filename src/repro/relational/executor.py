@@ -174,6 +174,8 @@ def _op_label(plan: PlanNode, catalog: Optional[Catalog] = None) -> str:
                 detail.append(f"σ[{rendered}]")
             if plan.columns is not None:
                 detail.append(f"π[{len(plan.columns)} cols]")
+            if plan.limit is not None:
+                detail.append(f"limit[{plan.limit}]")
             return f"Scan({plan.relation_name} {' '.join(detail)})"
         return f"Scan({plan.relation_name})"
     if isinstance(plan, Project):
@@ -450,7 +452,7 @@ class Executor:
         # the full base relation with identical semantics, and register
         # it so repeated scans of the same binding reuse the result.
         base = self.relation(plan.relation_name)
-        derived = apply_pushdown(base, plan.filters, plan.columns)
+        derived = apply_pushdown(base, plan.filters, plan.columns, plan.limit)
         self._relations[binding] = derived
         return derived
 

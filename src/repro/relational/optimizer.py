@@ -86,7 +86,10 @@ def plan_key(plan: PlanNode, cache: Optional[Dict[int, str]] = None) -> str:
             return hit
     if isinstance(plan, Scan):
         if plan.is_pushed():
-            key = f"S({plan.relation_name!r};{plan.filters!r};{plan.columns!r})"
+            key = (
+                f"S({plan.relation_name!r};{plan.filters!r};"
+                f"{plan.columns!r};{plan.limit!r})"
+            )
         else:
             key = f"S({plan.relation_name!r})"
     elif isinstance(plan, Project):
@@ -530,6 +533,11 @@ class PlanOptimizer:
         caps = self.pushdown_capabilities.get(child.relation_name)
         if not caps or "filters" not in caps:
             return None
+        if child.limit is not None:
+            # The pushed limit truncates *after* the scan's own filters;
+            # folding a further filter underneath it would change which
+            # rows the cap keeps.
+            return None
         conjunct = self._pushable_conjunct(plan.predicate)
         if conjunct is None:
             return None
@@ -563,7 +571,9 @@ class PlanOptimizer:
         if not set(plan.names) <= set(current):
             return None
         stats.count("project_pushed_into_scan")
-        return Scan(child.relation_name, child.filters, tuple(plan.names))
+        return Scan(
+            child.relation_name, child.filters, tuple(plan.names), child.limit
+        )
 
     def _push_select_union(
         self, plan: Select, child: Union, stats: OptimizationStats

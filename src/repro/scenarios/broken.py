@@ -38,6 +38,8 @@ EXPECTED_CODES: FrozenSet[str] = frozenset(
         "MDM010",  # saved query that no longer rewrites
         "MDM011",  # mapped wrapper without a runtime object
         "MDM014",  # disconnected named graph
+        "MDM019",  # mapped wrapper whose named graph touches no concept
+        "MDM020",  # saved query pinned to a superseded release
     }
 )
 
@@ -83,6 +85,17 @@ def broken_mdm() -> MDM:
     mdm.add_identifier(EX.orphanId, EX.Orphaned, "orphanId")
     walk = mdm.walk_from_nodes([EX.Orphaned, EX.orphanId])
     mdm.saved_queries.save("orphan-report", walk, "breaks after corruption")
+
+    # MDM020: a saved query over Person, pinned once wPeopleV2 ships.
+    directory = mdm.walk_from_nodes([person, EX.personName])
+    mdm.saved_queries.save("person-directory", directory, "pinned to wPeople")
+    # wPeopleV2 supersedes wPeople (same source, later release, superset
+    # signature) but is never mapped, so person-directory keeps rewriting
+    # over wPeople alone.
+    mdm.register_wrapper(
+        "people",
+        StaticWrapper("wPeopleV2", ["id", "name", "extra", "legacy", "email"], []),
+    )
 
     # ---- corruption phase: direct graph surgery, bypassing the guards ---- #
     from ..core.vocabulary import G
@@ -135,6 +148,14 @@ def broken_mdm() -> MDM:
 
     # MDM010 trigger: drop the only mapping that covered EX.Orphaned.
     # (It never had one — the saved query above rewrites to no cover.)
+
+    # MDM019: wAdrift gets a hand-made named graph holding a lone feature
+    # triple — subgraph of the global graph (no MDM001), connected (no
+    # MDM014), but touching no concept.  define_mapping would reject it
+    # (MDM016: unpopulated feature), hence the direct surgery.
+    mdm.register_wrapper("people", StaticWrapper("wAdrift", ["x1"], []))
+    w_adrift = mdm.wrapper_iri("wAdrift")
+    mdm.dataset.graph(w_adrift).add((EX.lostField, RDF.type, G.Feature))
 
     mdm.bump_generation()
     return mdm

@@ -23,6 +23,12 @@ Querying (analyst):
     ``GET  /metadata/trig``              the TriG snapshot
     ``GET  /lint``                       static diagnostics (?saved=false, ?plans=false)
 
+Impact analysis (steward):
+    ``POST /impact``                     what-if over a proposed change:
+                                         {"retire": name} | {"release": {...}} | {"mutation": {...}}
+    ``GET  /impact/recent``              recent what-if reports (?limit=N)
+    ``GET  /impact/:source``             descriptive impact of one source
+
 Observability (operator):
     ``GET  /metrics``                    Prometheus text exposition
     ``GET  /metrics/summary``            per-histogram count/mean/p50/p95/p99
@@ -102,6 +108,9 @@ class MdmService:
         add("POST", "/queries/saved/:name/run", self._run_saved_query)
         add("DELETE", "/queries/saved/:name", self._delete_saved_query)
         add("GET", "/queries/revalidate", self._revalidate_saved)
+        # literal /impact/recent must register before the :source pattern.
+        add("POST", "/impact", self._post_impact)
+        add("GET", "/impact/recent", self._get_recent_impact)
         add("GET", "/impact/:source", self._get_impact)
         add("GET", "/lint", self._get_lint)
         add("GET", "/report", self._get_report)
@@ -396,6 +405,40 @@ class MdmService:
         except MdmError as exc:
             raise ServiceError(404, str(exc)) from exc
 
+    def _post_impact(self, request: JsonRequest) -> Dict[str, Any]:
+        """Static what-if analysis of a proposed change.
+
+        Body: the proposed-change JSON — ``{"retire": "w1"}``,
+        ``{"release": {"source", "wrapper", "attributes"? | "base_wrapper"?
+        + "changes"?, ...}}`` or ``{"mutation": {"method", "args"?,
+        "kwargs"?}}`` (see :func:`repro.analysis.impact.change_from_json`).
+        Runs against a shadow copy of the metadata graph: no source rows
+        are fetched and the generation counter does not move.
+        """
+        from ..analysis.impact import change_from_json
+
+        body = request.body
+        if not isinstance(body, Mapping):
+            raise ServiceError(400, "body must be a proposed-change object")
+        try:
+            change = change_from_json(body)
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ServiceError(400, f"invalid proposed change: {exc}") from exc
+        report = self.mdm.analyze_impact(change)
+        return report.to_json_dict()
+
+    def _get_recent_impact(self, request: JsonRequest) -> Dict[str, Any]:
+        """The most recent impact analyses (``?limit=N``, default 20)."""
+        try:
+            limit = int(request.query.get("limit", "20"))
+        except ValueError:
+            raise ServiceError(400, "limit must be an integer") from None
+        reports = self.mdm.recent_impact(limit)
+        return {
+            "total": len(self.mdm.impact_log),
+            "reports": [r.to_json_dict() for r in reports],
+        }
+
     def _get_lint(self, request: JsonRequest) -> Dict[str, Any]:
         """Static diagnostics: metadata rules plus saved-plan schema checks.
 
@@ -520,6 +563,7 @@ class MdmService:
         Body: ``{"max_fetch_workers"?: int, "optimize"?: bool,
         "result_cache_size"?: int, "pushdown"?: bool,
         "wrapper_cache_size"?: int,
+        "impact_gate"?: "off"|"advisory"|"blocking",
         "retry"?: {"attempts"?, "timeout_s"?, "backoff_base_s"?,
         "backoff_multiplier"?, "max_backoff_s"?}}`` — omitted parts keep
         their current value.
@@ -564,6 +608,7 @@ class MdmService:
                 result_cache_size=None if rc_size is None else int(rc_size),
                 pushdown=None if pushdown is None else bool(pushdown),
                 wrapper_cache_size=None if wc_size is None else int(wc_size),
+                impact_gate=body.get("impact_gate"),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, str(exc)) from exc

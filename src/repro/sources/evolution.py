@@ -34,6 +34,7 @@ __all__ = [
     "FlattenField",
     "EndpointVersion",
     "release_version",
+    "evolve_signature",
 ]
 
 
@@ -50,6 +51,16 @@ class SchemaChange:
     def describe(self) -> str:
         """Human-readable change description for governance logs."""
         raise NotImplementedError
+
+    def signature_effect(self, names: Sequence[str]) -> List[str]:
+        """The attribute-name-level effect of this change on a signature.
+
+        This is the *static* shadow of :meth:`apply`: the impact analyzer
+        derives a proposed wrapper's signature from its predecessor's
+        without materialising a single record.  Changes that only touch
+        values (``ChangeType``) leave the names untouched.
+        """
+        return list(names)
 
 
 @dataclass(frozen=True)
@@ -69,6 +80,9 @@ class RenameField(SchemaChange):
     def describe(self) -> str:
         return f"rename {self.old} -> {self.new}"
 
+    def signature_effect(self, names: Sequence[str]) -> List[str]:
+        return [self.new if n == self.old else n for n in names]
+
 
 @dataclass(frozen=True)
 class RemoveField(SchemaChange):
@@ -84,6 +98,9 @@ class RemoveField(SchemaChange):
 
     def describe(self) -> str:
         return f"remove {self.name}"
+
+    def signature_effect(self, names: Sequence[str]) -> List[str]:
+        return [n for n in names if n != self.name]
 
 
 @dataclass(frozen=True)
@@ -101,6 +118,12 @@ class AddField(SchemaChange):
 
     def describe(self) -> str:
         return f"add {self.name}"
+
+    def signature_effect(self, names: Sequence[str]) -> List[str]:
+        out = list(names)
+        if self.name not in out:
+            out.append(self.name)
+        return out
 
 
 @dataclass(frozen=True)
@@ -141,6 +164,11 @@ class NestFields(SchemaChange):
     def describe(self) -> str:
         return f"nest {list(self.names)} under {self.under}"
 
+    def signature_effect(self, names: Sequence[str]) -> List[str]:
+        out = [n for n in names if n not in set(self.names)]
+        out.append(self.under)
+        return out
+
 
 @dataclass(frozen=True)
 class FlattenField(SchemaChange):
@@ -160,6 +188,11 @@ class FlattenField(SchemaChange):
 
     def describe(self) -> str:
         return f"flatten {self.name}"
+
+    def signature_effect(self, names: Sequence[str]) -> List[str]:
+        # The sub-object's keys are value-level information; statically we
+        # only know the nested container disappears from the signature.
+        return [n for n in names if n != self.name]
 
 
 @dataclass
@@ -201,6 +234,20 @@ class EndpointVersion:
     def changelog(self) -> List[str]:
         """Descriptions of every change since the base version."""
         return [c.describe() for c in self.changes]
+
+
+def evolve_signature(
+    names: Sequence[str], changes: Sequence[SchemaChange]
+) -> List[str]:
+    """Fold a change pipeline over a signature's attribute names.
+
+    The static counterpart of :meth:`EndpointVersion.provider`: what the
+    successor wrapper's signature looks like, derived without records.
+    """
+    out = list(names)
+    for change in changes:
+        out = change.signature_effect(out)
+    return out
 
 
 def release_version(

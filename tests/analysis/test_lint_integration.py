@@ -175,6 +175,103 @@ def test_cli_lint_json_format(capsys):
     assert EXPECTED_CODES <= codes
 
 
+# --- exit-code matrix: --strict × --format json × error/warning-only --- #
+
+
+def _warning_only_store(tmp_path):
+    """A snapshot that lints to warnings only (MDM011: no runtimes)."""
+    from repro.service.persistence import save_mdm
+
+    store = str(tmp_path / "snap")
+    save_mdm(FootballScenario.build(anchors_only=True).mdm, store)
+    return store
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+@pytest.mark.parametrize("strict", [False, True])
+def test_cli_lint_matrix_errors_always_exit_one(fmt, strict, capsys):
+    argv = ["lint", "--scenario", "broken", "--format", fmt]
+    if strict:
+        argv.append("--strict")
+    assert cli_main(argv) == 1
+    out = capsys.readouterr().out
+    if fmt == "json":
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["summary"]["error"] >= 1
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+@pytest.mark.parametrize("strict,expected", [(False, 0), (True, 1)])
+def test_cli_lint_matrix_warnings_gate_on_strict(
+    fmt, strict, expected, tmp_path, capsys
+):
+    store = _warning_only_store(tmp_path)
+    argv = ["lint", "--store", store, "--format", fmt]
+    if strict:
+        argv.append("--strict")
+    assert cli_main(argv) == expected
+    out = capsys.readouterr().out
+    if fmt == "json":
+        payload = json.loads(out)
+        # JSON changes the output shape, never the verdict: warnings
+        # only, no errors, identical regardless of --strict.
+        assert payload["summary"].get("error", 0) == 0
+        assert payload["summary"]["warning"] >= 1
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+@pytest.mark.parametrize("strict", [False, True])
+def test_cli_lint_matrix_clean_always_exit_zero(fmt, strict, capsys):
+    argv = ["lint", "--scenario", "football", "--format", fmt]
+    if strict:
+        argv.append("--strict")
+    assert cli_main(argv) == 0
+    capsys.readouterr()
+
+
+def test_lint_help_documents_exit_codes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["lint", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "exit codes" in out
+    assert "--strict" in out
+
+
+def test_lint_report_exit_code_unit_matrix():
+    from repro.analysis.diagnostics import Severity, SourceLocation
+    from repro.analysis.lint import LintReport
+    from repro.analysis.metadata_rules import METADATA_RULES
+
+    error = METADATA_RULES["MDM006"].finding(
+        "dangling", SourceLocation("graph-node", "x")
+    )
+    warning = METADATA_RULES["MDM009"].finding(
+        "unmapped", SourceLocation("wrapper", "w")
+    )
+    assert error.severity is Severity.ERROR
+    assert warning.severity is Severity.WARNING
+
+    def report(findings):
+        from repro.analysis.diagnostics import severity_counts
+
+        return LintReport(
+            findings=tuple(findings), summary=severity_counts(findings)
+        )
+
+    clean = report([])
+    warn_only = report([warning])
+    err_only = report([error])
+    both = report([error, warning])
+    for strict in (False, True):
+        assert clean.exit_code(strict=strict) == 0
+        assert err_only.exit_code(strict=strict) == 1
+        assert both.exit_code(strict=strict) == 1
+    assert warn_only.exit_code(strict=False) == 0
+    assert warn_only.exit_code(strict=True) == 1
+
+
 # --- HTTP --------------------------------------------------------------- #
 
 

@@ -139,3 +139,75 @@ def test_nested_paths_in_locations():
     plan = Union(Project(Scan("people"), ("ghost",)), Project(Scan("people"), ("id",)))
     findings, _ = check_plan(plan, CATALOG)
     assert findings[0].location.name == "Union[0]/Project"
+
+
+# --- pushed scans carrying a limit ------------------------------------- #
+
+
+def test_pushed_scan_with_limit_only_keeps_schema():
+    findings, schema = check_plan(Scan("people", limit=10), CATALOG)
+    assert findings == []
+    assert list(schema.names) == ["id", "name", "active"]
+
+
+def test_pushed_scan_limit_with_bad_filter_mdm102():
+    plan = Scan("people", filters=(("ghost", "=", 1),), limit=5)
+    findings, schema = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM102"]
+    assert findings[0].location.detail == "ghost"
+    # Bad filter columns do not invalidate the scan's output schema.
+    assert list(schema.names) == ["id", "name", "active"]
+
+
+def test_pushed_scan_limit_with_bad_projection_mdm102():
+    plan = Scan("people", columns=("id", "ghost"), limit=5)
+    findings, schema = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM102"]
+    assert schema is None
+
+
+def test_pushed_scan_limit_with_boolean_ordering_mdm105():
+    plan = Scan("people", filters=(("active", "<", True),), limit=3)
+    findings, _ = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM105"]
+
+
+def test_limit_distinguishes_pushed_binding_names():
+    assert Scan("people", limit=3).binding_name() != Scan("people").binding_name()
+    assert (
+        Scan("people", limit=3).binding_name()
+        != Scan("people", limit=4).binding_name()
+    )
+
+
+# --- unions mixing pushed (capable) and plain (uncapable) scans --------- #
+
+
+def test_union_of_pushed_and_plain_scan_compatible():
+    plan = Union(
+        Project(Scan("people", filters=(("id", "=", 1),), limit=2), ("id",)),
+        Project(Scan("people"), ("id",)),
+    )
+    findings, schema = check_plan(plan, CATALOG)
+    assert findings == []
+    assert list(schema.names) == ["id"]
+
+
+def test_union_flags_error_only_in_pushed_branch():
+    plan = Union(
+        Scan("people", filters=(("ghost", "=", 1),), limit=2),
+        Scan("people"),
+    )
+    findings, _ = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM102"]
+    assert findings[0].location.name.startswith("Union[0]")
+
+
+def test_union_of_projected_pushed_scan_incompatible_mdm103():
+    plan = Union(
+        Scan("people", columns=("id", "name"), limit=2),
+        Scan("accounts"),
+    )
+    findings, schema = check_plan(plan, CATALOG)
+    assert codes(findings) == ["MDM103"]
+    assert schema is None
