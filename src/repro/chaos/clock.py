@@ -1,0 +1,134 @@
+"""Virtual time for deterministic fault testing.
+
+Retry backoff, failpoint delays and timeout tests all want to *reason*
+about time without *spending* it: a test that proves exponential backoff
+sleeps ``0.01, 0.02, 0.04`` should finish in microseconds, and a chaos
+run that injects a 5-second stall must not stall the suite for 5
+seconds.  This module provides the single seam through which the
+retry/backoff machinery (``RetryPolicy.sleep``) and the failpoint
+``delay`` trigger obtain time:
+
+- :class:`SystemClock` — the default; delegates to :mod:`time`.
+- :class:`VirtualClock` — ``sleep`` advances a virtual ``now`` instantly
+  and records every requested duration in :attr:`VirtualClock.sleeps`,
+  so tests can assert the exact backoff schedule with zero wall time.
+
+The process-wide clock is swapped with :func:`set_clock` or, scoped, the
+:func:`use_clock` context manager tests rely on.  Module-level
+:func:`sleep`/:func:`now` consult whatever clock is active *at call
+time*, which is what lets a frozen ``RetryPolicy`` created before the
+swap still honor the virtual clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from contextlib import contextmanager
+from typing import Iterator, List
+
+__all__ = [
+    "SystemClock",
+    "VirtualClock",
+    "get_clock",
+    "set_clock",
+    "use_clock",
+    "sleep",
+    "now",
+]
+
+
+class SystemClock:
+    """Real wall-clock time; the process default."""
+
+    def time(self) -> float:
+        return _time.time()
+
+    def monotonic(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+
+class VirtualClock:
+    """A clock whose ``sleep`` advances virtual time instead of waiting.
+
+    Thread-safe: parallel fetch workers may sleep concurrently.  Every
+    requested duration is appended to :attr:`sleeps` in call order, which
+    is how backoff tests assert the exact schedule.
+    """
+
+    def __init__(self, start: float = 1_000_000.0):
+        self._now = start
+        self._lock = threading.Lock()
+        #: Durations passed to :meth:`sleep`, in call order.
+        self.sleeps: List[float] = []
+
+    def time(self) -> float:
+        with self._lock:
+            return self._now
+
+    def monotonic(self) -> float:
+        return self.time()
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(seconds)
+            if seconds > 0:
+                self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+
+    @property
+    def total_slept(self) -> float:
+        with self._lock:
+            return sum(s for s in self.sleeps if s > 0)
+
+
+_clock = SystemClock()
+_clock_lock = threading.Lock()
+
+
+def get_clock():
+    """The process-wide clock (a :class:`SystemClock` unless swapped)."""
+    return _clock
+
+
+def set_clock(clock) -> None:
+    """Install ``clock`` process-wide; pass a fresh ``SystemClock`` to reset."""
+    global _clock
+    with _clock_lock:
+        _clock = clock
+
+
+@contextmanager
+def use_clock(clock) -> Iterator[object]:
+    """Scoped clock swap — the test isolation primitive::
+
+        with use_clock(VirtualClock()) as clock:
+            wrapper.fetch_retrying(policy)
+            assert clock.sleeps == [0.01, 0.02]
+    """
+    previous = get_clock()
+    set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+def sleep(seconds: float) -> None:
+    """Sleep on the *currently active* clock (the retry-policy default)."""
+    get_clock().sleep(seconds)
+
+
+def now() -> float:
+    """Current time on the active clock."""
+    return get_clock().time()

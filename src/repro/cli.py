@@ -479,6 +479,11 @@ def cmd_serve(args) -> int:
         result_cache_size=args.result_cache,
         wrapper_cache_size=args.wrapper_cache,
     )
+    if args.failpoints:
+        from .chaos.failpoints import get_failpoints
+
+        armed = get_failpoints().arm_spec(args.failpoints)
+        print(f"armed failpoints: {', '.join(p.site for p in armed)}")
     service = MdmService(mdm)
     server = MdmHttpServer(
         service,
@@ -785,6 +790,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="serve for N seconds then exit (smoke tests; default: forever)",
+    )
+    p_serve.add_argument(
+        "--failpoints",
+        default=None,
+        metavar="SPEC",
+        help="arm failpoints before serving, e.g. "
+        "'wrapper.fetch[w1]=error:nth(2);retry.sleep=delay(0)' "
+        "(also settable live via POST /failpoints)",
     )
     _add_execution_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)

@@ -22,6 +22,9 @@ __all__ = [
     "GavUnfoldingError",
     "PlanValidationError",
     "ImpactGateError",
+    "PersistenceError",
+    "SnapshotMissingError",
+    "SnapshotCorruptError",
 ]
 
 
@@ -77,6 +80,39 @@ class ImpactGateError(MdmError):
     def __init__(self, message, report=None):
         super().__init__(message)
         self.report = report
+
+
+class PersistenceError(MdmError):
+    """A saved MDM snapshot could not be written or read back."""
+
+
+class SnapshotMissingError(PersistenceError, FileNotFoundError):
+    """A snapshot file is absent from the saved directory.
+
+    Also a :class:`FileNotFoundError` so callers that predate the typed
+    hierarchy keep working.
+    """
+
+    def __init__(self, path, detail=""):
+        self.path = path
+        message = f"no snapshot file at {path}"
+        if detail:
+            message = f"{message}: {detail}"
+        PersistenceError.__init__(self, message)
+
+
+class SnapshotCorruptError(PersistenceError):
+    """A snapshot file exists but does not parse (truncated or mangled).
+
+    ``path`` names the offending file and ``cause`` keeps the original
+    parser exception for post-mortems.
+    """
+
+    def __init__(self, path, cause=None):
+        self.path = path
+        self.cause = cause
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(f"corrupt snapshot file {path}{detail}")
 
 
 class WalkError(MdmError):

@@ -20,16 +20,30 @@ with the two properties MDM needs:
   otherwise starve forever; reentrant re-acquisitions are exempt so an
   in-flight reader can always finish.
 
-Standard library only; no imports from the rest of :mod:`repro`.
+Standard library only; no imports from the rest of :mod:`repro`.  Fault
+injection therefore arrives through an *injected* hook rather than an
+import: :mod:`repro.chaos.failpoints` calls :func:`set_failpoint_hook`
+when it loads, after which ``lock.read`` / ``lock.write`` failpoints can
+stall or fail acquisitions in chaos tests.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
-__all__ = ["ReadWriteLock"]
+__all__ = ["ReadWriteLock", "set_failpoint_hook"]
+
+#: Installed by repro.chaos.failpoints; None until the chaos package
+#: loads, and a two-load no-op check on every acquisition afterwards.
+_failpoint_hook: Optional[Callable[[str], None]] = None
+
+
+def set_failpoint_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Register the chaos ``fire`` callback for lock-acquisition sites."""
+    global _failpoint_hook
+    _failpoint_hook = hook
 
 
 class ReadWriteLock:
@@ -59,6 +73,8 @@ class ReadWriteLock:
 
     def acquire_read(self) -> None:
         """Enter a shared section (blocks while a writer holds or waits)."""
+        if _failpoint_hook is not None:
+            _failpoint_hook("lock.read")
         me = threading.get_ident()
         depth = self._read_depth()
         if depth > 0 or self._writer == me:
@@ -100,6 +116,8 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         """Enter the exclusive section (blocks until all readers drain)."""
+        if _failpoint_hook is not None:
+            _failpoint_hook("lock.write")
         me = threading.get_ident()
         if self._writer == me:
             self._writer_depth += 1

@@ -408,7 +408,27 @@ class MDM:
         pushdown: Optional[bool] = None,
         wrapper_cache_size: Optional[int] = None,
         impact_gate: Optional[str] = None,
+        failpoints: Optional[object] = None,
     ):
+        if failpoints is not None:
+            # Arm the process-wide failpoint registry: a spec string
+            # ("site=mode:cond;…"), or a pre-built FailpointRegistry.
+            # $MDM_FAILPOINTS arms the same registry at import time.
+            from ..chaos.failpoints import (
+                FailpointRegistry,
+                get_failpoints,
+                set_failpoints,
+            )
+
+            if isinstance(failpoints, str):
+                get_failpoints().arm_spec(failpoints)
+            elif isinstance(failpoints, FailpointRegistry):
+                set_failpoints(failpoints)
+            else:
+                raise TypeError(
+                    "failpoints must be a spec string or a FailpointRegistry, "
+                    f"not {type(failpoints).__name__}"
+                )
         self.dataset = Dataset(namespaces=mdm_namespace_manager())
         self.global_graph = GlobalGraph(self.dataset.graph(M.globalGraph))
         self.source_graph = SourceGraph(self.dataset.graph(M.sourceGraph))

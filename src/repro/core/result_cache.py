@@ -39,6 +39,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
+from ..chaos.failpoints import fire as _failpoint
 from ..obs import get_metrics
 from .rewrite_cache import walk_cache_key
 from .walks import Walk
@@ -102,6 +103,7 @@ class ResultCache:
         """
         if not self.enabled:
             return None
+        _failpoint("cache.result")
         key = self.key_for(walk, generation, optimize, pushdown)
         metrics = get_metrics()
         with self._lock:

@@ -24,6 +24,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from ..chaos.failpoints import fire as _failpoint
 from ..obs import get_metrics
 from .walks import Walk
 
@@ -65,6 +66,7 @@ class RewriteCache:
 
     def get(self, walk: Walk, generation: int) -> Optional[Any]:
         """The cached rewrite for ``walk`` at ``generation``, or None."""
+        _failpoint("cache.rewrite")
         key = (walk_cache_key(walk), generation)
         metrics = get_metrics()
         with self._lock:

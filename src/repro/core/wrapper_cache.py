@@ -34,6 +34,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
+from ..chaos.failpoints import fire as _failpoint
 from ..obs import get_metrics
 from ..relational.relation import Relation
 from ..sources.fetch import FULL_FETCH, FetchRequest, apply_fetch_request
@@ -81,6 +82,7 @@ class WrapperCache:
         """
         if not self.enabled:
             return None
+        _failpoint("cache.wrapper", key=wrapper)
         key = self.key_for(wrapper, request, generation)
         metrics = get_metrics()
         with self._lock:

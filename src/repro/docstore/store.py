@@ -25,6 +25,7 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
 
+from ..chaos.failpoints import fire as _failpoint
 from .matching import FilterError, matches, resolve_path
 
 __all__ = ["Collection", "DocumentStore", "DuplicateKeyError"]
@@ -56,7 +57,8 @@ class Collection:
 
     def insert_one(self, document: Mapping[str, Any]) -> str:
         """Insert a copy of ``document``; returns its ``_id``."""
-        doc = copy.deepcopy(dict(document))
+        doc = _failpoint("docstore.write", payload=copy.deepcopy(dict(document)),
+                         key=self.name)
         with self._lock:
             doc_id = doc.get("_id")
             if doc_id is None:
@@ -77,6 +79,7 @@ class Collection:
 
     def replace_one(self, query: Mapping[str, Any], document: Mapping[str, Any]) -> int:
         """Replace the first match wholesale (keeping its ``_id``)."""
+        _failpoint("docstore.write", key=self.name)
         with self._lock:
             for doc_id, existing in self._documents.items():
                 if matches(existing, query):
@@ -304,6 +307,7 @@ class DocumentStore:
 
     def save(self, path: Optional[os.PathLike] = None) -> Path:
         """Write all collections as JSON lines; atomic via temp + rename."""
+        _failpoint("docstore.save")
         target = Path(path) if path is not None else self._path
         if target is None:
             raise ValueError("no persistence path configured")

@@ -126,6 +126,8 @@ class MdmService:
         add("POST", "/obs/tracing", self._post_tracing)
         add("GET", "/config/execution", self._get_execution_config)
         add("POST", "/config/execution", self._post_execution_config)
+        add("GET", "/failpoints", self._get_failpoints)
+        add("POST", "/failpoints", self._post_failpoints)
 
     def _post_concept(self, request: JsonRequest) -> Dict[str, Any]:
         (iri_text,) = request.require("iri")
@@ -613,6 +615,47 @@ class MdmService:
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, str(exc)) from exc
         return self.mdm.execution_config()
+
+    def _get_failpoints(self, request: JsonRequest) -> Dict[str, Any]:
+        """Armed failpoints, trigger counts and the recent trigger log."""
+        from ..chaos.failpoints import get_failpoints
+
+        return get_failpoints().state()
+
+    def _post_failpoints(self, request: JsonRequest) -> Dict[str, Any]:
+        """Operate the process failpoint registry (chaos testing surface).
+
+        Body (any combination; applied in this order):
+        ``{"clear"?: true, "spec"?: "site=mode:cond;…",
+        "disarm"?: "site", "release"?: "site" | true}`` — ``release``
+        frees threads blocked on ``hang`` failpoints.  Returns the
+        registry state, like ``GET /failpoints``.
+        """
+        from ..chaos.failpoints import get_failpoints
+
+        body = request.body
+        if not isinstance(body, dict) or not body:
+            raise ServiceError(
+                400, "body must be an object with spec/disarm/release/clear"
+            )
+        registry = get_failpoints()
+        if body.get("clear"):
+            registry.clear()
+        spec = body.get("spec")
+        if spec is not None:
+            if not isinstance(spec, str):
+                raise ServiceError(400, "spec must be a failpoint spec string")
+            try:
+                registry.arm_spec(spec)
+            except ValueError as exc:
+                raise ServiceError(400, str(exc)) from exc
+        disarm = body.get("disarm")
+        if disarm is not None:
+            registry.disarm(str(disarm))
+        release = body.get("release")
+        if release is not None:
+            registry.release(None if release is True else str(release))
+        return registry.state()
 
     def _get_trig(self, request: JsonRequest) -> Dict[str, Any]:
         return {"trig": self.mdm.to_trig()}

@@ -32,6 +32,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
 from urllib.parse import parse_qsl, urlparse
 
+from ..chaos.failpoints import FailpointError
+from ..chaos.failpoints import fire as _failpoint
 from ..obs import get_metrics
 from .api import MdmService
 
@@ -95,6 +97,14 @@ class _MdmRequestHandler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         server = self.server
+        try:
+            # Chaos hook: delay/hang simulate a slow accept loop, error
+            # turns into a 503 the way a dying front end would answer.
+            _failpoint("service.admission")
+        except FailpointError as exc:
+            self._read_body()
+            self._send(503, {"error": str(exc)})
+            return
         if not server.admission.acquire(blocking=False):
             # Saturated: drain the request so the client can read the
             # response, then bounce with back-pressure advice.

@@ -126,6 +126,8 @@ def apply_fetch_request(relation: Relation, request: FetchRequest) -> Relation:
     ``Select`` + ``Project`` in the executor, so capable and uncapable
     wrappers agree byte-for-byte.
     """
+    from ..chaos.failpoints import fire as _failpoint
     from ..relational.executor import apply_pushdown
 
+    _failpoint("fetch.apply", key=relation.name)
     return apply_pushdown(relation, request.filters, request.columns, request.limit)

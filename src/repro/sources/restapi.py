@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..chaos.failpoints import FailpointError
+from ..chaos.failpoints import fire as _failpoint
 from .formats import encode_csv, encode_json, encode_xml
 
 __all__ = [
@@ -161,6 +163,13 @@ class MockRestServer:
         records = self._apply_filters(records, request.params, endpoint)
         records, page_info = self._apply_pagination(records, request.params, endpoint)
         body = self._encode(records, endpoint)
+        try:
+            # error → 503 (real REST backends fail with a status code,
+            # not a Python exception inside the server); corrupt mangles
+            # the encoded body so decode/schema checks trip downstream.
+            body = _failpoint("restapi.get", payload=body, key=path)
+        except FailpointError as exc:
+            return Response(503, "text/plain", str(exc))
         return Response(200, _MIME[endpoint.payload_format], body)
 
     def get_or_raise(self, path: str, params: Optional[Mapping[str, str]] = None) -> Response:

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..chaos import clock as chaos_clock
+from ..chaos.failpoints import fire as _failpoint
 from ..obs import get_metrics, get_tracer
 from ..relational.relation import Relation
 from ..relational.types import AttrType
@@ -105,7 +107,10 @@ class RetryPolicy:
     ``max_backoff_s``, plus ``jitter(attempt)`` when a jitter hook is
     given — the hook keeps backoff deterministic under test (pass e.g.
     ``lambda attempt: 0.0``) while real deployments can plug randomness.
-    ``sleep`` is injectable for the same reason.
+    ``sleep`` is injectable for the same reason; its default goes through
+    :func:`repro.chaos.clock.sleep`, so installing a
+    :class:`~repro.chaos.clock.VirtualClock` makes every backoff instant
+    (and recorded) without touching the policy.
 
     The default policy (one attempt, no timeout) is semantically the
     plain ``fetch()`` call: the original exception propagates unwrapped.
@@ -117,7 +122,7 @@ class RetryPolicy:
     backoff_multiplier: float = 2.0
     max_backoff_s: float = 2.0
     jitter: Optional[Callable[[int], float]] = None
-    sleep: Callable[[float], None] = time.sleep
+    sleep: Callable[[float], None] = chaos_clock.sleep
 
     def __post_init__(self):
         if self.attempts < 1:
@@ -256,6 +261,7 @@ class Wrapper:
         metrics = get_metrics()
         if policy.attempts == 1 and policy.timeout_s is None:
             try:
+                _failpoint("wrapper.fetch", key=self.name)
                 return (call() if call is not None else self.fetch()), 1
             except Exception:
                 metrics.counter(
@@ -267,6 +273,7 @@ class Wrapper:
         last_error: Optional[BaseException] = None
         for attempt in range(1, policy.attempts + 1):
             try:
+                _failpoint("wrapper.fetch", key=self.name)
                 return self._fetch_bounded(policy.timeout_s, attempt, call), attempt
             except Exception as exc:  # noqa: BLE001 — policy decides
                 last_error = exc
@@ -276,6 +283,7 @@ class Wrapper:
                         "Wrapper fetch attempts that failed and were retried.",
                         labelnames=("wrapper",),
                     ).inc(wrapper=self.name)
+                    _failpoint("retry.sleep", key=self.name)
                     policy.sleep(policy.backoff_s(attempt))
         metrics.counter(
             "mdm_wrapper_failure_total",
@@ -341,6 +349,7 @@ class Wrapper:
                     )
                 else:
                     rows, attempts = self.fetch_retrying(retry)
+                    rows = _failpoint("wrapper.payload", payload=rows, key=self.name)
                     result = FetchResult(
                         relation=Relation.from_dicts(
                             rows,

@@ -1,0 +1,24 @@
+"""Shared chaos fixtures: an isolated failpoint registry + virtual clock."""
+
+import pytest
+
+from repro.chaos import FailpointRegistry, VirtualClock, set_failpoints, use_clock
+
+
+@pytest.fixture
+def failpoints():
+    """A fresh process failpoint registry for one test, seeded 0."""
+    registry = FailpointRegistry(seed=0)
+    set_failpoints(registry)
+    try:
+        yield registry
+    finally:
+        registry.release()
+        set_failpoints(None)
+
+
+@pytest.fixture
+def virtual_clock():
+    """Route chaos-clock sleeps through a recording VirtualClock."""
+    with use_clock(VirtualClock()) as clock:
+        yield clock

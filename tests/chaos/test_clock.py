@@ -1,0 +1,91 @@
+"""The virtual clock: instant recorded sleeps, scoped installation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.chaos import SystemClock, VirtualClock, get_clock, set_clock, use_clock
+from repro.chaos import clock as chaos_clock
+
+
+class TestVirtualClock:
+    def test_sleep_advances_time_instantly(self):
+        clock = VirtualClock(start=100.0)
+        started = time.perf_counter()
+        clock.sleep(3600.0)
+        assert time.perf_counter() - started < 0.5
+        assert clock.time() == 3700.0
+        assert clock.monotonic() == 3700.0
+        assert clock.sleeps == [3600.0]
+        assert clock.total_slept == 3600.0
+
+    def test_zero_and_negative_sleeps_are_recorded_but_do_not_advance(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert clock.time() == 10.0
+        assert clock.sleeps == [0.0, -1.0]
+        assert clock.total_slept == 0.0
+
+    def test_advance_moves_time_without_recording(self):
+        clock = VirtualClock(start=0.0)
+        clock.advance(5.0)
+        assert clock.time() == 5.0
+        assert clock.sleeps == []
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_concurrent_sleeps_are_all_recorded(self):
+        clock = VirtualClock()
+        threads = [
+            threading.Thread(target=clock.sleep, args=(0.25,)) for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.sleeps == [0.25] * 8
+        assert clock.total_slept == pytest.approx(2.0)
+
+
+class TestProcessClock:
+    def test_default_is_a_system_clock(self):
+        assert isinstance(get_clock(), SystemClock)
+
+    def test_use_clock_swaps_and_restores(self):
+        previous = get_clock()
+        with use_clock(VirtualClock()) as clock:
+            assert get_clock() is clock
+            chaos_clock.sleep(9.0)
+            assert clock.sleeps == [9.0]
+        assert get_clock() is previous
+
+    def test_use_clock_restores_on_error(self):
+        previous = get_clock()
+        with pytest.raises(RuntimeError):
+            with use_clock(VirtualClock()):
+                raise RuntimeError("boom")
+        assert get_clock() is previous
+
+    def test_module_sleep_and_now_follow_the_active_clock(self):
+        with use_clock(VirtualClock(start=50.0)):
+            chaos_clock.sleep(10.0)
+            assert chaos_clock.now() == 60.0
+
+    def test_set_clock_installs_process_wide(self):
+        previous = get_clock()
+        try:
+            clock = VirtualClock()
+            set_clock(clock)
+            assert get_clock() is clock
+        finally:
+            set_clock(previous)
+
+    def test_system_clock_really_sleeps(self):
+        clock = SystemClock()
+        started = time.perf_counter()
+        clock.sleep(0.02)
+        assert time.perf_counter() - started >= 0.015
+        assert clock.time() == pytest.approx(time.time(), abs=5.0)
+        clock.sleep(0.0)  # no-op, must not raise

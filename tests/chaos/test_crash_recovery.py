@@ -1,0 +1,195 @@
+"""Crash-recovery round-trips: a killed save never tears the snapshot.
+
+Each test saves state v1, mutates the live MDM to v2, then arms a
+``persistence.save.*`` (or ``docstore.save``) failpoint so the save
+"crashes" at a chosen point.  The invariant under test is the issue's
+acceptance criterion: a reload after the crash yields *old or new*
+state — byte-identical v1 up to the commit point, fully v2 after — and
+never a truncated or half-written file.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import FailpointError
+from repro.core.mdm import MDM
+from repro.rdf.namespaces import Namespace
+from repro.service.persistence import (
+    DATASET_FILE,
+    METADATA_FILE,
+    attach_wrappers,
+    load_mdm,
+    save_mdm,
+)
+from repro.sources.wrappers import StaticWrapper
+
+NS = Namespace("http://crash.test/")
+
+#: Injection points at which the previous snapshot must survive intact.
+PRE_COMMIT_SITES = (
+    "persistence.save",
+    "persistence.save.dataset.mid",
+    "persistence.save.dataset",
+    "persistence.save.commit",
+)
+
+
+def build_v1() -> MDM:
+    mdm = MDM(result_cache_size=0)
+    mdm.add_concept(NS.A)
+    mdm.add_identifier(NS.idA, NS.A)
+    mdm.add_feature(NS.valA, NS.A)
+    mdm.register_source("sA")
+    mdm.register_wrapper(
+        "sA", StaticWrapper("wA", ["id", "val"], [{"id": 0, "val": "a0"}])
+    )
+    mdm.define_mapping("wA", {"id": NS.idA, "val": NS.valA})
+    return mdm
+
+
+def mutate_to_v2(mdm: MDM) -> None:
+    mdm.register_wrapper(
+        "sA", StaticWrapper("wB", ["id", "val"], [{"id": 1, "val": "a1"}])
+    )
+    mdm.define_mapping("wB", {"id": NS.idA, "val": NS.valA})
+
+
+def wrappers_of(mdm: MDM):
+    return list(mdm.wrappers.values())
+
+
+def answered_ids(mdm: MDM, wrappers) -> set:
+    attach_wrappers(mdm, wrappers)
+    walk = mdm.walk_from_nodes([NS.A, NS.idA, NS.valA])
+    return {row[0] for row in mdm.execute(walk).relation.rows}
+
+
+def snapshot_bytes(directory: Path) -> dict:
+    return {
+        name: (directory / name).read_bytes()
+        for name in (DATASET_FILE, METADATA_FILE)
+    }
+
+
+def temp_leftovers(directory: Path) -> list:
+    return sorted(p.name for p in directory.glob("*.tmp"))
+
+
+class TestCrashDuringSave:
+    def test_clean_roundtrip_reaches_new_state(self, tmp_path):
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        mutate_to_v2(mdm)
+        save_mdm(mdm, tmp_path)
+        assert answered_ids(load_mdm(tmp_path), wrappers_of(mdm)) == {0, 1}
+        assert temp_leftovers(tmp_path) == []
+
+    @pytest.mark.parametrize("site", PRE_COMMIT_SITES)
+    def test_crash_before_commit_preserves_old_state(
+        self, failpoints, tmp_path, site
+    ):
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        v1 = snapshot_bytes(tmp_path)
+        mutate_to_v2(mdm)
+        failpoints.arm_spec(f"{site}=error")
+        with pytest.raises(FailpointError):
+            save_mdm(mdm, tmp_path)
+        # Byte-identical old snapshot, no half-written temporaries.
+        assert snapshot_bytes(tmp_path) == v1
+        assert temp_leftovers(tmp_path) == []
+        restored = load_mdm(tmp_path)
+        assert answered_ids(restored, wrappers_of(mdm)[:1]) == {0}
+
+    def test_docstore_crash_preserves_old_state(self, failpoints, tmp_path):
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        v1 = snapshot_bytes(tmp_path)
+        mutate_to_v2(mdm)
+        failpoints.arm_spec("docstore.save=error")
+        with pytest.raises(FailpointError):
+            save_mdm(mdm, tmp_path)
+        assert snapshot_bytes(tmp_path) == v1
+        assert temp_leftovers(tmp_path) == []
+
+    def test_crash_into_empty_directory_leaves_it_loadably_absent(
+        self, failpoints, tmp_path
+    ):
+        # First-ever save dies mid-write: no snapshot appears at all,
+        # and load reports "nothing saved yet", not corruption.
+        from repro.core.errors import SnapshotMissingError
+
+        mdm = build_v1()
+        target = tmp_path / "snap"
+        failpoints.arm_spec("persistence.save.dataset.mid=error")
+        with pytest.raises(FailpointError):
+            save_mdm(mdm, target)
+        assert temp_leftovers(target) == []
+        with pytest.raises(SnapshotMissingError):
+            load_mdm(target)
+
+    def test_residual_window_is_new_dataset_old_metadata(
+        self, failpoints, tmp_path
+    ):
+        # The one documented non-atomic window: between the two
+        # os.replace calls.  A crash there publishes the new dataset
+        # next to the old metadata — both files individually intact and
+        # loadable, never truncated.
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        v1 = snapshot_bytes(tmp_path)
+        mutate_to_v2(mdm)
+        clean = tmp_path / "clean-v2"
+        save_mdm(mdm, clean)  # reference bytes for a committed v2
+        v2 = snapshot_bytes(clean)
+        failpoints.arm_spec("persistence.save.metadata=error")
+        with pytest.raises(FailpointError):
+            save_mdm(mdm, tmp_path)
+        after = snapshot_bytes(tmp_path)
+        assert after[DATASET_FILE] == v2[DATASET_FILE]
+        assert after[METADATA_FILE] == v1[METADATA_FILE]
+        assert temp_leftovers(tmp_path) == []
+        # Mixed but well-formed: the load still succeeds and the new
+        # dataset's mappings answer for both wrappers.
+        restored = load_mdm(tmp_path)
+        assert answered_ids(restored, wrappers_of(mdm)) == {0, 1}
+
+    def test_retry_after_crash_commits_new_state(self, failpoints, tmp_path):
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        mutate_to_v2(mdm)
+        failpoints.arm_spec("persistence.save.commit=error")
+        with pytest.raises(FailpointError):
+            save_mdm(mdm, tmp_path)
+        failpoints.disarm("persistence.save.commit")
+        save_mdm(mdm, tmp_path)
+        assert answered_ids(load_mdm(tmp_path), wrappers_of(mdm)) == {0, 1}
+
+
+class TestCrashDuringLoad:
+    def test_corrupted_read_surfaces_as_snapshot_corrupt(
+        self, failpoints, tmp_path
+    ):
+        from repro.core.errors import SnapshotCorruptError
+
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        # The corrupt payload mode truncates the dataset text in flight —
+        # simulating a torn read — and the loader must translate the
+        # parser failure into the typed error, on-disk bytes untouched.
+        before = snapshot_bytes(tmp_path)
+        failpoints.arm_spec("persistence.load.dataset=corrupt")
+        with pytest.raises(SnapshotCorruptError) as exc:
+            load_mdm(tmp_path)
+        assert exc.value.path == tmp_path / DATASET_FILE
+        assert snapshot_bytes(tmp_path) == before
+        failpoints.disarm("persistence.load.dataset")
+        assert answered_ids(load_mdm(tmp_path), wrappers_of(mdm)) == {0}
+
+    def test_load_error_failpoint_propagates(self, failpoints, tmp_path):
+        mdm = build_v1()
+        save_mdm(mdm, tmp_path)
+        failpoints.arm_spec("persistence.load=error(disk detached)")
+        with pytest.raises(FailpointError, match="disk detached"):
+            load_mdm(tmp_path)

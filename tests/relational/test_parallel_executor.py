@@ -6,6 +6,11 @@ and permanent failure (:class:`DeadWrapper`) — and the tests prove the
 executor's concurrency is real (a barrier only N simultaneous fetches can
 pass), bounded, retried per policy, and degraded to partial results
 instead of an exception when asked.
+
+Backoff runs on the :mod:`repro.chaos.clock` virtual clock (the
+``virtual_clock`` fixture), so the retry tests assert the exact sleep
+schedule without spending wall time; only the doubles whose *point* is
+real concurrency (barriers, staggered completion order) touch real time.
 """
 
 import threading
@@ -13,6 +18,8 @@ import time
 
 import pytest
 
+from repro.chaos import VirtualClock, use_clock
+from repro.chaos import clock as chaos_clock
 from repro.core.errors import MdmError
 from repro.core.mdm import MDM
 from repro.obs import MetricsRegistry, set_metrics
@@ -31,7 +38,12 @@ from repro.sources.wrappers import (
 
 
 class SlowWrapper(StaticWrapper):
-    """Sleeps before answering; counts fetches."""
+    """Sleeps before answering (on the active chaos clock); counts fetches.
+
+    Under the ``virtual_clock`` fixture the delay is instant; without it
+    the delay is real — which the determinism test below relies on to
+    shuffle thread completion order.
+    """
 
     def __init__(self, name, attributes, rows, delay_s=0.0):
         super().__init__(name, attributes, rows)
@@ -41,7 +53,7 @@ class SlowWrapper(StaticWrapper):
     def fetch(self):
         self.fetch_count += 1
         if self.delay_s:
-            time.sleep(self.delay_s)
+            chaos_clock.sleep(self.delay_s)
         return super().fetch()
 
 
@@ -53,12 +65,13 @@ class BarrierWrapper(StaticWrapper):
     (here: until the barrier timeout breaks it).
     """
 
-    def __init__(self, name, attributes, rows, barrier):
+    def __init__(self, name, attributes, rows, barrier, wait_timeout=5.0):
         super().__init__(name, attributes, rows)
         self.barrier = barrier
+        self.wait_timeout = wait_timeout
 
     def fetch(self):
-        self.barrier.wait(timeout=5.0)
+        self.barrier.wait(timeout=self.wait_timeout)
         return super().fetch()
 
 
@@ -90,20 +103,34 @@ class DeadWrapper(StaticWrapper):
 
 
 class HangingWrapper(StaticWrapper):
-    """Sleeps far longer than any per-attempt timeout under test."""
+    """Blocks far longer than any per-attempt timeout under test.
+
+    Event-based rather than ``time.sleep`` so tests can release the
+    worker thread on exit instead of leaving a daemon thread sleeping
+    out a 10-second stall in the background.
+    """
 
     def __init__(self, name, attributes, hang_s=10.0):
         super().__init__(name, attributes, [])
         self.hang_s = hang_s
+        self.released = threading.Event()
 
     def fetch(self):
-        time.sleep(self.hang_s)
+        self.released.wait(timeout=self.hang_s)
         return super().fetch()
 
 
 # --------------------------------------------------------------------- #
 # fixtures
 # --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def virtual_clock():
+    """Route chaos-clock sleeps (incl. the default RetryPolicy backoff)
+    through a recording :class:`VirtualClock` for one test."""
+    with use_clock(VirtualClock()) as clock:
+        yield clock
 
 
 @pytest.fixture
@@ -168,14 +195,19 @@ class TestConcurrentFetch:
     def test_serial_pool_breaks_the_barrier(self):
         barrier = threading.Barrier(4)
         wrappers = [
-            BarrierWrapper(f"w{i}", ["id", "name"], rows_for(f"w{i}"), barrier)
+            # A short wait: serial execution *must* break the barrier, so
+            # the test's duration is exactly this timeout.
+            BarrierWrapper(
+                f"w{i}", ["id", "name"], rows_for(f"w{i}"), barrier,
+                wait_timeout=0.25,
+            )
             for i in range(4)
         ]
         mdm = union_mdm(wrappers, max_fetch_workers=1)
         with pytest.raises(threading.BrokenBarrierError):
             mdm.execute(name_walk(mdm))
 
-    def test_parallel_and_serial_agree(self):
+    def test_parallel_and_serial_agree(self, virtual_clock):
         def build(workers):
             return union_mdm(
                 [
@@ -265,19 +297,22 @@ class TestDeterminism:
 
 
 class TestRetryPolicy:
-    def test_flaky_wrapper_recovers_and_counts_attempts(self, isolated_metrics):
-        sleeps = []
+    def test_flaky_wrapper_recovers_and_counts_attempts(
+        self, isolated_metrics, virtual_clock
+    ):
+        # The *default* sleep — no hook: the policy goes through the
+        # chaos clock, and the fixture's VirtualClock records the exact
+        # backoff schedule while spending zero wall time.
         policy = RetryPolicy(
             attempts=4,
             backoff_base_s=0.01,
             backoff_multiplier=2.0,
-            sleep=sleeps.append,
         )
         flaky = FlakyWrapper("wf", ["id", "name"], rows_for("wf"), fail_times=2)
         rows, attempts = flaky.fetch_retrying(policy)
         assert attempts == 3
         assert len(rows) == 2
-        assert sleeps == [0.01, 0.02]
+        assert virtual_clock.sleeps == [0.01, 0.02]
         retry_counter = isolated_metrics.counter(
             "mdm_wrapper_retry_total", "", labelnames=("wrapper",)
         )
@@ -289,7 +324,6 @@ class TestRetryPolicy:
             backoff_base_s=0.1,
             backoff_multiplier=2.0,
             jitter=lambda attempt: attempt * 0.001,
-            sleep=lambda s: None,
         )
         assert policy.backoff_s(1) == pytest.approx(0.101)
         assert policy.backoff_s(2) == pytest.approx(0.202)
@@ -300,31 +334,42 @@ class TestRetryPolicy:
             backoff_base_s=1.0,
             backoff_multiplier=10.0,
             max_backoff_s=2.5,
-            sleep=lambda s: None,
         )
         assert policy.backoff_s(5) == pytest.approx(2.5)
 
-    def test_exhausted_retries_raise_wrapper_fetch_error(self, isolated_metrics):
+    def test_exhausted_retries_raise_wrapper_fetch_error(
+        self, isolated_metrics, virtual_clock
+    ):
         dead = DeadWrapper("wd", ["id", "name"])
-        policy = RetryPolicy(attempts=3, sleep=lambda s: None)
+        policy = RetryPolicy(attempts=3)
         with pytest.raises(WrapperFetchError) as exc:
             dead.fetch_retrying(policy)
         assert exc.value.wrapper_name == "wd"
         assert exc.value.attempts == 3
         assert dead.calls == 3
+        assert virtual_clock.sleeps == [0.05, 0.1]  # default base × 2
         failure_counter = isolated_metrics.counter(
             "mdm_wrapper_failure_total", "", labelnames=("wrapper",)
         )
         assert failure_counter.value(wrapper="wd") == 1
 
-    def test_per_attempt_timeout_is_enforced(self):
+    def test_per_attempt_timeout_is_enforced(self, virtual_clock):
+        # Wall-time budget, asserted: this was the suite's slowest fault
+        # test. Pre-virtual-clock/pre-Event it left two daemon threads in
+        # real 10 s time.sleep calls and the whole file ran in ~6.8 s;
+        # post-migration the file runs in ~1.6 s and this test's real
+        # duration is just the two 0.05 s join timeouts (< 0.5 s total).
         hanging = HangingWrapper("wh", ["id", "name"], hang_s=10.0)
-        policy = RetryPolicy(attempts=2, timeout_s=0.05, sleep=lambda s: None)
+        policy = RetryPolicy(attempts=2, timeout_s=0.05)
         started = time.perf_counter()
-        with pytest.raises(WrapperTimeoutError) as exc:
-            hanging.fetch_retrying(policy)
+        try:
+            with pytest.raises(WrapperTimeoutError) as exc:
+                hanging.fetch_retrying(policy)
+        finally:
+            hanging.released.set()  # free the worker threads immediately
         elapsed = time.perf_counter() - started
-        assert elapsed < 5.0  # two bounded attempts, not 2 × 10s hangs
+        assert elapsed < 0.5  # two bounded attempts, not 2 × 10 s hangs
+        assert virtual_clock.sleeps == [0.05]  # backoff between attempts
         assert exc.value.wrapper_name == "wh"
 
     def test_single_attempt_policy_is_transparent(self):
@@ -358,10 +403,12 @@ class TestPartialResults:
         ]
         return union_mdm(wrappers, **mdm_kwargs)
 
-    def test_failed_wrapper_degrades_to_partial_outcome(self, isolated_metrics):
+    def test_failed_wrapper_degrades_to_partial_outcome(
+        self, isolated_metrics, virtual_clock
+    ):
         mdm = self.build(
             max_fetch_workers=4,
-            retry_policy=RetryPolicy(attempts=2, sleep=lambda s: None),
+            retry_policy=RetryPolicy(attempts=2),
         )
         outcome = mdm.execute(name_walk(mdm), on_wrapper_error="partial")
         assert outcome.partial is True
@@ -383,10 +430,10 @@ class TestPartialResults:
         assert outcome.partial is True
         assert outcome.skipped_wrappers == ("wdead",)
 
-    def test_raise_mode_raises_the_wrapped_error(self):
+    def test_raise_mode_raises_the_wrapped_error(self, virtual_clock):
         mdm = self.build(
             max_fetch_workers=4,
-            retry_policy=RetryPolicy(attempts=2, sleep=lambda s: None),
+            retry_policy=RetryPolicy(attempts=2),
         )
         with pytest.raises(WrapperFetchError) as exc:
             mdm.execute(name_walk(mdm))
@@ -405,15 +452,16 @@ class TestPartialResults:
         with pytest.raises(ValueError):
             mdm.execute(name_walk(mdm), on_wrapper_error="explode")
 
-    def test_timeout_degrades_to_partial_too(self):
+    def test_timeout_degrades_to_partial_too(self, virtual_clock):
         hanging = HangingWrapper("whang", ["id", "name"], hang_s=10.0)
         mdm = union_mdm(
             [StaticWrapper("wa", ["id", "name"], rows_for("wa")), hanging],
             max_fetch_workers=4,
-            retry_policy=RetryPolicy(
-                attempts=2, timeout_s=0.05, sleep=lambda s: None
-            ),
+            retry_policy=RetryPolicy(attempts=2, timeout_s=0.05),
         )
-        outcome = mdm.execute(name_walk(mdm), on_wrapper_error="partial")
+        try:
+            outcome = mdm.execute(name_walk(mdm), on_wrapper_error="partial")
+        finally:
+            hanging.released.set()
         assert outcome.partial
         assert outcome.skipped_wrappers == ("whang",)

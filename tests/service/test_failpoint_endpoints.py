@@ -1,0 +1,143 @@
+"""The chaos surface of the service: GET/POST /failpoints.
+
+Router-level tests drive arming, triggering, disarming and validation;
+one socket-level test pins the ``service.admission`` failpoint mapping
+to a 503 at the HTTP front end (real backends fail with status codes,
+not tracebacks).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.chaos import FailpointRegistry, set_failpoints
+from repro.rdf.namespaces import EX
+from repro.scenarios.football import FootballScenario
+from repro.service import MdmHttpServer, MdmService
+
+
+@pytest.fixture
+def registry():
+    fresh = FailpointRegistry(seed=0)
+    set_failpoints(fresh)
+    try:
+        yield fresh
+    finally:
+        fresh.release()
+        set_failpoints(None)
+
+
+@pytest.fixture
+def service(registry):
+    return MdmService(FootballScenario.build(anchors_only=True).mdm)
+
+
+def query_body():
+    return {"nodes": [EX.Player.value, EX.playerName.value]}
+
+
+class TestFailpointEndpoints:
+    def test_get_reports_empty_registry(self, service):
+        response = service.request("GET", "/failpoints")
+        assert response.ok
+        assert response.body["armed"] == []
+        assert response.body["triggers"] == 0
+
+    def test_post_spec_arms_and_get_reflects_it(self, service):
+        response = service.request(
+            "POST", "/failpoints", {"spec": "wrapper.fetch=error:nth(1)"}
+        )
+        assert response.ok
+        assert response.body["armed"][0]["site"] == "wrapper.fetch"
+        state = service.request("GET", "/failpoints").body
+        assert state["armed"][0]["mode"] == "error"
+
+    def test_armed_fetch_error_breaks_then_disarm_heals(self, service):
+        service.request("POST", "/failpoints", {"spec": "wrapper.fetch=error"})
+        broken = service.request("POST", "/query", query_body())
+        assert not broken.ok
+        state = service.request("GET", "/failpoints").body
+        assert state["triggers"] >= 1
+        assert state["log"][0]["site"] == "wrapper.fetch"
+        service.request("POST", "/failpoints", {"disarm": "wrapper.fetch"})
+        healed = service.request("POST", "/query", query_body())
+        assert healed.ok and healed.body["rows"]
+
+    def test_clear_resets_everything(self, service):
+        service.request(
+            "POST", "/failpoints", {"spec": "wrapper.fetch=error;retry.sleep=delay(0)"}
+        )
+        response = service.request("POST", "/failpoints", {"clear": True})
+        assert response.ok and response.body["armed"] == []
+
+    def test_bad_spec_is_a_400(self, service):
+        response = service.request(
+            "POST", "/failpoints", {"spec": "not-a-spec"}
+        )
+        assert response.status == 400
+        response = service.request(
+            "POST", "/failpoints", {"spec": "unknown.site=error"}
+        )
+        assert response.status == 400
+        assert "unknown failpoint site" in response.body["error"]
+
+    def test_non_object_or_empty_body_is_a_400(self, service):
+        assert service.request("POST", "/failpoints", None).status == 400
+        assert service.request("POST", "/failpoints", {}).status == 400
+        assert service.request("POST", "/failpoints", ["spec"]).status == 400
+
+    def test_release_frees_hangers_and_reports_count(self, service, registry):
+        import threading
+
+        from repro.chaos import fire
+
+        service.request("POST", "/failpoints", {"spec": "x.hang=hang(10)"})
+        done = threading.Event()
+
+        def hanger():
+            fire("x.hang")
+            done.set()
+
+        thread = threading.Thread(target=hanger, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(0.05)
+        assert not done.is_set()
+        response = service.request("POST", "/failpoints", {"release": True})
+        assert response.ok
+        assert done.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+
+
+class TestAdmissionFailpointOverHttp:
+    def test_admission_error_maps_to_503(self, service):
+        server = MdmHttpServer(service, port=0, max_in_flight=4)
+        server.start()
+        try:
+            base = server.url
+
+            def post(path, body):
+                request = urllib.request.Request(
+                    f"{base}{path}", data=json.dumps(body).encode(), method="POST"
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=10) as resp:
+                        return resp.status, json.loads(resp.read())
+                except urllib.error.HTTPError as exc:
+                    return exc.code, json.loads(exc.read())
+
+            status, _ = post(
+                "/failpoints", {"spec": "service.admission=error:times(1)"}
+            )
+            assert status == 200
+            status, body = post("/query", query_body())
+            assert status == 503
+            assert "service.admission" in body["error"]
+            # times(1) spent: the very next request goes through.
+            status, body = post("/query", query_body())
+            assert status == 200 and body["rows"]
+        finally:
+            server.stop()
